@@ -1,0 +1,518 @@
+//! The IVF-PQ index: inverted file over coarse clusters with
+//! product-quantized residuals — the cluster-based index family DRIM-ANN
+//! targets (paper Section 2.1, Fig. 1).
+//!
+//! Build: coarse k-means into `nlist` clusters; every vector is stored in
+//! its nearest cluster's inverted list as PQ codes of the *residual*
+//! `x - centroid`. Search: locate the `nprobe` nearest clusters (CL),
+//! compute the query residual per cluster (RC), build the ADC lookup table
+//! (LC), accumulate code distances (DC), and keep the top-k (TS).
+
+use crate::dpq::{Dpq, DpqParams};
+use crate::kmeans::{assign, kmeans, KMeansParams};
+use crate::opq::{Opq, OpqParams};
+use crate::pq::{PqParams, ProductQuantizer};
+use crate::topk::{BoundedMaxHeap, Neighbor};
+use crate::vector::VecSet;
+
+/// Which product-quantization variant encodes the residuals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PqVariant {
+    /// Plain PQ (Jégou et al.).
+    #[default]
+    Pq,
+    /// Optimized PQ: learned rotation (Ge et al.).
+    Opq,
+    /// DPQ-style soft-assignment refinement (Klein & Wolf; unsupervised
+    /// variant, see DESIGN.md).
+    Dpq,
+}
+
+/// Index construction parameters.
+#[derive(Debug, Clone)]
+pub struct IvfPqParams {
+    /// Number of coarse clusters (the paper's `nlist`).
+    pub nlist: usize,
+    /// PQ sub-quantizers (the paper's `M`; 16 in the end-to-end runs).
+    pub m: usize,
+    /// Codebook entries per subspace (the paper's `CB`; 256 for Faiss).
+    pub cb: usize,
+    /// PQ variant.
+    pub variant: PqVariant,
+    /// Cap on residuals used for PQ training.
+    pub train_sample: usize,
+    /// k-means iterations (coarse and PQ).
+    pub kmeans_iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl IvfPqParams {
+    /// Paper-style defaults for a given `nlist`.
+    pub fn new(nlist: usize) -> Self {
+        IvfPqParams {
+            nlist,
+            m: 16,
+            cb: 256,
+            variant: PqVariant::Pq,
+            train_sample: 65_536,
+            kmeans_iters: 10,
+            seed: 0x5C25,
+        }
+    }
+
+    /// Builder: sub-quantizer count.
+    pub fn m(mut self, m: usize) -> Self {
+        self.m = m;
+        self
+    }
+
+    /// Builder: codebook entries.
+    pub fn cb(mut self, cb: usize) -> Self {
+        self.cb = cb;
+        self
+    }
+
+    /// Builder: PQ variant.
+    pub fn variant(mut self, v: PqVariant) -> Self {
+        self.variant = v;
+        self
+    }
+
+    /// Builder: seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The trained residual quantizer, whichever variant was requested.
+#[derive(Debug, Clone)]
+pub enum PqModel {
+    /// Plain product quantizer.
+    Plain(ProductQuantizer),
+    /// Rotation + PQ.
+    Rotated(Opq),
+    /// Soft-refined PQ.
+    Refined(Dpq),
+}
+
+impl PqModel {
+    /// The underlying axis-aligned quantizer (rotation excluded).
+    pub fn pq(&self) -> &ProductQuantizer {
+        match self {
+            PqModel::Plain(p) => p,
+            PqModel::Rotated(o) => &o.pq,
+            PqModel::Refined(d) => &d.pq,
+        }
+    }
+
+    /// Encode a residual.
+    pub fn encode(&self, r: &[f32]) -> Vec<u16> {
+        match self {
+            PqModel::Plain(p) => p.encode(r),
+            PqModel::Rotated(o) => o.encode(r),
+            PqModel::Refined(d) => d.pq.encode(r),
+        }
+    }
+
+    /// ADC lookup table for a residual.
+    pub fn lut(&self, r: &[f32]) -> Vec<f32> {
+        match self {
+            PqModel::Plain(p) => p.lut(r),
+            PqModel::Rotated(o) => o.lut(r),
+            PqModel::Refined(d) => d.pq.lut(r),
+        }
+    }
+
+    /// ADC distance from a prebuilt LUT.
+    #[inline]
+    pub fn adc(&self, lut: &[f32], code: &[u16]) -> f32 {
+        self.pq().adc(lut, code)
+    }
+}
+
+/// One inverted list: ids plus flat `n * m` codes.
+#[derive(Debug, Clone, Default)]
+pub struct IvfList {
+    /// Database ids of the vectors in this cluster.
+    pub ids: Vec<u32>,
+    /// PQ codes, `ids.len() * m` flat.
+    pub codes: Vec<u16>,
+}
+
+impl IvfList {
+    /// Number of vectors in the list.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the cluster is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// A fully built IVF-PQ index.
+#[derive(Debug, Clone)]
+pub struct IvfPqIndex {
+    /// Construction parameters.
+    pub params: IvfPqParams,
+    /// Vector dimension.
+    pub dim: usize,
+    /// Coarse centroids (`nlist x dim`).
+    pub coarse: VecSet<f32>,
+    /// Inverted lists, one per cluster.
+    pub lists: Vec<IvfList>,
+    /// Residual quantizer.
+    pub quant: PqModel,
+}
+
+impl IvfPqIndex {
+    /// Build the index over `data`.
+    pub fn build(data: &VecSet<f32>, params: &IvfPqParams) -> Self {
+        assert!(!data.is_empty(), "cannot index an empty dataset");
+        let dim = data.dim();
+
+        // 1. coarse clustering
+        let km = kmeans(
+            data,
+            &KMeansParams::new(params.nlist)
+                .iters(params.kmeans_iters)
+                .seed(params.seed),
+        );
+        let coarse = km.centroids;
+        let assignments = assign(data, &coarse);
+
+        // 2. residuals (sampled) for PQ training
+        let cap = params.train_sample.min(data.len());
+        let stride = (data.len() / cap).max(1);
+        let mut train = VecSet::with_capacity(dim, cap);
+        let mut buf = vec![0.0f32; dim];
+        for i in (0..data.len()).step_by(stride).take(cap) {
+            residual_into(data.get(i), coarse.get(assignments[i] as usize), &mut buf);
+            train.push(&buf);
+        }
+
+        // 3. train the requested PQ variant
+        let pq_params = PqParams {
+            m: params.m,
+            cb: params.cb,
+            iters: params.kmeans_iters,
+            seed: params.seed ^ 0xBEEF,
+        };
+        let quant = match params.variant {
+            PqVariant::Pq => PqModel::Plain(ProductQuantizer::train(&train, &pq_params)),
+            PqVariant::Opq => {
+                let mut p = OpqParams::new(params.m, params.cb);
+                p.pq = pq_params;
+                PqModel::Rotated(Opq::train(&train, &p))
+            }
+            PqVariant::Dpq => {
+                let mut p = DpqParams::new(params.m, params.cb);
+                p.pq = pq_params;
+                PqModel::Refined(Dpq::train(&train, &p))
+            }
+        };
+
+        // 4. encode everything into inverted lists
+        let mut lists: Vec<IvfList> = (0..params.nlist).map(|_| IvfList::default()).collect();
+        for i in 0..data.len() {
+            let c = assignments[i] as usize;
+            residual_into(data.get(i), coarse.get(c), &mut buf);
+            let code = quant.encode(&buf);
+            lists[c].ids.push(i as u32);
+            lists[c].codes.extend_from_slice(&code);
+        }
+
+        IvfPqIndex {
+            params: params.clone(),
+            dim,
+            coarse,
+            lists,
+            quant,
+        }
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.lists.iter().map(|l| l.len()).sum()
+    }
+
+    /// True when the index holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.lists.iter().all(|l| l.is_empty())
+    }
+
+    /// Cluster-locating phase: the `nprobe` nearest coarse centroids,
+    /// ascending by distance.
+    pub fn locate(&self, query: &[f32], nprobe: usize) -> Vec<(u32, f32)> {
+        let mut heap = BoundedMaxHeap::new(nprobe.min(self.params.nlist).max(1));
+        for (c, row) in self.coarse.iter().enumerate() {
+            let d = crate::distance::l2_sq_f32(query, row);
+            heap.push(Neighbor::new(c as u64, d));
+        }
+        heap.into_sorted()
+            .into_iter()
+            .map(|n| (n.id as u32, n.dist))
+            .collect()
+    }
+
+    /// Full search: returns the `k` nearest neighbors by ADC distance.
+    pub fn search(&self, query: &[f32], nprobe: usize, k: usize) -> Vec<Neighbor> {
+        let probes = self.locate(query, nprobe);
+        let mut heap = BoundedMaxHeap::new(k);
+        let mut residual = vec![0.0f32; self.dim];
+        let m = self.params.m;
+        for (c, _) in probes {
+            let list = &self.lists[c as usize];
+            if list.is_empty() {
+                continue;
+            }
+            residual_into(query, self.coarse.get(c as usize), &mut residual);
+            let lut = self.quant.lut(&residual);
+            for (slot, code) in list.codes.chunks_exact(m).enumerate() {
+                let d = self.quant.adc(&lut, code);
+                heap.push(Neighbor::new(list.ids[slot] as u64, d));
+            }
+        }
+        heap.into_sorted()
+    }
+
+    /// Insert one vector with the given id (dynamic corpora — the paper
+    /// notes cluster-based indices are "especially friendly to dynamic
+    /// vector data"). The vector is assigned to its nearest coarse centroid
+    /// and PQ-encoded; centroids and codebooks are not retrained.
+    pub fn insert(&mut self, id: u32, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "inserted vector has wrong dimension");
+        let (c, _) = crate::kmeans::nearest_centroid(v, &self.coarse);
+        let mut residual = vec![0.0f32; self.dim];
+        residual_into(v, self.coarse.get(c as usize), &mut residual);
+        let code = self.quant.encode(&residual);
+        let list = &mut self.lists[c as usize];
+        list.ids.push(id);
+        list.codes.extend_from_slice(&code);
+    }
+
+    /// Remove a vector by id; returns `true` when found. O(n) over the
+    /// owning list (ids are not indexed), swap-removing the code block.
+    pub fn remove(&mut self, id: u32) -> bool {
+        let m = self.params.m;
+        for list in &mut self.lists {
+            if let Some(slot) = list.ids.iter().position(|&x| x == id) {
+                let last = list.ids.len() - 1;
+                list.ids.swap(slot, last);
+                list.ids.pop();
+                // move the last code block into the vacated slot
+                if slot != last {
+                    let (head, tail) = list.codes.split_at_mut(last * m);
+                    head[slot * m..(slot + 1) * m].copy_from_slice(&tail[..m]);
+                }
+                list.codes.truncate(last * m);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Average points per cluster — the paper's `C = N / nlist`.
+    pub fn mean_cluster_size(&self) -> f64 {
+        self.len() as f64 / self.params.nlist as f64
+    }
+
+    /// Cluster size distribution.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        self.lists.iter().map(|l| l.len()).collect()
+    }
+
+    /// Total bytes of the PQ codes + ids (the PIM-resident payload).
+    pub fn payload_bytes(&self) -> u64 {
+        let code_b = self.quant.pq().code_bytes() as u64;
+        self.lists
+            .iter()
+            .map(|l| l.ids.len() as u64 * 4 + l.ids.len() as u64 * self.params.m as u64 * code_b)
+            .sum()
+    }
+}
+
+/// `out = a - b` element-wise.
+#[inline]
+pub fn residual_into(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    for ((o, &x), &y) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = x - y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::exact_search;
+
+    fn clustered_data(n: usize, dim: usize, seed: u64) -> VecSet<f32> {
+        // 8 Gaussian-ish blobs via LCG jitter
+        let mut s = VecSet::new(dim);
+        let mut lcg = seed | 1;
+        let mut next = move || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (lcg >> 33) as f32 / u32::MAX as f32
+        };
+        let centers: Vec<Vec<f32>> = (0..8)
+            .map(|_| (0..dim).map(|_| next() * 100.0).collect())
+            .collect();
+        for i in 0..n {
+            let c = &centers[i % 8];
+            let v: Vec<f32> = c.iter().map(|&x| x + (next() - 0.5) * 8.0).collect();
+            s.push(&v);
+        }
+        s
+    }
+
+    #[test]
+    fn index_covers_all_points_once() {
+        let data = clustered_data(1000, 8, 3);
+        let idx = IvfPqIndex::build(&data, &IvfPqParams::new(16));
+        assert_eq!(idx.len(), 1000);
+        let mut seen = vec![false; 1000];
+        for l in &idx.lists {
+            assert_eq!(l.codes.len(), l.ids.len() * idx.params.m);
+            for &id in &l.ids {
+                assert!(!seen[id as usize], "id {id} appears twice");
+                seen[id as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn locate_returns_sorted_clusters() {
+        let data = clustered_data(500, 8, 9);
+        let idx = IvfPqIndex::build(&data, &IvfPqParams::new(16));
+        let probes = idx.locate(data.get(0), 5);
+        assert_eq!(probes.len(), 5);
+        for w in probes.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn search_finds_exact_neighbors_with_high_recall() {
+        let data = clustered_data(2000, 8, 5);
+        let params = IvfPqParams::new(16).m(4).cb(64);
+        let idx = IvfPqIndex::build(&data, &params);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for qi in 0..20 {
+            let q = data.get(qi * 7);
+            let approx = idx.search(q, 8, 10);
+            let exact = exact_search(q, &data, 10);
+            let exact_ids: std::collections::HashSet<u64> =
+                exact.iter().map(|n| n.id).collect();
+            hits += approx.iter().filter(|n| exact_ids.contains(&n.id)).count();
+            total += 10;
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall > 0.7, "recall@10 = {recall}");
+    }
+
+    #[test]
+    fn more_probes_never_reduce_quality() {
+        let data = clustered_data(1000, 8, 11);
+        let idx = IvfPqIndex::build(&data, &IvfPqParams::new(16).m(4).cb(32));
+        let q = data.get(3);
+        let d1 = idx.search(q, 1, 5).last().map(|n| n.dist).unwrap_or(f32::MAX);
+        let d16 = idx.search(q, 16, 5).last().map(|n| n.dist).unwrap_or(f32::MAX);
+        assert!(d16 <= d1 + 1e-6);
+    }
+
+    #[test]
+    fn opq_variant_builds_and_searches() {
+        let data = clustered_data(600, 8, 13);
+        let idx = IvfPqIndex::build(&data, &IvfPqParams::new(8).m(4).cb(16).variant(PqVariant::Opq));
+        let res = idx.search(data.get(0), 4, 5);
+        assert_eq!(res.len(), 5);
+    }
+
+    #[test]
+    fn dpq_variant_builds_and_searches() {
+        let data = clustered_data(600, 8, 17);
+        let idx = IvfPqIndex::build(&data, &IvfPqParams::new(8).m(4).cb(16).variant(PqVariant::Dpq));
+        let res = idx.search(data.get(0), 4, 5);
+        assert_eq!(res.len(), 5);
+    }
+
+    #[test]
+    fn payload_bytes_matches_code_layout() {
+        let data = clustered_data(100, 8, 19);
+        let idx = IvfPqIndex::build(&data, &IvfPqParams::new(4).m(4).cb(16));
+        // 100 ids x 4B + 100 codes x 4 subcodes x 1B
+        assert_eq!(idx.payload_bytes(), 100 * 4 + 100 * 4);
+    }
+
+    #[test]
+    fn mean_cluster_size_is_n_over_nlist() {
+        let data = clustered_data(800, 8, 23);
+        let idx = IvfPqIndex::build(&data, &IvfPqParams::new(16));
+        assert!((idx.mean_cluster_size() - 50.0).abs() < 1e-9);
+        assert_eq!(idx.cluster_sizes().iter().sum::<usize>(), 800);
+    }
+
+    #[test]
+    fn residual_into_subtracts() {
+        let mut out = [0.0f32; 3];
+        residual_into(&[5.0, 3.0, 1.0], &[1.0, 1.0, 1.0], &mut out);
+        assert_eq!(out, [4.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn insert_makes_vector_findable() {
+        let data = clustered_data(800, 8, 29);
+        let mut idx = IvfPqIndex::build(&data, &IvfPqParams::new(16).m(4).cb(32));
+        let novel: Vec<f32> = data.get(0).iter().map(|&x| x + 1.0).collect();
+        idx.insert(9999, &novel);
+        assert_eq!(idx.len(), 801);
+        let res = idx.search(&novel, 4, 3);
+        assert!(
+            res.iter().any(|n| n.id == 9999),
+            "inserted vector should be its own near-neighbor: {res:?}"
+        );
+    }
+
+    #[test]
+    fn remove_deletes_exactly_one() {
+        let data = clustered_data(500, 8, 31);
+        let mut idx = IvfPqIndex::build(&data, &IvfPqParams::new(8).m(4).cb(16));
+        assert!(idx.remove(123));
+        assert_eq!(idx.len(), 499);
+        assert!(!idx.remove(123), "second removal must fail");
+        // codes stay aligned with ids
+        for l in &idx.lists {
+            assert_eq!(l.codes.len(), l.ids.len() * idx.params.m);
+        }
+        // the removed id never comes back from search
+        let res = idx.search(data.get(123), 8, 20);
+        assert!(res.iter().all(|n| n.id != 123));
+    }
+
+    #[test]
+    fn insert_remove_roundtrip_preserves_results() {
+        let data = clustered_data(400, 8, 37);
+        let idx0 = IvfPqIndex::build(&data, &IvfPqParams::new(8).m(4).cb(16));
+        let mut idx = idx0.clone();
+        idx.insert(7777, data.get(5));
+        assert!(idx.remove(7777));
+        let q = data.get(9);
+        let a: Vec<u64> = idx0.search(q, 4, 5).iter().map(|n| n.id).collect();
+        let b: Vec<u64> = idx.search(q, 4, 5).iter().map(|n| n.id).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn insert_checks_dimension() {
+        let data = clustered_data(100, 8, 41);
+        let mut idx = IvfPqIndex::build(&data, &IvfPqParams::new(4).m(4).cb(8));
+        idx.insert(1, &[0.0; 3]);
+    }
+}

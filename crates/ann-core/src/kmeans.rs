@@ -1,0 +1,368 @@
+//! k-means clustering: k-means++ seeding, parallel Lloyd iterations, and
+//! empty-cluster repair.
+//!
+//! Used twice in IVF-PQ index construction: once for the coarse `nlist`
+//! clustering, once per PQ subspace for the codebooks. Both are exactly the
+//! procedures Faiss runs, so recall comparisons against the baseline are
+//! apples-to-apples.
+
+use crate::distance::l2_sq_f32;
+use crate::vector::VecSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// k-means configuration.
+#[derive(Debug, Clone)]
+pub struct KMeansParams {
+    /// Number of clusters.
+    pub k: usize,
+    /// Lloyd iterations.
+    pub iters: usize,
+    /// RNG seed (fully deterministic given the data).
+    pub seed: u64,
+    /// Optional cap on training points; above it the data is subsampled
+    /// (Faiss-style `max_points_per_centroid` behaviour).
+    pub max_train_points: Option<usize>,
+}
+
+impl KMeansParams {
+    /// Sensible defaults for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        KMeansParams {
+            k,
+            iters: 12,
+            seed: 0xD81A,
+            max_train_points: Some(k * 256),
+        }
+    }
+
+    /// Builder: iteration count.
+    pub fn iters(mut self, iters: usize) -> Self {
+        self.iters = iters;
+        self
+    }
+
+    /// Builder: seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Result of a k-means fit.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// `k` centroids.
+    pub centroids: VecSet<f32>,
+    /// Assignment of every *training* point to its centroid.
+    pub assignments: Vec<u32>,
+    /// Number of training points per centroid.
+    pub sizes: Vec<usize>,
+    /// Final total squared quantization error.
+    pub inertia: f64,
+}
+
+/// Fit k-means on `data`, returning centroids/assignments/sizes.
+///
+/// Panics if `data` is empty or `k == 0`; if `k >= len`, every point becomes
+/// its own centroid (plus duplicated fill for the remainder).
+pub fn kmeans(data: &VecSet<f32>, params: &KMeansParams) -> KMeansResult {
+    assert!(params.k > 0, "k must be positive");
+    assert!(!data.is_empty(), "cannot cluster an empty dataset");
+    let dim = data.dim();
+
+    // Subsample for training if requested.
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let train: VecSet<f32> = match params.max_train_points {
+        Some(cap) if data.len() > cap => {
+            let rows: Vec<usize> = sample_without_replacement(&mut rng, data.len(), cap);
+            data.select(&rows)
+        }
+        _ => data.clone(),
+    };
+
+    if params.k >= train.len() {
+        // degenerate: centroids = points (cycled)
+        let mut centroids = VecSet::with_capacity(dim, params.k);
+        for i in 0..params.k {
+            centroids.push(train.get(i % train.len()));
+        }
+        let assignments: Vec<u32> = (0..train.len()).map(|i| i as u32).collect();
+        let mut sizes = vec![0usize; params.k];
+        for &a in &assignments {
+            sizes[a as usize] += 1;
+        }
+        return KMeansResult {
+            centroids,
+            assignments,
+            sizes,
+            inertia: 0.0,
+        };
+    }
+
+    let mut centroids = kmeanspp_init(&train, params.k, &mut rng);
+    let mut assignments = vec![0u32; train.len()];
+    let mut inertia = f64::INFINITY;
+
+    for _ in 0..params.iters {
+        // assignment step (parallel over points)
+        let dists: Vec<(u32, f32)> = (0..train.len())
+            .into_par_iter()
+            .map(|i| nearest_centroid(train.get(i), &centroids))
+            .collect();
+        inertia = dists.iter().map(|&(_, d)| d as f64).sum();
+        for (i, &(a, _)) in dists.iter().enumerate() {
+            assignments[i] = a;
+        }
+
+        // update step
+        let mut sums = vec![0.0f64; params.k * dim];
+        let mut counts = vec![0usize; params.k];
+        for (i, &a) in assignments.iter().enumerate() {
+            let v = train.get(i);
+            let row = &mut sums[a as usize * dim..(a as usize + 1) * dim];
+            for (s, &x) in row.iter_mut().zip(v.iter()) {
+                *s += x as f64;
+            }
+            counts[a as usize] += 1;
+        }
+
+        // empty-cluster repair: steal the point farthest from its centroid
+        for c in 0..params.k {
+            if counts[c] == 0 {
+                let (far_idx, _) = dists
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap())
+                    .map(|(i, &(_, d))| (i, d))
+                    .unwrap();
+                let donor = assignments[far_idx] as usize;
+                if counts[donor] > 1 {
+                    counts[donor] -= 1;
+                    let v = train.get(far_idx);
+                    let drow = &mut sums[donor * dim..(donor + 1) * dim];
+                    for (s, &x) in drow.iter_mut().zip(v.iter()) {
+                        *s -= x as f64;
+                    }
+                    assignments[far_idx] = c as u32;
+                    counts[c] = 1;
+                    let crow = &mut sums[c * dim..(c + 1) * dim];
+                    for (s, &x) in crow.iter_mut().zip(v.iter()) {
+                        *s += x as f64;
+                    }
+                }
+            }
+        }
+
+        for c in 0..params.k {
+            if counts[c] > 0 {
+                let row = centroids.get_mut(c);
+                let srow = &sums[c * dim..(c + 1) * dim];
+                for (dst, &s) in row.iter_mut().zip(srow.iter()) {
+                    *dst = (s / counts[c] as f64) as f32;
+                }
+            }
+        }
+    }
+
+    let mut sizes = vec![0usize; params.k];
+    for &a in &assignments {
+        sizes[a as usize] += 1;
+    }
+    KMeansResult {
+        centroids,
+        assignments,
+        sizes,
+        inertia,
+    }
+}
+
+/// Assign every vector of `data` to its nearest centroid (parallel).
+pub fn assign(data: &VecSet<f32>, centroids: &VecSet<f32>) -> Vec<u32> {
+    (0..data.len())
+        .into_par_iter()
+        .map(|i| nearest_centroid(data.get(i), centroids).0)
+        .collect()
+}
+
+/// Nearest centroid index + squared distance.
+#[inline]
+pub fn nearest_centroid(v: &[f32], centroids: &VecSet<f32>) -> (u32, f32) {
+    let mut best = (0u32, f32::INFINITY);
+    for (c, row) in centroids.iter().enumerate() {
+        let d = l2_sq_f32(v, row);
+        if d < best.1 {
+            best = (c as u32, d);
+        }
+    }
+    best
+}
+
+/// k-means++ seeding: first centroid uniform, then D²-weighted sampling.
+fn kmeanspp_init(data: &VecSet<f32>, k: usize, rng: &mut StdRng) -> VecSet<f32> {
+    let dim = data.dim();
+    let n = data.len();
+    let mut centroids = VecSet::with_capacity(dim, k);
+    let first = rng.gen_range(0..n);
+    centroids.push(data.get(first));
+
+    let mut d2: Vec<f32> = (0..n)
+        .into_par_iter()
+        .map(|i| l2_sq_f32(data.get(i), centroids.get(0)))
+        .collect();
+
+    for _ in 1..k {
+        let total: f64 = d2.iter().map(|&d| d as f64).sum();
+        let choice = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut picked = n - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                target -= d as f64;
+                if target <= 0.0 {
+                    picked = i;
+                    break;
+                }
+            }
+            picked
+        };
+        centroids.push(data.get(choice));
+        let new_c = centroids.len() - 1;
+        d2.par_iter_mut().enumerate().for_each(|(i, d)| {
+            let nd = l2_sq_f32(data.get(i), centroids.get(new_c));
+            if nd < *d {
+                *d = nd;
+            }
+        });
+    }
+    centroids
+}
+
+/// Floyd's algorithm: `count` distinct indices in `[0, n)`.
+fn sample_without_replacement(rng: &mut StdRng, n: usize, count: usize) -> Vec<usize> {
+    use std::collections::HashSet;
+    let mut chosen = HashSet::with_capacity(count);
+    for j in (n - count)..n {
+        let t = rng.gen_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    let mut v: Vec<usize> = chosen.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs in 2-D.
+    fn blobs() -> VecSet<f32> {
+        let mut s = VecSet::new(2);
+        let centers = [(0.0f32, 0.0f32), (10.0, 10.0), (-10.0, 8.0)];
+        let mut lcg = 12345u64;
+        for i in 0..300 {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let jx = ((lcg >> 33) as f32 / u32::MAX as f32 - 0.5) * 0.5;
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let jy = ((lcg >> 33) as f32 / u32::MAX as f32 - 0.5) * 0.5;
+            let (cx, cy) = centers[i % 3];
+            s.push(&[cx + jx, cy + jy]);
+        }
+        s
+    }
+
+    #[test]
+    fn finds_separated_blobs() {
+        let data = blobs();
+        let res = kmeans(&data, &KMeansParams::new(3).iters(10));
+        assert_eq!(res.centroids.len(), 3);
+        // every centroid should be near one of the true centers
+        let truth = [(0.0f32, 0.0f32), (10.0, 10.0), (-10.0, 8.0)];
+        for c in res.centroids.iter() {
+            let ok = truth
+                .iter()
+                .any(|&(x, y)| l2_sq_f32(c, &[x, y]) < 1.0);
+            assert!(ok, "centroid {c:?} not near any blob center");
+        }
+        // inertia should be tiny relative to blob separation
+        assert!(res.inertia < 300.0 * 1.0);
+    }
+
+    #[test]
+    fn sizes_sum_to_train_points() {
+        let data = blobs();
+        let res = kmeans(&data, &KMeansParams::new(5).iters(5));
+        assert_eq!(res.sizes.iter().sum::<usize>(), data.len());
+        assert_eq!(res.assignments.len(), data.len());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs();
+        let p = KMeansParams::new(4).seed(99);
+        let a = kmeans(&data, &p);
+        let b = kmeans(&data, &p);
+        assert_eq!(a.centroids, b.centroids);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn no_empty_clusters_on_reasonable_data() {
+        let data = blobs();
+        let res = kmeans(&data, &KMeansParams::new(8).iters(10));
+        assert!(res.sizes.iter().all(|&s| s > 0), "sizes {:?}", res.sizes);
+    }
+
+    #[test]
+    fn k_geq_n_degenerates_gracefully() {
+        let mut data = VecSet::new(2);
+        data.push(&[1.0, 1.0]);
+        data.push(&[2.0, 2.0]);
+        let res = kmeans(&data, &KMeansParams::new(5));
+        assert_eq!(res.centroids.len(), 5);
+        assert_eq!(res.inertia, 0.0);
+    }
+
+    #[test]
+    fn assign_matches_nearest() {
+        let data = blobs();
+        let res = kmeans(&data, &KMeansParams::new(3).iters(8));
+        let assigned = assign(&data, &res.centroids);
+        for i in 0..data.len() {
+            let (c, _) = nearest_centroid(data.get(i), &res.centroids);
+            assert_eq!(assigned[i], c);
+        }
+    }
+
+    #[test]
+    fn subsampling_caps_training_set() {
+        let data = blobs();
+        let mut p = KMeansParams::new(2).iters(3);
+        p.max_train_points = Some(50);
+        let res = kmeans(&data, &p);
+        assert_eq!(res.assignments.len(), 50);
+        assert_eq!(res.centroids.len(), 2);
+    }
+
+    #[test]
+    fn sample_without_replacement_is_distinct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sample_without_replacement(&mut rng, 100, 30);
+        assert_eq!(s.len(), 30);
+        let set: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(set.len(), 30);
+        assert!(s.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let data = blobs();
+        let i2 = kmeans(&data, &KMeansParams::new(2).iters(10)).inertia;
+        let i6 = kmeans(&data, &KMeansParams::new(6).iters(10)).inertia;
+        assert!(i6 <= i2, "inertia k=6 {i6} should be <= k=2 {i2}");
+    }
+}

@@ -1,0 +1,44 @@
+//! # ann-core
+//!
+//! Algorithmic substrate for the DRIM-ANN reproduction: everything a
+//! cluster-based approximate-nearest-neighbor engine needs, implemented from
+//! scratch:
+//!
+//! * dense vector containers for `f32` and quantized `u8` corpora
+//!   ([`vector`]);
+//! * distance kernels ([`distance`]) including the asymmetric
+//!   query-vs-quantized form used by IVF-PQ;
+//! * k-means with k-means++ seeding and empty-cluster repair ([`kmeans`]);
+//! * product quantization ([`pq`]) and its variants OPQ ([`opq`], learned
+//!   rotation via a built-in Jacobi SVD Procrustes solver in [`linalg`])
+//!   and a DPQ-style refinement ([`dpq`]);
+//! * the IVF-PQ index itself ([`ivf`]): coarse clustering, residual
+//!   encoding, nprobe search;
+//! * exact brute-force search for ground truth ([`flat`]);
+//! * top-k machinery ([`topk`]): bounded heaps and bitonic networks — the
+//!   two sorters the paper's TS phase chooses between;
+//! * scalar quantization to 8/16-bit integers ([`quantize`]), the data
+//!   width regime where DRIM-ANN's squaring lookup table applies;
+//! * recall metrics ([`recall`]).
+//!
+//! The crate is deliberately independent of the PIM simulator: it is the
+//! "algorithm" half of the co-design, reusable on any host.
+
+pub mod distance;
+pub mod dpq;
+pub mod flat;
+pub mod ivf;
+pub mod kmeans;
+pub mod linalg;
+pub mod opq;
+pub mod persist;
+pub mod pq;
+pub mod quantize;
+pub mod recall;
+pub mod topk;
+pub mod vector;
+
+pub use ivf::{IvfPqIndex, IvfPqParams, PqVariant};
+pub use pq::ProductQuantizer;
+pub use topk::Neighbor;
+pub use vector::VecSet;

@@ -1,0 +1,237 @@
+//! Index persistence: a compact, versioned binary format for
+//! [`IvfPqIndex`], so a tuned index can be built once and shipped to the
+//! serving tier (the paper's offline-profile / online-serve split assumes
+//! exactly this workflow).
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic "DRIM" | version u32 | dim u32 | nlist u32 | m u32 | cb u32 |
+//! variant u8 | dsub u32 |
+//! coarse:    nlist * dim f32 |
+//! codebooks: m * cb * dsub f32 |
+//! [rotation: dim * dim f32]            (OPQ only)
+//! lists: nlist x { len u32 | ids u32[len] | codes u16[len * m] }
+//! ```
+//!
+//! DPQ indices round-trip as their refined codebooks (the refinement is
+//! baked in); the variant tag is preserved for provenance.
+
+use crate::ivf::{IvfList, IvfPqIndex, IvfPqParams, PqModel, PqVariant};
+use crate::linalg::Matrix;
+use crate::opq::Opq;
+use crate::pq::ProductQuantizer;
+use crate::vector::VecSet;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"DRIM";
+const VERSION: u32 = 1;
+
+/// Serialize an index to a writer.
+pub fn save<W: Write>(idx: &IvfPqIndex, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    put_u32(&mut w, VERSION)?;
+    put_u32(&mut w, idx.dim as u32)?;
+    put_u32(&mut w, idx.params.nlist as u32)?;
+    put_u32(&mut w, idx.params.m as u32)?;
+    put_u32(&mut w, idx.params.cb as u32)?;
+    let (variant, rotation): (u8, Option<&Matrix>) = match &idx.quant {
+        PqModel::Plain(_) => (0, None),
+        PqModel::Rotated(o) => (1, Some(&o.rotation)),
+        PqModel::Refined(_) => (2, None),
+    };
+    w.write_all(&[variant])?;
+    let pq = idx.quant.pq();
+    put_u32(&mut w, pq.dsub as u32)?;
+
+    for &x in idx.coarse.as_flat() {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    for &x in pq.codebooks_flat() {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    if let Some(r) = rotation {
+        for &x in &r.data {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    for list in &idx.lists {
+        put_u32(&mut w, list.ids.len() as u32)?;
+        for &id in &list.ids {
+            put_u32(&mut w, id)?;
+        }
+        for &c in &list.codes {
+            w.write_all(&c.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserialize an index from a reader.
+pub fn load<R: Read>(mut r: R) -> io::Result<IvfPqIndex> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a DRIM index file"));
+    }
+    let version = get_u32(&mut r)?;
+    if version != VERSION {
+        return Err(bad(&format!("unsupported version {version}")));
+    }
+    let dim = get_u32(&mut r)? as usize;
+    let nlist = get_u32(&mut r)? as usize;
+    let m = get_u32(&mut r)? as usize;
+    let cb = get_u32(&mut r)? as usize;
+    let mut variant_byte = [0u8; 1];
+    r.read_exact(&mut variant_byte)?;
+    let dsub = get_u32(&mut r)? as usize;
+    if dim == 0 || nlist == 0 || m == 0 || cb < 2 || dsub == 0 {
+        return Err(bad("implausible header"));
+    }
+
+    let coarse = VecSet::from_flat(dim, get_f32s(&mut r, nlist * dim)?);
+    let codebooks = get_f32s(&mut r, m * cb * dsub)?;
+    let pq = ProductQuantizer::from_codebooks(dim, m, cb, codebooks);
+
+    let (variant, quant) = match variant_byte[0] {
+        0 => (PqVariant::Pq, PqModel::Plain(pq)),
+        1 => {
+            let rot = Matrix::from_rows(dim, dim, get_f32s(&mut r, dim * dim)?);
+            (
+                PqVariant::Opq,
+                PqModel::Rotated(Opq { rotation: rot, pq }),
+            )
+        }
+        2 => (
+            PqVariant::Dpq,
+            PqModel::Refined(crate::dpq::Dpq { pq }),
+        ),
+        other => return Err(bad(&format!("unknown variant tag {other}"))),
+    };
+
+    let mut lists = Vec::with_capacity(nlist);
+    for _ in 0..nlist {
+        let len = get_u32(&mut r)? as usize;
+        let mut ids = Vec::with_capacity(len);
+        for _ in 0..len {
+            ids.push(get_u32(&mut r)?);
+        }
+        let mut codes = Vec::with_capacity(len * m);
+        let mut buf = [0u8; 2];
+        for _ in 0..len * m {
+            r.read_exact(&mut buf)?;
+            codes.push(u16::from_le_bytes(buf));
+        }
+        lists.push(IvfList { ids, codes });
+    }
+
+    Ok(IvfPqIndex {
+        params: IvfPqParams::new(nlist).m(m).cb(cb).variant(variant),
+        dim,
+        coarse,
+        lists,
+        quant,
+    })
+}
+
+fn put_u32<W: Write>(w: &mut W, x: u32) -> io::Result<()> {
+    w.write_all(&x.to_le_bytes())
+}
+
+fn get_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_f32s<R: Read>(r: &mut R, n: usize) -> io::Result<Vec<f32>> {
+    let mut bytes = vec![0u8; n * 4];
+    r.read_exact(&mut bytes)?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        .collect())
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivf::IvfPqParams;
+
+    fn toy_data(n: usize, dim: usize, seed: u64) -> VecSet<f32> {
+        let mut s = VecSet::new(dim);
+        let mut lcg = seed | 1;
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim)
+                .map(|_| {
+                    lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    ((lcg >> 33) as f32 / u32::MAX as f32) * 50.0
+                })
+                .collect();
+            s.push(&v);
+        }
+        s
+    }
+
+    fn roundtrip(variant: PqVariant) {
+        let data = toy_data(400, 8, 3);
+        let idx = IvfPqIndex::build(
+            &data,
+            &IvfPqParams::new(8).m(4).cb(16).variant(variant),
+        );
+        let mut buf = Vec::new();
+        save(&idx, &mut buf).unwrap();
+        let back = load(&buf[..]).unwrap();
+
+        assert_eq!(back.dim, idx.dim);
+        assert_eq!(back.params.nlist, idx.params.nlist);
+        assert_eq!(back.params.variant, variant);
+        assert_eq!(back.len(), idx.len());
+        // identical search results
+        for qi in [0usize, 17, 399] {
+            let a: Vec<u64> = idx.search(data.get(qi), 4, 5).iter().map(|n| n.id).collect();
+            let b: Vec<u64> = back.search(data.get(qi), 4, 5).iter().map(|n| n.id).collect();
+            assert_eq!(a, b, "variant {variant:?}, query {qi}");
+        }
+    }
+
+    #[test]
+    fn pq_roundtrip() {
+        roundtrip(PqVariant::Pq);
+    }
+
+    #[test]
+    fn opq_roundtrip() {
+        roundtrip(PqVariant::Opq);
+    }
+
+    #[test]
+    fn dpq_roundtrip() {
+        roundtrip(PqVariant::Dpq);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        assert!(load(&b"NOPE"[..]).is_err());
+        let mut truncated = Vec::new();
+        let data = toy_data(50, 4, 9);
+        let idx = IvfPqIndex::build(&data, &IvfPqParams::new(2).m(2).cb(4));
+        save(&idx, &mut truncated).unwrap();
+        truncated.truncate(truncated.len() / 2);
+        assert!(load(&truncated[..]).is_err());
+    }
+
+    #[test]
+    fn version_field_is_checked() {
+        let data = toy_data(50, 4, 11);
+        let idx = IvfPqIndex::build(&data, &IvfPqParams::new(2).m(2).cb(4));
+        let mut buf = Vec::new();
+        save(&idx, &mut buf).unwrap();
+        buf[4] = 99; // corrupt version
+        assert!(load(&buf[..]).is_err());
+    }
+}

@@ -1,0 +1,348 @@
+//! Product quantization (Jégou et al., TPAMI 2011).
+//!
+//! A vector is split into `m` sub-vectors; each subspace is clustered into
+//! `cb` codewords; a vector is stored as its `m` codeword indices. Query
+//! time uses the *asymmetric distance computation* (ADC): a per-query lookup
+//! table of `m x cb` partial squared distances is built once (the paper's LC
+//! phase), then each point's distance is the sum of `m` gathered entries
+//! (the DC phase).
+//!
+//! Dimensions that are not a multiple of `m` are zero-padded, which leaves
+//! L2 distances unchanged and frees the design-space exploration to vary `m`
+//! independently of the dataset dimension.
+
+use crate::distance::l2_sq_f32;
+use crate::kmeans::{kmeans, KMeansParams};
+use crate::vector::VecSet;
+
+/// Training parameters for a product quantizer.
+#[derive(Debug, Clone)]
+pub struct PqParams {
+    /// Number of sub-quantizers (the paper's `M`).
+    pub m: usize,
+    /// Codebook entries per subspace (the paper's `CB`; Faiss fixes 256,
+    /// DRIM-ANN supports more).
+    pub cb: usize,
+    /// k-means iterations per subspace.
+    pub iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl PqParams {
+    /// The common 16x256 configuration used in the paper's end-to-end runs.
+    pub fn new(m: usize, cb: usize) -> Self {
+        PqParams {
+            m,
+            cb,
+            iters: 10,
+            seed: 0x9A7,
+        }
+    }
+}
+
+/// A trained product quantizer.
+#[derive(Debug, Clone)]
+pub struct ProductQuantizer {
+    /// Original vector dimension.
+    pub dim: usize,
+    /// Sub-quantizer count.
+    pub m: usize,
+    /// Codewords per subspace.
+    pub cb: usize,
+    /// Sub-vector dimension after padding: `dsub = ceil(dim / m)`.
+    pub dsub: usize,
+    /// Codebooks, `m * cb * dsub` flat (subspace-major).
+    codebooks: Vec<f32>,
+}
+
+impl ProductQuantizer {
+    /// Train on `data` (typically IVF residuals).
+    pub fn train(data: &VecSet<f32>, params: &PqParams) -> Self {
+        assert!(params.m > 0 && params.cb > 1);
+        assert!(!data.is_empty(), "cannot train PQ on empty data");
+        let dim = data.dim();
+        let dsub = dim.div_ceil(params.m);
+        let mut codebooks = vec![0.0f32; params.m * params.cb * dsub];
+
+        for s in 0..params.m {
+            // gather the s-th (zero-padded) subvector of every training point
+            let mut sub = VecSet::with_capacity(dsub, data.len());
+            let mut buf = vec![0.0f32; dsub];
+            for v in data.iter() {
+                extract_sub(v, s, dsub, &mut buf);
+                sub.push(&buf);
+            }
+            let km = kmeans(
+                &sub,
+                &KMeansParams::new(params.cb)
+                    .iters(params.iters)
+                    .seed(params.seed ^ (s as u64).wrapping_mul(0x9E37)),
+            );
+            let dst = &mut codebooks[s * params.cb * dsub..(s + 1) * params.cb * dsub];
+            dst.copy_from_slice(km.centroids.as_flat());
+        }
+
+        ProductQuantizer {
+            dim,
+            m: params.m,
+            cb: params.cb,
+            dsub,
+            codebooks,
+        }
+    }
+
+    /// Construct directly from codebooks (used by OPQ/DPQ refinements).
+    pub fn from_codebooks(dim: usize, m: usize, cb: usize, codebooks: Vec<f32>) -> Self {
+        let dsub = dim.div_ceil(m);
+        assert_eq!(codebooks.len(), m * cb * dsub);
+        ProductQuantizer {
+            dim,
+            m,
+            cb,
+            dsub,
+            codebooks,
+        }
+    }
+
+    /// Codebook of subspace `s`: `cb * dsub` flat.
+    #[inline]
+    pub fn codebook(&self, s: usize) -> &[f32] {
+        &self.codebooks[s * self.cb * self.dsub..(s + 1) * self.cb * self.dsub]
+    }
+
+    /// Mutable codebook of subspace `s` (DPQ refinement hooks in here).
+    pub fn codebook_mut(&mut self, s: usize) -> &mut [f32] {
+        &mut self.codebooks[s * self.cb * self.dsub..(s + 1) * self.cb * self.dsub]
+    }
+
+    /// All codebooks flat (`m * cb * dsub`).
+    pub fn codebooks_flat(&self) -> &[f32] {
+        &self.codebooks
+    }
+
+    /// Bytes per stored code element (1 if `cb <= 256`, else 2) — the
+    /// quantity the paper's I/O model calls `B_a`.
+    pub fn code_bytes(&self) -> usize {
+        if self.cb <= 256 {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Bytes of one encoded vector.
+    pub fn encoded_bytes(&self) -> usize {
+        self.m * self.code_bytes()
+    }
+
+    /// Encode one vector into `m` codeword indices.
+    pub fn encode(&self, v: &[f32]) -> Vec<u16> {
+        assert_eq!(v.len(), self.dim);
+        let mut code = Vec::with_capacity(self.m);
+        let mut buf = vec![0.0f32; self.dsub];
+        for s in 0..self.m {
+            extract_sub(v, s, self.dsub, &mut buf);
+            let cbk = self.codebook(s);
+            let mut best = (0u16, f32::INFINITY);
+            for (j, row) in cbk.chunks_exact(self.dsub).enumerate() {
+                let d = l2_sq_f32(&buf, row);
+                if d < best.1 {
+                    best = (j as u16, d);
+                }
+            }
+            code.push(best.0);
+        }
+        code
+    }
+
+    /// Encode a whole set; returns `n * m` codes flat.
+    pub fn encode_set(&self, data: &VecSet<f32>) -> Vec<u16> {
+        use rayon::prelude::*;
+        (0..data.len())
+            .into_par_iter()
+            .flat_map_iter(|i| self.encode(data.get(i)))
+            .collect()
+    }
+
+    /// Decode a code back to the reconstructed vector.
+    pub fn decode(&self, code: &[u16]) -> Vec<f32> {
+        assert_eq!(code.len(), self.m);
+        let mut out = vec![0.0f32; self.dim];
+        for (s, &c) in code.iter().enumerate() {
+            let cw = &self.codebook(s)[c as usize * self.dsub..(c as usize + 1) * self.dsub];
+            let start = s * self.dsub;
+            for (d, &x) in cw.iter().enumerate() {
+                if start + d < self.dim {
+                    out[start + d] = x;
+                }
+            }
+        }
+        out
+    }
+
+    /// Build the ADC lookup table for a query (or residual): `m * cb`
+    /// partial squared distances. This is the LC phase.
+    pub fn lut(&self, q: &[f32]) -> Vec<f32> {
+        assert_eq!(q.len(), self.dim);
+        let mut lut = vec![0.0f32; self.m * self.cb];
+        let mut buf = vec![0.0f32; self.dsub];
+        for s in 0..self.m {
+            extract_sub(q, s, self.dsub, &mut buf);
+            let cbk = self.codebook(s);
+            let dst = &mut lut[s * self.cb..(s + 1) * self.cb];
+            for (j, row) in cbk.chunks_exact(self.dsub).enumerate() {
+                dst[j] = l2_sq_f32(&buf, row);
+            }
+        }
+        lut
+    }
+
+    /// ADC distance: sum of `m` gathered LUT entries. This is the DC phase.
+    #[inline]
+    pub fn adc(&self, lut: &[f32], code: &[u16]) -> f32 {
+        debug_assert_eq!(code.len(), self.m);
+        let mut acc = 0.0f32;
+        for (s, &c) in code.iter().enumerate() {
+            acc += lut[s * self.cb + c as usize];
+        }
+        acc
+    }
+
+    /// Mean squared reconstruction error over a set.
+    pub fn quantization_error(&self, data: &VecSet<f32>) -> f64 {
+        let mut total = 0.0f64;
+        for v in data.iter() {
+            let rec = self.decode(&self.encode(v));
+            total += l2_sq_f32(v, &rec) as f64;
+        }
+        total / data.len().max(1) as f64
+    }
+}
+
+/// Copy the `s`-th subvector of `v` into `buf`, zero-padding past `v.len()`.
+#[inline]
+fn extract_sub(v: &[f32], s: usize, dsub: usize, buf: &mut [f32]) {
+    let start = s * dsub;
+    for (d, slot) in buf.iter_mut().enumerate() {
+        *slot = if start + d < v.len() { v[start + d] } else { 0.0 };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_data(n: usize, dim: usize) -> VecSet<f32> {
+        let mut s = VecSet::new(dim);
+        let mut lcg = 7u64;
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim)
+                .map(|_| {
+                    lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    ((lcg >> 33) as f32 / u32::MAX as f32) * 10.0
+                })
+                .collect();
+            s.push(&v);
+        }
+        s
+    }
+
+    #[test]
+    fn encode_decode_shapes() {
+        let data = toy_data(200, 8);
+        let pq = ProductQuantizer::train(&data, &PqParams::new(4, 16));
+        let code = pq.encode(data.get(0));
+        assert_eq!(code.len(), 4);
+        assert!(code.iter().all(|&c| (c as usize) < 16));
+        assert_eq!(pq.decode(&code).len(), 8);
+    }
+
+    #[test]
+    fn adc_equals_decoded_distance() {
+        // ADC(q, code) must equal l2(q, decode(code)) exactly (same math).
+        let data = toy_data(300, 8);
+        let pq = ProductQuantizer::train(&data, &PqParams::new(4, 8));
+        let q = data.get(1);
+        let lut = pq.lut(q);
+        for i in [0usize, 5, 99] {
+            let code = pq.encode(data.get(i));
+            let adc = pq.adc(&lut, &code);
+            let exact = l2_sq_f32(q, &pq.decode(&code));
+            assert!((adc - exact).abs() < 1e-3, "adc {adc} exact {exact}");
+        }
+    }
+
+    #[test]
+    fn reconstruction_error_reasonable() {
+        let data = toy_data(500, 16);
+        let pq = ProductQuantizer::train(&data, &PqParams::new(8, 32));
+        let err = pq.quantization_error(&data);
+        // data values span [0,10); per-dim variance ~8.3; with 32 codewords
+        // per 2-dim subspace the error must be far below the raw variance.
+        let raw: f64 = 16.0 * 8.3;
+        assert!(err < raw / 4.0, "err {err} vs raw {raw}");
+    }
+
+    #[test]
+    fn more_codewords_reduce_error() {
+        let data = toy_data(600, 8);
+        let e_small = ProductQuantizer::train(&data, &PqParams::new(4, 4)).quantization_error(&data);
+        let e_large =
+            ProductQuantizer::train(&data, &PqParams::new(4, 64)).quantization_error(&data);
+        assert!(e_large < e_small, "{e_large} !< {e_small}");
+    }
+
+    #[test]
+    fn non_divisible_dim_is_padded() {
+        let data = toy_data(200, 10); // 10 dims, m=4 -> dsub=3 (padded to 12)
+        let pq = ProductQuantizer::train(&data, &PqParams::new(4, 8));
+        assert_eq!(pq.dsub, 3);
+        let code = pq.encode(data.get(0));
+        let rec = pq.decode(&code);
+        assert_eq!(rec.len(), 10);
+        // ADC still matches decoded distance with padding in play
+        let lut = pq.lut(data.get(3));
+        let adc = pq.adc(&lut, &code);
+        let exact = l2_sq_f32(data.get(3), &rec);
+        assert!((adc - exact).abs() < 1e-3);
+    }
+
+    #[test]
+    fn code_bytes_depends_on_cb() {
+        let data = toy_data(300, 8);
+        let small = ProductQuantizer::train(&data, &PqParams::new(4, 16));
+        assert_eq!(small.code_bytes(), 1);
+        assert_eq!(small.encoded_bytes(), 4);
+        let big = ProductQuantizer::from_codebooks(8, 4, 300, vec![0.0; 4 * 300 * 2]);
+        assert_eq!(big.code_bytes(), 2);
+        assert_eq!(big.encoded_bytes(), 8);
+    }
+
+    #[test]
+    fn encode_set_matches_pointwise() {
+        let data = toy_data(50, 8);
+        let pq = ProductQuantizer::train(&data, &PqParams::new(4, 8));
+        let all = pq.encode_set(&data);
+        assert_eq!(all.len(), 50 * 4);
+        for i in [0usize, 17, 49] {
+            assert_eq!(&all[i * 4..(i + 1) * 4], pq.encode(data.get(i)).as_slice());
+        }
+    }
+
+    #[test]
+    fn encoding_is_nearest_codeword() {
+        let data = toy_data(100, 4);
+        let pq = ProductQuantizer::train(&data, &PqParams::new(2, 8));
+        let v = data.get(7);
+        let code = pq.encode(v);
+        // check subspace 0 optimality
+        let cbk = pq.codebook(0);
+        let sub = &v[0..2];
+        let chosen = &cbk[code[0] as usize * 2..code[0] as usize * 2 + 2];
+        let d_chosen = l2_sq_f32(sub, chosen);
+        for row in cbk.chunks_exact(2) {
+            assert!(d_chosen <= l2_sq_f32(sub, row) + 1e-6);
+        }
+    }
+}

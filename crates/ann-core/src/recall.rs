@@ -1,0 +1,91 @@
+//! Recall metrics.
+//!
+//! The paper's accuracy constraint is `recall@10 >= 0.8` (Section 5.1,
+//! following ANNA and FANNS): the fraction of each query's true 10 nearest
+//! neighbors recovered among the 10 returned.
+
+use crate::topk::Neighbor;
+
+/// recall@k for one query: `|returned ∩ truth| / k`.
+///
+/// `truth` is the exact top-k id list; `returned` may be shorter than `k`
+/// (missing entries count as misses).
+pub fn recall_at_k(returned: &[Neighbor], truth: &[u64], k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    let truth_set: std::collections::HashSet<u64> = truth.iter().take(k).copied().collect();
+    let hits = returned
+        .iter()
+        .take(k)
+        .filter(|n| truth_set.contains(&n.id))
+        .count();
+    hits as f64 / k as f64
+}
+
+/// Mean recall@k over a batch of queries.
+pub fn mean_recall(results: &[Vec<Neighbor>], truth: &[Vec<u64>], k: usize) -> f64 {
+    assert_eq!(results.len(), truth.len());
+    if results.is_empty() {
+        return 1.0;
+    }
+    let total: f64 = results
+        .iter()
+        .zip(truth.iter())
+        .map(|(r, t)| recall_at_k(r, t, k))
+        .sum();
+    total / results.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nb(ids: &[u64]) -> Vec<Neighbor> {
+        ids.iter().map(|&i| Neighbor::new(i, i as f32)).collect()
+    }
+
+    #[test]
+    fn perfect_recall() {
+        let r = nb(&[1, 2, 3]);
+        assert_eq!(recall_at_k(&r, &[1, 2, 3], 3), 1.0);
+    }
+
+    #[test]
+    fn partial_recall() {
+        let r = nb(&[1, 9, 3]);
+        assert!((recall_at_k(&r, &[1, 2, 3], 3) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        let r = nb(&[3, 1, 2]);
+        assert_eq!(recall_at_k(&r, &[1, 2, 3], 3), 1.0);
+    }
+
+    #[test]
+    fn short_result_counts_misses() {
+        let r = nb(&[1]);
+        assert!((recall_at_k(&r, &[1, 2], 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn only_first_k_considered() {
+        let r = nb(&[9, 8, 1, 2]);
+        // k=2: returned {9,8} vs truth {1,2} -> 0
+        assert_eq!(recall_at_k(&r, &[1, 2, 9, 8], 2), 0.0);
+    }
+
+    #[test]
+    fn mean_recall_averages() {
+        let results = vec![nb(&[1, 2]), nb(&[5, 6])];
+        let truth = vec![vec![1u64, 2], vec![9u64, 10]];
+        assert!((mean_recall(&results, &truth, 2) - 0.5).abs() < 1e-12);
+        assert_eq!(mean_recall(&[], &[], 2), 1.0);
+    }
+
+    #[test]
+    fn k_zero_is_trivially_perfect() {
+        assert_eq!(recall_at_k(&[], &[], 0), 1.0);
+    }
+}

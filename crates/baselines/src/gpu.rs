@@ -1,0 +1,169 @@
+//! The Faiss-GPU baseline on an NVIDIA A100 80GB model.
+//!
+//! Faiss-GPU does not saturate the A100's roofline on IVF-PQ — kernel
+//! launch overheads, k-selection and shared-memory LUT pressure leave it at
+//! a fraction of peak. Rather than model CUDA microarchitecture, we apply
+//! an *achieved-fraction* calibrated against the paper's own measurement:
+//! "Faiss-GPU is about 12.33x faster than Faiss-CPU" on the Fig. 7 indices
+//! (Section 5.4). Capacity checks reproduce the OOM behaviour of Fig. 2 —
+//! Faiss-GPU "requires the dataset to be fully loaded into GPU memory".
+
+use crate::cpu::CpuModel;
+use drim_ann::perf_model::WorkloadShape;
+use upmem_sim::proc::ProcModel;
+
+/// Roofline + achieved-fraction model of Faiss-GPU.
+#[derive(Debug, Clone)]
+pub struct GpuModel {
+    /// The device roofline.
+    pub proc: ProcModel,
+    /// Fraction of the roofline Faiss-GPU achieves on IVF-PQ (calibrated
+    /// so GPU/CPU ~ 12.33x at the paper's Fig. 7 configuration).
+    pub achieved_fraction: f64,
+    /// Raw vector bytes that must also reside on the device (Faiss-GPU
+    /// keeps re-ranking data resident; the paper's OOM analysis counts the
+    /// full corpus).
+    pub resident_overhead: f64,
+}
+
+impl GpuModel {
+    /// A100 80GB PCIe, calibrated.
+    pub fn a100() -> Self {
+        GpuModel {
+            proc: upmem_sim::platform::procs::a100_80gb(),
+            // calibrated so modelled GPU/CPU lands at the paper's measured
+            // 12.33x on the Fig. 7 SIFT100M index (see tests)
+            achieved_fraction: 0.43,
+            resident_overhead: 1.1,
+        }
+    }
+
+    /// Two A100s (roofline only; multi-GPU ANNS scales poorly per RUMMY).
+    pub fn a100_x2() -> Self {
+        GpuModel {
+            proc: upmem_sim::platform::procs::a100_x2(),
+            ..Self::a100()
+        }
+    }
+
+    /// Device bytes a corpus of `raw_bytes` needs (codes + residency
+    /// overheads).
+    pub fn device_bytes(&self, raw_bytes: u64) -> u64 {
+        (raw_bytes as f64 * self.resident_overhead) as u64
+    }
+
+    /// Whether the corpus fits; `false` reproduces the paper's OOM marks.
+    pub fn fits(&self, raw_bytes: u64) -> bool {
+        self.proc.fits(self.device_bytes(raw_bytes))
+    }
+
+    /// Batch time under the achieved roofline; `None` on OOM.
+    ///
+    /// HBM traffic counts what actually crosses the memory bus on a GPU
+    /// IVF-PQ kernel: the coarse-centroid stream (partially L2-resident on
+    /// an A100 — 40 MB L2 vs the ~8 MB table), the PQ code stream, and the
+    /// k-selection writes. Codebooks and LUTs live in shared memory.
+    pub fn batch_time(&self, shape: &WorkloadShape, raw_bytes: u64) -> Option<f64> {
+        if !self.fits(raw_bytes) {
+            return None;
+        }
+        let ops = shape.c_cl()
+            + shape.c_rc()
+            + shape.c_lc()
+            + shape.c_dc()
+            + shape.c_ts();
+        let code_bytes = shape.q * shape.p * shape.c * shape.m * shape.bits.b_p;
+        let bytes = shape.io_cl() * 0.25 + shape.io_rc() + code_bytes + shape.io_ts() * 0.05;
+        Some(self.proc.time(ops, bytes) / self.achieved_fraction)
+    }
+
+    /// Throughput; `None` on OOM.
+    pub fn qps(&self, shape: &WorkloadShape, raw_bytes: u64) -> Option<f64> {
+        self.batch_time(shape, raw_bytes)
+            .map(|t| shape.q / t.max(1e-12))
+    }
+
+    /// Energy for one batch, joules.
+    pub fn energy_j(&self, shape: &WorkloadShape, raw_bytes: u64) -> Option<f64> {
+        self.batch_time(shape, raw_bytes)
+            .map(|t| self.proc.power_w * t)
+    }
+}
+
+/// The paper's measured Faiss-GPU/Faiss-CPU speedup on the Fig. 7 indices.
+pub const PAPER_GPU_OVER_CPU: f64 = 12.33;
+
+/// Calibration check helper: the modelled GPU/CPU ratio at a configuration.
+pub fn gpu_over_cpu_ratio(shape_gpu: &WorkloadShape, shape_cpu: &WorkloadShape, raw_bytes: u64) -> Option<f64> {
+    let cpu = CpuModel::xeon_gold_5218();
+    let gpu = GpuModel::a100();
+    gpu.qps(shape_gpu, raw_bytes).map(|g| g / cpu.qps(shape_cpu))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drim_ann::config::IndexConfig;
+    use drim_ann::perf_model::BitWidths;
+
+    fn sift100m_shape() -> WorkloadShape {
+        WorkloadShape::new(
+            100_000_000,
+            10_000,
+            128,
+            &IndexConfig {
+                k: 10,
+                nprobe: 96,
+                nlist: 1 << 14,
+                m: 16,
+                cb: 256,
+            },
+            BitWidths::f32_regime(),
+        )
+    }
+
+    const SIFT100M_BYTES: u64 = 100_000_000 * 128;
+    const SIFT1B_BYTES: u64 = 1_000_000_000 * 128;
+
+    #[test]
+    fn gpu_beats_cpu_by_roughly_paper_ratio() {
+        let shape = sift100m_shape();
+        let ratio = gpu_over_cpu_ratio(&shape, &shape, SIFT100M_BYTES).unwrap();
+        assert!(
+            (PAPER_GPU_OVER_CPU * 0.5..PAPER_GPU_OVER_CPU * 2.0).contains(&ratio),
+            "GPU/CPU ratio {ratio} vs paper {PAPER_GPU_OVER_CPU}"
+        );
+    }
+
+    #[test]
+    fn sift1b_overflows_single_gpu() {
+        let gpu = GpuModel::a100();
+        assert!(gpu.fits(SIFT100M_BYTES));
+        assert!(!gpu.fits(SIFT1B_BYTES));
+        assert!(gpu.qps(&sift100m_shape(), SIFT1B_BYTES).is_none());
+    }
+
+    #[test]
+    fn two_gpus_fit_sift1b_at_double_cost() {
+        let gpu2 = GpuModel::a100_x2();
+        assert!(gpu2.fits(SIFT1B_BYTES));
+        let shape = sift100m_shape();
+        let e1 = GpuModel::a100().energy_j(&shape, SIFT100M_BYTES).unwrap();
+        let e2 = gpu2.energy_j(&shape, SIFT100M_BYTES).unwrap();
+        // same work, double power, roughly half the time -> comparable
+        // energy; at minimum it must not be cheaper
+        assert!(e2 > 0.9 * e1);
+    }
+
+    #[test]
+    fn qps_scales_inversely_with_nprobe() {
+        let gpu = GpuModel::a100();
+        let mut s32 = sift100m_shape();
+        s32.p = 32.0;
+        let q32 = gpu.qps(&s32, SIFT100M_BYTES).unwrap();
+        let q96 = gpu.qps(&sift100m_shape(), SIFT100M_BYTES).unwrap();
+        // scan traffic scales with nprobe, but the nprobe-independent
+        // cluster-locating stream caps the gain
+        assert!(q32 > 1.3 * q96, "q32 {q32} q96 {q96}");
+    }
+}

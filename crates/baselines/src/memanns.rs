@@ -1,0 +1,54 @@
+//! MemANNS comparison data (paper Table 3).
+//!
+//! MemANNS (Chen et al., arXiv:2410.23805) is the contemporaneous
+//! UPMEM-ANNS system the paper compares against. It is not open source, so
+//! the paper uses its published figures — 405 QPS on SIFT1B with 896 DPUs —
+//! "under linear scaling assumptions". This module holds exactly those
+//! reported numbers and the scaling helper.
+
+/// A reported MemANNS datapoint.
+#[derive(Debug, Clone, Copy)]
+pub struct MemAnnsPoint {
+    /// DPUs used in the reported experiment.
+    pub dpus: usize,
+    /// Reported throughput.
+    pub qps: f64,
+}
+
+/// The SIFT1B datapoint of Table 3.
+pub fn sift1b_reported() -> MemAnnsPoint {
+    MemAnnsPoint {
+        dpus: 896,
+        qps: 405.0,
+    }
+}
+
+impl MemAnnsPoint {
+    /// Linearly scale the reported throughput to another DPU count — the
+    /// paper's comparison assumption.
+    pub fn scaled_to(&self, dpus: usize) -> f64 {
+        self.qps * dpus as f64 / self.dpus as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reported_values_match_table3() {
+        let p = sift1b_reported();
+        assert_eq!(p.dpus, 896);
+        assert_eq!(p.qps, 405.0);
+    }
+
+    #[test]
+    fn linear_scaling() {
+        let p = sift1b_reported();
+        assert!((p.scaled_to(1792) - 810.0).abs() < 1e-9);
+        assert!((p.scaled_to(896) - 405.0).abs() < 1e-9);
+        // the paper's 1018-DPU comparison point
+        let at_1018 = p.scaled_to(1018);
+        assert!((at_1018 - 460.2).abs() < 1.0, "{at_1018}");
+    }
+}

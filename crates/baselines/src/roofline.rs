@@ -1,0 +1,189 @@
+//! Roofline analysis — paper Fig. 2.
+//!
+//! For each (platform, dataset) pair: the arithmetic intensity of IVF-PQ
+//! ANNS on that dataset, the attainable throughput at that intensity
+//! (`min(peak, AI x BW)`), and whether the working set fits the platform's
+//! memory (the paper's "x" OOM markers).
+
+use datasets::DatasetDescriptor;
+use drim_ann::config::IndexConfig;
+use drim_ann::perf_model::{BitWidths, WorkloadShape};
+use upmem_sim::proc::ProcModel;
+use upmem_sim::PimArch;
+
+/// One roofline point.
+#[derive(Debug, Clone)]
+pub struct RooflinePoint {
+    /// Platform name.
+    pub platform: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Arithmetic intensity, ops/byte.
+    pub intensity: f64,
+    /// Attainable throughput, GOPS.
+    pub gops: f64,
+    /// Out of memory?
+    pub oom: bool,
+}
+
+/// A platform as seen by the roofline: name, roofline processor, capacity.
+#[derive(Debug, Clone)]
+pub struct RooflinePlatform {
+    /// Display name (paper legend: "CPU", "GPU x 1", "UPMEM x 24", ...).
+    pub name: String,
+    /// Roofline parameters.
+    pub proc: ProcModel,
+}
+
+/// The platform set of Fig. 2.
+pub fn fig2_platforms() -> Vec<RooflinePlatform> {
+    let mut out = vec![
+        RooflinePlatform {
+            name: "CPU".into(),
+            proc: upmem_sim::platform::procs::xeon_gold_5218(),
+        },
+        RooflinePlatform {
+            name: "GPU x 1".into(),
+            proc: upmem_sim::platform::procs::a100_80gb(),
+        },
+        RooflinePlatform {
+            name: "GPU x 2".into(),
+            proc: upmem_sim::platform::procs::a100_x2(),
+        },
+    ];
+    for dimms in [16usize, 24, 32] {
+        let arch = PimArch::upmem_dimms(dimms);
+        out.push(RooflinePlatform {
+            name: format!("UPMEM x {dimms}"),
+            proc: upmem_proc(&arch),
+        });
+    }
+    out
+}
+
+/// Roofline view of a PIM architecture: useful ops derated by the missing
+/// multiplier (one mul per 3-op distance step at `mul_cost` cycles).
+pub fn upmem_proc(arch: &PimArch) -> ProcModel {
+    let mul_share = (arch.costs.mul as f64 + 2.0) / 3.0; // cycles per useful op
+    ProcModel {
+        name: "UPMEM",
+        ops_per_sec: arch.peak_ops_per_sec() / mul_share,
+        bytes_per_sec: arch.total_bandwidth(),
+        capacity_bytes: arch.total_capacity(),
+        power_w: arch.host_base_power_w + arch.dimm_power_w * arch.num_dimms() as f64,
+    }
+}
+
+/// The workload shape Fig. 2 assumes for a dataset (the paper's default
+/// index: nlist 2^14, nprobe 96, M=16, CB=256).
+pub fn fig2_shape(d: &DatasetDescriptor) -> WorkloadShape {
+    WorkloadShape::new(
+        d.n_full,
+        d.n_queries,
+        d.dim,
+        &IndexConfig {
+            k: 10,
+            nprobe: 96,
+            nlist: 1 << 14,
+            m: 16,
+            cb: 256,
+        },
+        BitWidths::u8_regime(),
+    )
+}
+
+/// Compute the full grid of roofline points for Fig. 2.
+pub fn fig2_points() -> Vec<RooflinePoint> {
+    let mut out = Vec::new();
+    for d in datasets::catalog::table1() {
+        let shape = fig2_shape(&d);
+        let ai = shape.arithmetic_intensity();
+        for p in fig2_platforms() {
+            let oom = !p.proc.fits(d.raw_bytes());
+            out.push(RooflinePoint {
+                platform: p.name.clone(),
+                dataset: d.name.to_string(),
+                intensity: ai,
+                gops: p.proc.attainable(ai) / 1e9,
+                oom,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_all_pairs() {
+        let pts = fig2_points();
+        // 6 datasets x 6 platforms
+        assert_eq!(pts.len(), 36);
+    }
+
+    #[test]
+    fn billion_scale_ooms_on_gpu_but_not_upmem32() {
+        let pts = fig2_points();
+        let find = |plat: &str, ds: &str| {
+            pts.iter()
+                .find(|p| p.platform == plat && p.dataset == ds)
+                .unwrap()
+        };
+        // Fig. 2: SIFT1B ooms on one GPU; 100M-scale fits
+        assert!(find("GPU x 1", "SIFT1B").oom);
+        assert!(!find("GPU x 1", "SIFT100M").oom);
+        // UPMEM x 32 (256 GB) holds SIFT1B codes... raw 128 GB fits too
+        assert!(!find("UPMEM x 32", "SIFT1B").oom);
+        // T2I1B (800 GB raw f32) overflows everything in Fig. 2
+        assert!(find("GPU x 2", "T2I1B").oom);
+        assert!(find("UPMEM x 32", "T2I1B").oom);
+    }
+
+    #[test]
+    fn ai_is_in_the_figure_range() {
+        // Fig. 2's x-axis spans ~0.3 to ~30 ops/byte
+        for p in fig2_points() {
+            assert!(
+                p.intensity > 0.05 && p.intensity < 50.0,
+                "{}: AI {}",
+                p.dataset,
+                p.intensity
+            );
+        }
+    }
+
+    #[test]
+    fn anns_is_memory_bound_on_cpu_compute_bound_on_upmem() {
+        // the paper's central roofline observation
+        let cpu = upmem_sim::platform::procs::xeon_gold_5218();
+        let upmem = upmem_proc(&PimArch::upmem_dimms(24));
+        let shape = fig2_shape(&datasets::catalog::sift100m());
+        let ai = shape.arithmetic_intensity();
+        assert!(ai < cpu.ridge_point(), "CPU: AI {ai} ridge {}", cpu.ridge_point());
+        assert!(
+            ai > upmem.ridge_point(),
+            "UPMEM: AI {ai} ridge {}",
+            upmem.ridge_point()
+        );
+    }
+
+    #[test]
+    fn upmem_bandwidth_scales_linearly_with_dimms() {
+        let p16 = upmem_proc(&PimArch::upmem_dimms(16));
+        let p32 = upmem_proc(&PimArch::upmem_dimms(32));
+        assert!((p32.bytes_per_sec / p16.bytes_per_sec - 2.0).abs() < 1e-9);
+        assert!((p32.ops_per_sec / p16.ops_per_sec - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn upmem24_bandwidth_comparable_to_a100() {
+        // paper: "UPMEM achieves comparable bandwidth to an NVIDIA A100
+        // GPU through 24 DIMMs"
+        let upmem = upmem_proc(&PimArch::upmem_dimms(24));
+        let a100 = upmem_sim::platform::procs::a100_80gb();
+        let ratio = upmem.bytes_per_sec / a100.bytes_per_sec;
+        assert!((0.7..1.3).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! lock pruning, tasklet occupancy, and the co-location exchange.
+
+use bench::experiments as ex;
+use criterion::{criterion_group, criterion_main, Criterion};
+use drim_ann::config::{AllocPolicy, EngineConfig};
+use drim_ann::trace::{TraceRunner, TraceSpec};
+use upmem_sim::tasklet::LockPolicy;
+use upmem_sim::PimArch;
+
+fn spec(scale: &ex::PaperScale) -> TraceSpec {
+    TraceSpec::for_dataset(&datasets::catalog::sift100m(), scale.batch)
+}
+
+fn pim_time(cfg: EngineConfig, scale: &ex::PaperScale) -> f64 {
+    let mut runner = TraceRunner::build(spec(scale), cfg, PimArch::upmem_sc25(), scale.ndpus);
+    runner.run_batch(1).timing.pim_s()
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let scale = ex::PaperScale::quick();
+    let index = ex::paper_index(1 << 13, 32);
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+
+    // lock pruning (paper Section 6: naive locking ~50 % of latency)
+    g.bench_function("lock_pruning_pair", |b| {
+        b.iter(|| {
+            let mut fwd = EngineConfig::drim(index);
+            fwd.lock_policy = LockPolicy::Forwarding;
+            let mut always = EngineConfig::drim(index);
+            always.lock_policy = LockPolicy::LockAlways;
+            let t_fwd = pim_time(fwd, &scale);
+            let t_always = pim_time(always, &scale);
+            assert!(t_always >= t_fwd, "pruning must not hurt");
+            std::hint::black_box(t_always / t_fwd)
+        })
+    });
+
+    // tasklet occupancy: below pipeline depth the DPU starves
+    for tasklets in [1usize, 8, 16] {
+        g.bench_function(format!("tasklets_{tasklets}"), |b| {
+            b.iter(|| {
+                let mut cfg = EngineConfig::drim(index);
+                cfg.tasklets = tasklets;
+                std::hint::black_box(pim_time(cfg, &scale))
+            })
+        });
+    }
+
+    // allocation policy ablation
+    g.bench_function("alloc_round_robin_vs_balanced", |b| {
+        b.iter(|| {
+            let mut rr = EngineConfig::drim(index);
+            rr.allocation = AllocPolicy::RoundRobin;
+            let balanced = EngineConfig::drim(index);
+            let t_rr = pim_time(rr, &scale);
+            let t_b = pim_time(balanced, &scale);
+            std::hint::black_box(t_rr / t_b)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion bench for the Fig. 2 roofline grid (pure analytic — fast).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig02/roofline_grid", |b| {
+        b.iter(|| {
+            let pts = baselines::roofline::fig2_points();
+            assert_eq!(pts.len(), 36);
+            std::hint::black_box(pts)
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench regenerating the Fig. 7/8 end-to-end datapoints
+//! (reduced scale; the `repro` binary produces the full-scale tables).
+
+use bench::experiments as ex;
+use criterion::{criterion_group, criterion_main, Criterion};
+use drim_ann::config::EngineConfig;
+use upmem_sim::PimArch;
+
+fn bench_e2e(c: &mut Criterion) {
+    let scale = ex::PaperScale::quick();
+    let mut g = c.benchmark_group("fig07_08");
+    g.sample_size(10);
+    for desc in [datasets::catalog::sift100m(), datasets::catalog::deep100m()] {
+        g.bench_function(format!("{}_drim_trace_batch", desc.name), |b| {
+            b.iter(|| {
+                let qps = ex::drim_qps(
+                    &desc,
+                    EngineConfig::drim(ex::paper_index(1 << 13, 32)),
+                    PimArch::upmem_sc25(),
+                    &scale,
+                );
+                assert!(qps > 0.0);
+                std::hint::black_box(qps)
+            })
+        });
+        g.bench_function(format!("{}_faiss_cpu_model", desc.name), |b| {
+            b.iter(|| {
+                std::hint::black_box(ex::faiss_cpu_qps(
+                    &desc,
+                    &ex::paper_index(1 << 13, 32),
+                    scale.batch,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

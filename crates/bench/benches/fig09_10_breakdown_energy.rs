@@ -1,0 +1,30 @@
+//! Criterion bench for the Fig. 9 breakdown / Fig. 10 energy datapoints.
+
+use bench::experiments as ex;
+use criterion::{criterion_group, criterion_main, Criterion};
+use drim_ann::config::EngineConfig;
+use upmem_sim::PimArch;
+
+fn bench_breakdown(c: &mut Criterion) {
+    let scale = ex::PaperScale::quick();
+    let desc = datasets::catalog::sift100m();
+    let mut g = c.benchmark_group("fig09_10");
+    g.sample_size(10);
+    g.bench_function("breakdown_and_energy_batch", |b| {
+        b.iter(|| {
+            let rep = ex::drim_report(
+                &desc,
+                EngineConfig::drim(ex::paper_index(1 << 13, 32)),
+                PimArch::upmem_sc25(),
+                &scale,
+            );
+            // the figure's two reads: phase fractions and joules
+            assert!(rep.energy_j > 0.0);
+            std::hint::black_box((rep.phase_fraction, rep.energy_j))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_breakdown);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for Fig. 11: SQT conversion speedup (a) and
+//! model-vs-simulator agreement (b).
+
+use bench::experiments as ex;
+use criterion::{criterion_group, criterion_main, Criterion};
+use drim_ann::config::EngineConfig;
+use drim_ann::perf_model::{predict, BitWidths, WorkloadShape};
+use upmem_sim::PimArch;
+
+fn bench_fig11(c: &mut Criterion) {
+    let scale = ex::PaperScale::quick();
+    let desc = datasets::catalog::sift100m();
+    let index = ex::paper_index(1 << 13, 32);
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("sqt_on_vs_off_pair", |b| {
+        b.iter(|| {
+            let mut on = EngineConfig::drim(index);
+            on.sqt = true;
+            let mut off = EngineConfig::drim(index);
+            off.sqt = false;
+            let t_on = ex::drim_report(&desc, on, PimArch::upmem_sc25(), &scale)
+                .timing
+                .pim_s();
+            let t_off = ex::drim_report(&desc, off, PimArch::upmem_sc25(), &scale)
+                .timing
+                .pim_s();
+            assert!(t_off > t_on, "SQT must help: {t_off} vs {t_on}");
+            std::hint::black_box(t_off / t_on)
+        })
+    });
+    g.bench_function("perf_model_predict", |b| {
+        let shape = WorkloadShape::new(
+            desc.n_full,
+            scale.batch,
+            desc.dim,
+            &index,
+            BitWidths::u8_regime(),
+        );
+        let host = upmem_sim::platform::procs::xeon_silver_4216();
+        b.iter(|| std::hint::black_box(predict(&shape, &PimArch::upmem_sc25(), &host, true).qps))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

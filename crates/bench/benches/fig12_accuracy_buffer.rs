@@ -1,0 +1,56 @@
+//! Criterion bench for Fig. 12: DSE under an accuracy constraint (a) and
+//! the WRAM buffer optimization (b).
+
+use bench::experiments as ex;
+use criterion::{criterion_group, criterion_main, Criterion};
+use drim_ann::config::EngineConfig;
+use drim_ann::dse::{self, ParamSpace};
+use upmem_sim::PimArch;
+
+fn bench_fig12(c: &mut Criterion) {
+    let scale = ex::PaperScale::quick();
+    let desc = datasets::catalog::sift100m();
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("dse_proxy_16_iters", |b| {
+        b.iter(|| {
+            let mut proxy = dse::ProxyAccuracy::for_dim(128);
+            let res = dse::optimize(
+                &ParamSpace::paper_default(),
+                desc.n_full,
+                desc.dim,
+                scale.batch,
+                &PimArch::upmem_sc25(),
+                &upmem_sim::platform::procs::xeon_silver_4216(),
+                &mut proxy,
+                0.8,
+                16,
+            );
+            assert!(res.best_recall >= 0.8);
+            std::hint::black_box(res.best_qps)
+        })
+    });
+    g.bench_function("wram_on_vs_off_pair", |b| {
+        let index = ex::paper_index(1 << 13, 32);
+        b.iter(|| {
+            let mut on = EngineConfig::drim(index);
+            on.wram_buffers = true;
+            let mut off = EngineConfig::drim(index);
+            off.wram_buffers = false;
+            let t_on = ex::drim_report(&desc, on, PimArch::upmem_sc25(), &scale)
+                .timing
+                .pim_s();
+            let t_off = ex::drim_report(&desc, off, PimArch::upmem_sc25(), &scale)
+                .timing
+                .pim_s();
+            let speedup = t_off / t_on;
+            // the WRAM:MRAM bandwidth ratio (4.72x) bounds the gain
+            assert!(speedup > 1.0 && speedup < 5.0, "speedup {speedup}");
+            std::hint::black_box(speedup)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig12);
+criterion_main!(benches);

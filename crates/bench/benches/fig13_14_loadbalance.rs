@@ -1,0 +1,60 @@
+//! Criterion bench for Figs. 13/14: the load-balance optimization stack
+//! under skewed traffic.
+
+use bench::experiments as ex;
+use criterion::{criterion_group, criterion_main, Criterion};
+use drim_ann::config::EngineConfig;
+use drim_ann::trace::{TraceRunner, TraceSpec};
+use upmem_sim::PimArch;
+
+fn hot_spec(scale: &ex::PaperScale) -> TraceSpec {
+    let mut d = datasets::catalog::sift100m();
+    d.zipf_s = 1.4;
+    let mut s = TraceSpec::for_dataset(&d, scale.batch);
+    s.heat_zipf = 1.4;
+    s
+}
+
+fn bench_loadbalance(c: &mut Criterion) {
+    let scale = ex::PaperScale::quick();
+    let index = ex::paper_index(1 << 13, 32);
+    let mut g = c.benchmark_group("fig13_14");
+    g.sample_size(10);
+    g.bench_function("naive_vs_full_stack", |b| {
+        b.iter(|| {
+            let mut naive = TraceRunner::build(
+                hot_spec(&scale),
+                EngineConfig::naive(index),
+                PimArch::upmem_sc25(),
+                scale.ndpus,
+            );
+            let mut full = TraceRunner::build(
+                hot_spec(&scale),
+                EngineConfig::drim(index),
+                PimArch::upmem_sc25(),
+                scale.ndpus,
+            );
+            let t_naive = naive.run_batch(1).timing.pim_s();
+            let t_full = full.run_batch(1).timing.pim_s();
+            assert!(t_naive > t_full, "balance must help");
+            std::hint::black_box(t_naive / t_full)
+        })
+    });
+    g.bench_function("partition_sweep_point", |b| {
+        b.iter(|| {
+            let mut cfg = EngineConfig::drim(index);
+            cfg.split_granularity = Some(20_000);
+            let mut runner = TraceRunner::build(
+                hot_spec(&scale),
+                cfg,
+                PimArch::upmem_sc25(),
+                scale.ndpus,
+            );
+            std::hint::black_box(runner.run_batch(1).timing.pim_s())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_loadbalance);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 15: DRIM-ANN scaled to HBM-PIM and AiM.
+
+use bench::experiments as ex;
+use criterion::{criterion_group, criterion_main, Criterion};
+use drim_ann::config::EngineConfig;
+use upmem_sim::platform::Platform;
+
+fn bench_platforms(c: &mut Criterion) {
+    let scale = ex::PaperScale::quick();
+    let desc = datasets::catalog::sift100m();
+    let index = ex::paper_index(1 << 13, 32);
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    for platform in Platform::ALL {
+        g.bench_function(format!("trace_{}", platform.name()), |b| {
+            b.iter(|| {
+                let qps = ex::drim_qps(
+                    &desc,
+                    EngineConfig::drim(index),
+                    platform.arch(),
+                    &scale,
+                );
+                std::hint::black_box(qps)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_platforms);
+criterion_main!(benches);

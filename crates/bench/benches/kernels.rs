@@ -1,0 +1,85 @@
+//! Kernel micro-benchmarks: the hot loops of the simulated DPU pipeline.
+//! These measure *simulator* throughput (how fast we can simulate), and
+//! their cost-meter assertions double as regression guards on the modelled
+//! cycle counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drim_ann::config::DataBits;
+use drim_ann::kernels::{dc, lc, KernelCtx};
+use drim_ann::sqt::Sqt;
+use drim_ann::wram::WramPlacement;
+use upmem_sim::meter::PhaseMeter;
+use upmem_sim::IsaCosts;
+
+fn bench_kernels(c: &mut Criterion) {
+    let placement = WramPlacement::none();
+    let costs = IsaCosts::upmem();
+    let ctx = KernelCtx {
+        costs: &costs,
+        dma_burst: 8,
+        bits: DataBits::B8,
+        placement: &placement,
+    };
+
+    let mut g = c.benchmark_group("kernels");
+
+    // LC: SQT vs native multiply (the Fig. 11a ablation, micro form)
+    let (m, cb, dsub) = (16usize, 256usize, 8usize);
+    let residual: Vec<u8> = (0..m * dsub).map(|i| (i * 7 % 256) as u8).collect();
+    let codebooks: Vec<u8> = (0..m * cb * dsub).map(|i| (i * 13 % 256) as u8).collect();
+    g.bench_function("lc_sqt", |b| {
+        b.iter(|| {
+            let mut meter = PhaseMeter::default();
+            let mut sqt = Sqt::for_u8();
+            let mut lut = Vec::new();
+            lc::run(&ctx, &mut meter, &residual, &codebooks, m, cb, dsub, Some(&mut sqt), &mut lut);
+            std::hint::black_box((lut, meter.cycles))
+        })
+    });
+    g.bench_function("lc_multiply", |b| {
+        b.iter(|| {
+            let mut meter = PhaseMeter::default();
+            let mut lut = Vec::new();
+            lc::run(&ctx, &mut meter, &residual, &codebooks, m, cb, dsub, None, &mut lut);
+            std::hint::black_box((lut, meter.cycles))
+        })
+    });
+
+    // DC scan over 4096 points
+    let codes: Vec<u16> = (0..4096 * m).map(|i| (i % cb) as u16).collect();
+    let lut: Vec<u32> = (0..m * cb).map(|i| (i * 31 % 10_000) as u32).collect();
+    g.bench_function("dc_scan_4096", |b| {
+        b.iter(|| {
+            let mut meter = PhaseMeter::default();
+            let mut out = Vec::new();
+            dc::run(&ctx, &mut meter, &codes, m, cb, &lut, u64::MAX, &mut out);
+            std::hint::black_box(out.len())
+        })
+    });
+
+    // top-k structures
+    g.bench_function("bounded_heap_10_of_4096", |b| {
+        b.iter(|| {
+            let mut heap = ann_core::topk::BoundedMaxHeap::new(10);
+            for i in 0..4096u64 {
+                let d = ((i.wrapping_mul(2654435761)) % 100_000) as f32;
+                heap.push(ann_core::topk::Neighbor::new(i, d));
+            }
+            std::hint::black_box(heap.into_sorted())
+        })
+    });
+    g.bench_function("bitonic_sort_1024", |b| {
+        b.iter(|| {
+            let mut xs: Vec<f32> = (0..1024)
+                .map(|i| ((i * 2654435761u64 as usize) % 100_000) as f32)
+                .collect();
+            ann_core::topk::bitonic_sort(&mut xs);
+            std::hint::black_box(xs)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

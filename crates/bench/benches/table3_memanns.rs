@@ -1,0 +1,33 @@
+//! Criterion bench for Table 3: the SIFT1B trace at the MemANNS comparison
+//! point (1,018 DPUs).
+
+use bench::experiments as ex;
+use criterion::{criterion_group, criterion_main, Criterion};
+use drim_ann::config::EngineConfig;
+use upmem_sim::PimArch;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut scale = ex::PaperScale::quick();
+    scale.ndpus = 1018;
+    let desc = datasets::catalog::sift1b();
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("sift1b_trace_1018_dpus", |b| {
+        b.iter(|| {
+            let qps = ex::drim_qps(
+                &desc,
+                EngineConfig::drim(ex::paper_index(1 << 14, 96)),
+                PimArch::upmem_sc25(),
+                &scale,
+            );
+            std::hint::black_box(qps)
+        })
+    });
+    g.bench_function("memanns_scaling", |b| {
+        b.iter(|| std::hint::black_box(baselines::memanns::sift1b_reported().scaled_to(1018)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! `repro` — regenerate every table and figure of the DRIM-ANN paper.
+//!
+//! ```text
+//! repro [--full|--quick] [table1|fig2|fig7|fig8|fig9|fig10|fig11a|fig11b|
+//!        fig12a|fig12b|fig13|fig14|fig15|table3|all]
+//! ```
+//!
+//! Output: paper-style text tables on stdout plus CSVs under `results/`.
+
+use bench::experiments as ex;
+use bench::table::Table;
+use datasets::catalog;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = ex::PaperScale::default();
+    let mut targets = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--full" => scale = ex::PaperScale::full(),
+            "--quick" => scale = ex::PaperScale::quick(),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() || targets.iter().any(|t| t == "all") {
+        targets = vec![
+            "table1", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11a", "fig11b", "fig12a",
+            "fig12b", "fig13", "fig14", "fig15", "table3", "ablations",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+    }
+
+    let outdir = PathBuf::from("results");
+    let emit = |name: &str, t: Table| {
+        println!("{}", t.render());
+        if let Err(e) = t.write_csv(&outdir, name) {
+            eprintln!("warning: could not write {name}.csv: {e}");
+        }
+    };
+
+    for target in targets {
+        let t0 = std::time::Instant::now();
+        match target.as_str() {
+            "table1" => emit("table1", ex::table1()),
+            "fig2" => emit("fig2", ex::fig2()),
+            "fig7" => emit("fig7", ex::fig7_8(&catalog::sift100m(), &scale)),
+            "fig8" => emit("fig8", ex::fig7_8(&catalog::deep100m(), &scale)),
+            "fig9" => emit("fig9", ex::fig9(&scale)),
+            "fig10" => emit("fig10", ex::fig10(&scale)),
+            "fig11a" => emit("fig11a", ex::fig11a(&scale)),
+            "fig11b" => emit("fig11b", ex::fig11b(&scale)),
+            "fig12a" => emit("fig12a", ex::fig12a(&scale)),
+            "fig12b" => emit("fig12b", ex::fig12b(&scale)),
+            "fig13" => emit("fig13", ex::fig13(&scale)),
+            "fig14" => {
+                emit("fig14a", ex::fig14a(&scale));
+                emit("fig14b", ex::fig14b(&scale));
+            }
+            "fig15" => emit("fig15", ex::fig15(&scale)),
+            "table3" => emit("table3", ex::table3(&scale)),
+            "ablations" => emit("ablations", ex::ablations(&scale)),
+            other => eprintln!("unknown target `{other}`"),
+        }
+        eprintln!("[{target} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
+    }
+}

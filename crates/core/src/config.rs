@@ -1,0 +1,211 @@
+//! Engine configuration: the tunable index parameters of the paper's
+//! Table 2 plus every optimization toggle the evaluation ablates.
+
+use upmem_sim::tasklet::LockPolicy;
+
+/// Quantization bit-width regime for residuals/codebooks on the DPUs.
+///
+/// Decides the squaring-LUT layout: 8-bit operands need a 256-entry SQT that
+/// fits entirely in WRAM; 16-bit operands need a 64Ki-entry SQT of which only
+/// a hot window is WRAM-resident (paper Section 3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DataBits {
+    /// 8-bit integers (the paper's main regime: SIFT and quantized DEEP).
+    #[default]
+    B8,
+    /// 16-bit integers.
+    B16,
+}
+
+impl DataBits {
+    /// Bytes per scalar.
+    pub fn bytes(self) -> u64 {
+        match self {
+            DataBits::B8 => 1,
+            DataBits::B16 => 2,
+        }
+    }
+}
+
+/// The tunable index parameters `(K, P, C, M, CB)` of paper Table 2.
+///
+/// `C` (mean cluster population) is controlled through `nlist`:
+/// `C = N / nlist` for a corpus of `N` vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexConfig {
+    /// `K`: neighbors returned per query.
+    pub k: usize,
+    /// `P` (`nprobe`): clusters scanned per query.
+    pub nprobe: usize,
+    /// Number of coarse clusters (`C = N / nlist`).
+    pub nlist: usize,
+    /// `M`: PQ sub-quantizers.
+    pub m: usize,
+    /// `CB`: codebook entries per subspace.
+    pub cb: usize,
+}
+
+impl IndexConfig {
+    /// The configuration of the paper's Fig. 7(a): nlist=2^14, nprobe=96,
+    /// M=16, CB=256, recall@10.
+    pub fn paper_default() -> Self {
+        IndexConfig {
+            k: 10,
+            nprobe: 96,
+            nlist: 1 << 14,
+            m: 16,
+            cb: 256,
+        }
+    }
+
+    /// Mean cluster population for a corpus of `n` vectors.
+    pub fn mean_cluster_size(&self, n: u64) -> f64 {
+        n as f64 / self.nlist as f64
+    }
+}
+
+/// Cluster-slice allocation policy across DPUs (paper Section 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocPolicy {
+    /// Slices assigned to DPUs in order, ignoring heat — the imbalanced
+    /// baseline of Fig. 13.
+    RoundRobin,
+    /// Heat-balanced greedy allocation plus the co-location exchange pass
+    /// (the paper's "mixed layout").
+    #[default]
+    HeatBalanced,
+}
+
+/// Runtime query-to-DPU scheduling policy (paper Section 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Every task runs on its cluster's primary replica.
+    Static,
+    /// Greedy coldest-replica scheduling with `th3` postponement.
+    #[default]
+    Greedy,
+}
+
+/// Complete engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Index parameters.
+    pub index: IndexConfig,
+    /// Replace squarings with the SQT (multiplier-less conversion,
+    /// Section 3.1). Off = native 32-cycle multiplies.
+    pub sqt: bool,
+    /// Operand width on the DPUs.
+    pub bits: DataBits,
+    /// Place hot data in WRAM (buffer optimization, Fig. 12b). Off = all
+    /// traffic at MRAM cost.
+    pub wram_buffers: bool,
+    /// Split oversized clusters into slices (Fig. 14a).
+    pub partition: bool,
+    /// Override the searched split threshold `th1` (points per slice).
+    pub split_granularity: Option<usize>,
+    /// Duplicate hot slices (Fig. 14b).
+    pub duplication: bool,
+    /// Cap on extra duplicate bytes per DPU (Fig. 14b sweep); `None` = fill
+    /// available MRAM.
+    pub dup_budget_bytes: Option<u64>,
+    /// Allocation policy.
+    pub allocation: AllocPolicy,
+    /// Runtime scheduling policy.
+    pub scheduling: SchedPolicy,
+    /// `th3`: tasks pushing a DPU beyond `(1 + th3) x` mean heat are
+    /// postponed to the next batch.
+    pub th3: f64,
+    /// Top-k lock policy (Section 6 "Lock pruning").
+    pub lock_policy: LockPolicy,
+    /// Tasklets per DPU.
+    pub tasklets: usize,
+    /// Queries per batch.
+    pub batch: usize,
+}
+
+impl EngineConfig {
+    /// All optimizations on — the DRIM-ANN configuration.
+    pub fn drim(index: IndexConfig) -> Self {
+        EngineConfig {
+            index,
+            sqt: true,
+            bits: DataBits::B8,
+            wram_buffers: true,
+            partition: true,
+            split_granularity: None,
+            duplication: true,
+            dup_budget_bytes: None,
+            allocation: AllocPolicy::HeatBalanced,
+            scheduling: SchedPolicy::Greedy,
+            th3: 0.15,
+            lock_policy: LockPolicy::Forwarding,
+            tasklets: 16,
+            batch: 256,
+        }
+    }
+
+    /// Everything off — the naive port the paper's ablations compare
+    /// against.
+    pub fn naive(index: IndexConfig) -> Self {
+        EngineConfig {
+            index,
+            sqt: false,
+            bits: DataBits::B8,
+            wram_buffers: false,
+            partition: false,
+            split_granularity: None,
+            duplication: false,
+            dup_budget_bytes: None,
+            allocation: AllocPolicy::RoundRobin,
+            scheduling: SchedPolicy::Static,
+            th3: f64::INFINITY,
+            lock_policy: LockPolicy::LockAlways,
+            tasklets: 16,
+            batch: 256,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_5() {
+        let c = IndexConfig::paper_default();
+        assert_eq!(c.nlist, 16384);
+        assert_eq!(c.nprobe, 96);
+        assert_eq!(c.m, 16);
+        assert_eq!(c.cb, 256);
+        assert_eq!(c.k, 10);
+    }
+
+    #[test]
+    fn mean_cluster_size_is_n_over_nlist() {
+        let c = IndexConfig::paper_default();
+        assert!((c.mean_cluster_size(100_000_000) - 6103.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn drim_config_enables_everything() {
+        let cfg = EngineConfig::drim(IndexConfig::paper_default());
+        assert!(cfg.sqt && cfg.wram_buffers && cfg.partition && cfg.duplication);
+        assert_eq!(cfg.allocation, AllocPolicy::HeatBalanced);
+        assert_eq!(cfg.scheduling, SchedPolicy::Greedy);
+        assert_eq!(cfg.lock_policy, LockPolicy::Forwarding);
+    }
+
+    #[test]
+    fn naive_config_disables_everything() {
+        let cfg = EngineConfig::naive(IndexConfig::paper_default());
+        assert!(!cfg.sqt && !cfg.wram_buffers && !cfg.partition && !cfg.duplication);
+        assert_eq!(cfg.allocation, AllocPolicy::RoundRobin);
+        assert_eq!(cfg.scheduling, SchedPolicy::Static);
+    }
+
+    #[test]
+    fn bits_bytes() {
+        assert_eq!(DataBits::B8.bytes(), 1);
+        assert_eq!(DataBits::B16.bytes(), 2);
+    }
+}

@@ -1,0 +1,235 @@
+//! Gaussian-process regression with a Matérn-5/2 kernel — the accuracy
+//! surrogate of the DSE (the paper models accuracy "by Matérn kernel
+//! function ... input to the Gaussian process as the surrogate model").
+//!
+//! Small and self-contained: dense Cholesky factorization is plenty for the
+//! few dozen observations a DSE run accumulates.
+
+/// Matérn-5/2 kernel with unit signal variance:
+/// `k(r) = (1 + sqrt(5) r / l + 5 r^2 / (3 l^2)) exp(-sqrt(5) r / l)`.
+pub fn matern52(r: f64, lengthscale: f64) -> f64 {
+    let s = 5.0f64.sqrt() * r / lengthscale;
+    (1.0 + s + s * s / 3.0) * (-s).exp()
+}
+
+/// Euclidean distance between two points.
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// A fitted Gaussian process.
+#[derive(Debug, Clone)]
+pub struct Gp {
+    xs: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    chol: Vec<Vec<f64>>, // lower-triangular L of K + noise I
+    mean_y: f64,
+    lengthscale: f64,
+}
+
+impl Gp {
+    /// Fit on observations `(xs, ys)` with the given lengthscale and noise.
+    ///
+    /// Returns `None` when `xs` is empty or the kernel matrix is not
+    /// positive definite even after jitter.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], lengthscale: f64, noise: f64) -> Option<Gp> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return None;
+        }
+        let n = xs.len();
+        let mean_y = ys.iter().sum::<f64>() / n as f64;
+        let centered: Vec<f64> = ys.iter().map(|y| y - mean_y).collect();
+
+        let mut k = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                k[i][j] = matern52(dist(&xs[i], &xs[j]), lengthscale);
+            }
+            k[i][i] += noise.max(1e-9);
+        }
+        let chol = cholesky(&k)?;
+        let alpha = chol_solve(&chol, &centered);
+        Some(Gp {
+            xs: xs.to_vec(),
+            alpha,
+            chol,
+            mean_y,
+            lengthscale,
+        })
+    }
+
+    /// Predictive mean and variance at `x`.
+    pub fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let n = self.xs.len();
+        let kstar: Vec<f64> = (0..n)
+            .map(|i| matern52(dist(&self.xs[i], x), self.lengthscale))
+            .collect();
+        let mean = self.mean_y
+            + kstar
+                .iter()
+                .zip(self.alpha.iter())
+                .map(|(&a, &b)| a * b)
+                .sum::<f64>();
+        // var = k(x,x) - k*ᵀ (K+σI)^-1 k* via triangular solve
+        let v = forward_sub(&self.chol, &kstar);
+        let var = (1.0 - v.iter().map(|&x| x * x).sum::<f64>()).max(1e-12);
+        (mean, var)
+    }
+
+    /// `P(f(x) >= threshold)` under the predictive Gaussian.
+    pub fn prob_at_least(&self, x: &[f64], threshold: f64) -> f64 {
+        let (mean, var) = self.predict(x);
+        let z = (mean - threshold) / var.sqrt();
+        normal_cdf(z)
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / 2.0f64.sqrt()))
+}
+
+/// Standard normal PDF.
+pub fn normal_pdf(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+fn erf(x: f64) -> f64 {
+    // Abramowitz & Stegun 7.1.26, |error| <= 1.5e-7
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Dense Cholesky: `A = L Lᵀ`, `None` if not positive definite.
+fn cholesky(a: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+    let n = a.len();
+    let mut l = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i][j];
+            for k in 0..j {
+                sum -= l[i][k] * l[j][k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i][j] = sum.sqrt();
+            } else {
+                l[i][j] = sum / l[j][j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solve `L y = b`.
+fn forward_sub(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for j in 0..i {
+            sum -= l[i][j] * y[j];
+        }
+        y[i] = sum / l[i][i];
+    }
+    y
+}
+
+/// Solve `(L Lᵀ) x = b`.
+fn chol_solve(l: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let y = forward_sub(l, b);
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for j in (i + 1)..n {
+            sum -= l[j][i] * x[j];
+        }
+        x[i] = sum / l[i][i];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matern_properties() {
+        assert!((matern52(0.0, 1.0) - 1.0).abs() < 1e-12);
+        assert!(matern52(1.0, 1.0) < 1.0);
+        assert!(matern52(2.0, 1.0) < matern52(1.0, 1.0));
+        // longer lengthscale -> slower decay
+        assert!(matern52(1.0, 10.0) > matern52(1.0, 1.0));
+    }
+
+    #[test]
+    fn gp_interpolates_training_points() {
+        let xs = vec![vec![0.0], vec![0.5], vec![1.0]];
+        let ys = vec![0.0, 1.0, 0.0];
+        let gp = Gp::fit(&xs, &ys, 0.3, 1e-6).unwrap();
+        for (x, &y) in xs.iter().zip(ys.iter()) {
+            let (mean, var) = gp.predict(x);
+            assert!((mean - y).abs() < 0.02, "mean {mean} vs {y}");
+            assert!(var < 0.01);
+        }
+    }
+
+    #[test]
+    fn gp_uncertainty_grows_away_from_data() {
+        let xs = vec![vec![0.0], vec![1.0]];
+        let ys = vec![0.0, 1.0];
+        let gp = Gp::fit(&xs, &ys, 0.3, 1e-6).unwrap();
+        let (_, var_near) = gp.predict(&[0.05]);
+        let (_, var_far) = gp.predict(&[3.0]);
+        assert!(var_far > 10.0 * var_near, "near {var_near} far {var_far}");
+    }
+
+    #[test]
+    fn prob_at_least_is_calibrated() {
+        let xs = vec![vec![0.0], vec![1.0]];
+        let ys = vec![0.0, 1.0];
+        let gp = Gp::fit(&xs, &ys, 0.5, 1e-6).unwrap();
+        // at the high observation, P(f >= 0.5) should be ~1
+        assert!(gp.prob_at_least(&[1.0], 0.5) > 0.95);
+        // at the low observation, near 0
+        assert!(gp.prob_at_least(&[0.0], 0.5) < 0.05);
+    }
+
+    #[test]
+    fn normal_cdf_sanity() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        assert!(normal_cdf(3.0) > 0.998);
+        assert!(normal_cdf(-3.0) < 0.002);
+        assert!((normal_cdf(1.0) - 0.8413).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fit_rejects_empty_and_mismatched() {
+        assert!(Gp::fit(&[], &[], 1.0, 1e-6).is_none());
+        assert!(Gp::fit(&[vec![0.0]], &[1.0, 2.0], 1.0, 1e-6).is_none());
+    }
+
+    #[test]
+    fn cholesky_solves_linear_system() {
+        // A = [[4,2],[2,3]], b = [2, 5] -> x = [-0.5, 2.0]
+        let a = vec![vec![4.0, 2.0], vec![2.0, 3.0]];
+        let l = cholesky(&a).unwrap();
+        let x = chol_solve(&l, &[2.0, 5.0]);
+        assert!((x[0] + 0.5).abs() < 1e-9);
+        assert!((x[1] - 2.0).abs() < 1e-9);
+    }
+}

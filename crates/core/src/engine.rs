@@ -1,0 +1,669 @@
+//! The DRIM-ANN engine: build an IVF-PQ index, lay it out over the DPUs,
+//! and execute query batches through the five-phase pipeline (paper Fig. 4).
+//!
+//! Execution per batch: the host runs cluster locating and the greedy
+//! scheduler; every DPU then (conceptually in parallel, simulated with
+//! rayon) runs RC -> LC -> DC -> TS over its assigned (query, slice) tasks,
+//! reusing the residual and LUT across slices of the same cluster when they
+//! were co-located; finally the per-DPU top-k lists are gathered and merged
+//! on the host. The returned [`BatchReport`] carries the simulated wall
+//! clock, energy, imbalance and phase breakdown.
+
+use crate::config::{EngineConfig, SchedPolicy};
+use crate::kernels::{cl, dc, lc, rc, ts, KernelCtx};
+use crate::layout::{heat::HeatProfile, ClusterInfo, LayoutPlan};
+use crate::perf_model::{BitWidths, WorkloadShape};
+use crate::report::BatchReport;
+use crate::sched::{self, Policy, Task};
+use crate::sqt::Sqt;
+use crate::wram::{plan as wram_plan, WramPlacement};
+use ann_core::ivf::{IvfPqIndex, IvfPqParams};
+use ann_core::quantize::ScalarQuantizer;
+use ann_core::topk::{merge_topk, BoundedMaxHeap, Neighbor};
+use ann_core::vector::VecSet;
+use rayon::prelude::*;
+use upmem_sim::meter::{DpuMeter, Phase};
+use upmem_sim::proc::ProcModel;
+use upmem_sim::system::PimSystem;
+use upmem_sim::tasklet::LockStats;
+use upmem_sim::PimArch;
+
+/// Per-slice PIM-resident payload: ids + codes, sliced out of the IVF lists
+/// according to the layout plan.
+#[derive(Debug, Clone, Default)]
+struct SliceData {
+    ids: Vec<u32>,
+    codes: Vec<u16>,
+}
+
+/// Build-time error.
+#[derive(Debug)]
+pub enum BuildError {
+    /// A DPU's MRAM cannot hold its assigned slices.
+    MramOverflow(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::MramOverflow(msg) => write!(f, "MRAM overflow: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// The assembled engine.
+pub struct DrimEngine {
+    /// Engine configuration.
+    pub cfg: EngineConfig,
+    /// Host-side IVF-PQ index (coarse centroids live here).
+    pub ivf: IvfPqIndex,
+    /// The layout plan in force.
+    pub layout: LayoutPlan,
+    /// The simulated PIM system.
+    pub system: PimSystem,
+    /// WRAM residency decisions.
+    pub placement: WramPlacement,
+    /// Host processor model (runs CL + merge).
+    pub host: ProcModel,
+    /// Workload shape for the model-driven parts.
+    pub shape: WorkloadShape,
+    /// Quantizer mapping f32 residual space to u8 DPU operands.
+    rquant: ScalarQuantizer,
+    /// Quantized codebooks, `m * cb * dsub`.
+    qcodebooks: Vec<u8>,
+    /// Per canonical slice: the PIM payload.
+    slice_data: Vec<SliceData>,
+    /// Coarse centroids in the PQ's working space: for OPQ these are the
+    /// *rotated* centroids, so the DPU residual `R q - R c = R (q - c)`
+    /// lands in codebook space without per-pair rotation work (the
+    /// rotation folds into CL on the host).
+    dpu_centroids: VecSet<f32>,
+}
+
+impl DrimEngine {
+    /// Build the engine over `data`.
+    ///
+    /// `profile_queries` feed the heat profiler (paper: heat is "profiled
+    /// by random data distribution patterns"); pass a sample of expected
+    /// traffic or `None` for size-proportional heat.
+    pub fn build(
+        data: &VecSet<f32>,
+        cfg: EngineConfig,
+        arch: PimArch,
+        ndpus: usize,
+        profile_queries: Option<&VecSet<f32>>,
+    ) -> Result<DrimEngine, BuildError> {
+        let params = IvfPqParams::new(cfg.index.nlist)
+            .m(cfg.index.m)
+            .cb(cfg.index.cb);
+        let ivf = IvfPqIndex::build(data, &params);
+        Self::from_index(ivf, data, cfg, arch, ndpus, profile_queries)
+    }
+
+    /// Build from a pre-built index (lets callers reuse one index across
+    /// many engine configurations, as the ablation figures do).
+    pub fn from_index(
+        ivf: IvfPqIndex,
+        data: &VecSet<f32>,
+        cfg: EngineConfig,
+        arch: PimArch,
+        ndpus: usize,
+        profile_queries: Option<&VecSet<f32>>,
+    ) -> Result<DrimEngine, BuildError> {
+        let dim = data.dim();
+        let pq = ivf.quant.pq();
+
+        // Centroids in the quantizer's working space: rotated for OPQ,
+        // verbatim otherwise. Rotating centroids once at build time (and
+        // queries once per batch) gives the DPUs rotated residuals for free.
+        let dpu_centroids = match &ivf.quant {
+            ann_core::ivf::PqModel::Rotated(o) => {
+                let mut rc = VecSet::with_capacity(dim, ivf.coarse.len());
+                for c in ivf.coarse.iter() {
+                    rc.push(&o.rotation.matvec(c));
+                }
+                rc
+            }
+            _ => ivf.coarse.clone(),
+        };
+        let to_pq_space = |v: &[f32]| -> Vec<f32> {
+            match &ivf.quant {
+                ann_core::ivf::PqModel::Rotated(o) => o.rotation.matvec(v),
+                _ => v.to_vec(),
+            }
+        };
+
+        // Residual-space quantizer: cover residuals and codebook values with
+        // one affine codec so integer differences are meaningful. Fit on
+        // the codebook values plus a sample of actual residuals (in PQ
+        // working space).
+        let mut extremes = VecSet::new(1);
+        for &v in pq.codebooks_flat() {
+            extremes.push(&[v]);
+        }
+        let sample_stride = (data.len() / 512).max(1);
+        let mut rbuf = vec![0.0f32; dim];
+        for i in (0..data.len()).step_by(sample_stride) {
+            let (c, _) = ann_core::kmeans::nearest_centroid(data.get(i), &ivf.coarse);
+            ann_core::ivf::residual_into(data.get(i), ivf.coarse.get(c as usize), &mut rbuf);
+            for v in to_pq_space(&rbuf) {
+                extremes.push(&[v]);
+            }
+        }
+        // widen by 10 % so unseen residual tails still land in range
+        let rquant = widen(ScalarQuantizer::fit_u8(&extremes), 1.10);
+        let qcodebooks: Vec<u8> = pq
+            .codebooks_flat()
+            .iter()
+            .map(|&v| rquant.encode(v) as u8)
+            .collect();
+
+        // Heat profile from sample traffic.
+        let profile = profile_queries.map(|qs| {
+            let mut p = HeatProfile::default();
+            for qi in 0..qs.len() {
+                let probed: Vec<u32> = ivf
+                    .locate(qs.get(qi), cfg.index.nprobe)
+                    .into_iter()
+                    .map(|(c, _)| c)
+                    .collect();
+                p.record(&probed);
+            }
+            p.probes.resize(cfg.index.nlist, 0);
+            p
+        });
+        let clusters: Vec<ClusterInfo> = crate::layout::heat::cluster_heat(
+            &ivf.cluster_sizes(),
+            profile.as_ref(),
+            cfg.index.nprobe,
+        );
+
+        // Layout over the DPUs.
+        let bytes_per_point = (cfg.index.m * pq.code_bytes() + 4) as u64;
+        let reserved = qcodebooks.len() as u64 + (dim as u64 * 4 * cfg.index.nlist as u64 / ndpus as u64);
+        let mram_budget = arch.mram_bytes.saturating_sub(reserved);
+        let layout = LayoutPlan::build(&clusters, ndpus, &cfg, bytes_per_point, mram_budget);
+        layout
+            .validate(&clusters)
+            .map_err(BuildError::MramOverflow)?;
+
+        // Slice payloads.
+        let slice_data: Vec<SliceData> = layout
+            .slices
+            .iter()
+            .map(|s| {
+                let list = &ivf.lists[s.cluster as usize];
+                let m = cfg.index.m;
+                SliceData {
+                    ids: list.ids[s.start..s.start + s.len].to_vec(),
+                    codes: list.codes[s.start * m..(s.start + s.len) * m].to_vec(),
+                }
+            })
+            .collect();
+
+        // Simulated system + MRAM accounting.
+        let mut system = PimSystem::new(arch.clone(), ndpus);
+        system.tasklets = cfg.tasklets;
+        for (d, dpu) in system.dpus.iter_mut().enumerate() {
+            dpu.mram
+                .alloc("codebooks", qcodebooks.len() as u64)
+                .map_err(|e| BuildError::MramOverflow(e.to_string()))?;
+            let bytes: u64 = layout.dpu_slices[d]
+                .iter()
+                .map(|&si| layout.slices[si].len as u64 * bytes_per_point)
+                .sum();
+            dpu.mram
+                .alloc("slices", bytes)
+                .map_err(|e| BuildError::MramOverflow(e.to_string()))?;
+        }
+
+        // Workload shape + WRAM plan.
+        let shape = WorkloadShape::new(
+            ivf.len() as u64,
+            cfg.batch,
+            dim,
+            &cfg.index,
+            BitWidths::u8_regime(),
+        );
+        let placement = if cfg.wram_buffers {
+            let sqt_bytes = Sqt::for_bits(cfg.bits).wram_bytes();
+            let local_clusters = layout.dpu_slices.first().map(|s| s.len()).unwrap_or(0);
+            let capacity = arch.wram_bytes.saturating_sub(cfg.tasklets as u64 * 1024);
+            wram_plan(
+                &crate::wram::standard_candidates(&shape, sqt_bytes, local_clusters, ndpus),
+                capacity,
+            )
+        } else {
+            WramPlacement::none()
+        };
+
+        Ok(DrimEngine {
+            cfg,
+            ivf,
+            layout,
+            system,
+            placement,
+            host: upmem_sim::platform::procs::xeon_silver_4216(),
+            shape,
+            rquant,
+            qcodebooks,
+            slice_data,
+            dpu_centroids,
+        })
+    }
+
+    /// Number of DPUs in the simulated system.
+    pub fn ndpus(&self) -> usize {
+        self.system.len()
+    }
+
+    /// Predicted per-task scan cost in seconds (the scheduler's heat unit,
+    /// "estimated by the latency calculated by Equation 1-12").
+    fn task_cost(&self, slice_len: usize) -> f64 {
+        sched::task_cost_s(
+            slice_len,
+            self.cfg.index.m,
+            self.cfg.index.cb,
+            self.ivf.quant.pq().dsub,
+            self.cfg.index.k,
+            self.cfg.sqt,
+            &self.system.arch.costs,
+            self.system.arch.freq_hz,
+        )
+    }
+
+    /// Execute one query batch. Returns per-query neighbors plus the report.
+    pub fn search_batch(&mut self, queries: &VecSet<f32>) -> (Vec<Vec<Neighbor>>, BatchReport) {
+        let k = self.cfg.index.k;
+        let ndpus = self.system.len();
+        self.system.reset_meters();
+
+        // --- CL (host) ---
+        let cl_out = cl::run(
+            queries,
+            &self.ivf.coarse,
+            self.cfg.index.nprobe,
+            &self.shape,
+            &self.host,
+        );
+
+        // --- schedule ---
+        let tasks = sched::expand_tasks(&cl_out.probes, &self.layout, |len| self.task_cost(len));
+        let policy = match self.cfg.scheduling {
+            SchedPolicy::Static => Policy::Static,
+            SchedPolicy::Greedy => Policy::Greedy { th3: self.cfg.th3 },
+        };
+        let mut plan = sched::schedule(&tasks, &self.layout, ndpus, policy);
+        let postponed_count = plan.postponed.len();
+        // Postponed tasks run in a follow-up wave (the "next batch" of the
+        // paper); for result correctness we execute them now, on the same
+        // meters — the report still records how many were deferred.
+        while !plan.postponed.is_empty() {
+            let extra = sched::schedule_with_heat(
+                &plan.postponed,
+                &self.layout,
+                ndpus,
+                Policy::Greedy { th3: f64::INFINITY },
+                Some(&plan.heat),
+            );
+            for (d, ts_) in extra.per_dpu.into_iter().enumerate() {
+                plan.per_dpu[d].extend(ts_);
+            }
+            plan.heat = extra.heat;
+            plan.postponed = extra.postponed;
+        }
+
+        // --- DPU execution (parallel over DPUs) ---
+        // For OPQ the host rotates the query batch once (folded into CL);
+        // DPUs then work entirely in rotated space.
+        let dpu_queries: VecSet<f32> = match &self.ivf.quant {
+            ann_core::ivf::PqModel::Rotated(o) => {
+                let mut rq = VecSet::with_capacity(queries.dim(), queries.len());
+                for q in queries.iter() {
+                    rq.push(&o.rotation.matvec(q));
+                }
+                rq
+            }
+            _ => queries.clone(),
+        };
+        let outputs: Vec<DpuOutput> = plan
+            .per_dpu
+            .par_iter()
+            .enumerate()
+            .map(|(d, tasks)| self.run_dpu(d, tasks, &dpu_queries))
+            .collect();
+
+        // fold meters + stats back into the system
+        let mut lock = LockStats::default();
+        let mut sqt_hits = (0u64, 0u64);
+        let mut push_bytes = 0u64;
+        let mut gather_bytes = 0u64;
+        for out in &outputs {
+            self.system.dpus[out.dpu].meter.merge(&out.meter);
+            lock.locked_updates += out.lock.locked_updates;
+            lock.pruned += out.lock.pruned;
+            sqt_hits.0 += out.sqt_hits.0;
+            sqt_hits.1 += out.sqt_hits.1;
+            push_bytes += out.push_bytes;
+            gather_bytes += out.gather_bytes;
+        }
+
+        // --- merge on host ---
+        let mut per_query_lists: Vec<Vec<Vec<Neighbor>>> = vec![Vec::new(); queries.len()];
+        for out in outputs {
+            for (q, list) in out.results {
+                per_query_lists[q as usize].push(list);
+            }
+        }
+        let results: Vec<Vec<Neighbor>> = per_query_lists
+            .into_iter()
+            .map(|lists| merge_topk(&lists, k))
+            .collect();
+
+        // --- timing & report ---
+        let timing = self.system.batch_timing(
+            cl_out.host_s,
+            push_bytes / ndpus.max(1) as u64,
+            gather_bytes / ndpus.max(1) as u64,
+        );
+        let energy = self.system.energy_model().energy_j(timing.total_s());
+        let sqt_rate = if sqt_hits.0 + sqt_hits.1 == 0 {
+            1.0
+        } else {
+            sqt_hits.0 as f64 / (sqt_hits.0 + sqt_hits.1) as f64
+        };
+        let report = BatchReport::new(
+            queries.len(),
+            timing,
+            energy,
+            postponed_count,
+            lock,
+            sqt_rate,
+        );
+        (results, report)
+    }
+
+    /// Execute one DPU's task list.
+    fn run_dpu(&self, dpu: usize, tasks: &[Task], queries: &VecSet<f32>) -> DpuOutput {
+        let mut meter = DpuMeter::new();
+        let mut sqt = self.cfg.sqt.then(|| {
+            Sqt::for_bits_resident(self.cfg.bits, self.placement.is_resident("sqt"))
+        });
+        let costs = self.system.arch.costs.clone();
+        let ctx = KernelCtx {
+            costs: &costs,
+            // random accesses pay the burst x the PrIM-style derate
+            dma_burst: self.system.arch.dma_burst_bytes * self.system.arch.mram_random_penalty,
+            bits: self.cfg.bits,
+            placement: &self.placement,
+        };
+        let m = self.cfg.index.m;
+        let cb = self.cfg.index.cb;
+        let pq = self.ivf.quant.pq();
+        let dsub = pq.dsub;
+        let k = self.cfg.index.k;
+
+        // group tasks by (query, cluster) so RC + LC run once per group —
+        // the data reuse the allocation exchange pass enables
+        let mut groups: std::collections::BTreeMap<(u32, u32), Vec<usize>> = Default::default();
+        for t in tasks {
+            let cluster = self.layout.slices[t.slice].cluster;
+            groups.entry((t.query, cluster)).or_default().push(t.slice);
+        }
+
+        let mut heaps: std::collections::BTreeMap<u32, BoundedMaxHeap> = Default::default();
+        let mut lock = LockStats::default();
+        let mut residual_q = Vec::new();
+        let mut lut = Vec::new();
+        let mut scanned = Vec::new();
+        let mut push_bytes = 0u64;
+        let mut gather_bytes = 0u64;
+
+        for ((q, cluster), slices) in groups {
+            let query = queries.get(q as usize);
+            let centroid = self.dpu_centroids.get(cluster as usize);
+            push_bytes += (query.len() * 4 + 8 * slices.len()) as u64;
+
+            // RC
+            rc::run(
+                &ctx,
+                meter.phase_mut(Phase::Rc),
+                query,
+                centroid,
+                &self.rquant,
+                &mut residual_q,
+            );
+            // zero-pad residual to m * dsub (PQ pads internally too)
+            residual_q.resize(m * dsub, self.rquant.encode(0.0) as u8);
+
+            // LC
+            lc::run(
+                &ctx,
+                meter.phase_mut(Phase::Lc),
+                &residual_q,
+                &self.qcodebooks,
+                m,
+                cb,
+                dsub,
+                sqt.as_mut(),
+                &mut lut,
+            );
+
+            // DC + TS per slice
+            let heap = heaps.entry(q).or_insert_with(|| BoundedMaxHeap::new(k));
+            for &si in &slices {
+                let data = &self.slice_data[si];
+                let bound = match self.cfg.lock_policy {
+                    upmem_sim::tasklet::LockPolicy::Forwarding => {
+                        let b = heap.bound();
+                        if b.is_finite() {
+                            b as u64
+                        } else {
+                            u64::MAX
+                        }
+                    }
+                    upmem_sim::tasklet::LockPolicy::LockAlways => u64::MAX,
+                };
+                dc::run(
+                    &ctx,
+                    meter.phase_mut(Phase::Dc),
+                    &data.codes,
+                    m,
+                    cb,
+                    &lut,
+                    bound,
+                    &mut scanned,
+                );
+                let s = ts::run(
+                    &ctx,
+                    meter.phase_mut(Phase::Ts),
+                    &scanned,
+                    &data.ids,
+                    heap,
+                    k,
+                    self.cfg.lock_policy,
+                );
+                lock.locked_updates += s.locked_updates;
+                lock.pruned += s.pruned;
+            }
+        }
+
+        let results: Vec<(u32, Vec<Neighbor>)> = heaps
+            .into_iter()
+            .map(|(q, h)| {
+                let list = h.into_sorted();
+                gather_bytes += list.len() as u64 * 8;
+                (q, list)
+            })
+            .collect();
+
+        let sqt_hits = sqt
+            .as_ref()
+            .map(|s| (s.hits_wram, s.hits_mram))
+            .unwrap_or((0, 0));
+
+        DpuOutput {
+            dpu,
+            results,
+            meter,
+            lock,
+            sqt_hits,
+            push_bytes,
+            gather_bytes,
+        }
+    }
+}
+
+/// Widen a quantizer's range by `factor` around its center.
+fn widen(q: ScalarQuantizer, factor: f32) -> ScalarQuantizer {
+    let span = q.scale * (q.levels - 1) as f32;
+    let center = q.lo + span / 2.0;
+    let new_span = span * factor;
+    ScalarQuantizer {
+        lo: center - new_span / 2.0,
+        scale: new_span / (q.levels - 1) as f32,
+        levels: q.levels,
+    }
+}
+
+struct DpuOutput {
+    dpu: usize,
+    results: Vec<(u32, Vec<Neighbor>)>,
+    meter: DpuMeter,
+    lock: LockStats,
+    sqt_hits: (u64, u64),
+    push_bytes: u64,
+    gather_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexConfig;
+
+    fn small_workload() -> (VecSet<f32>, VecSet<f32>) {
+        let spec = datasets::SynthSpec::small("engine-test", 16, 3000, 11);
+        let data = datasets::generate(&spec);
+        let queries =
+            datasets::queries::generate_queries(&spec, 24, datasets::queries::QuerySkew::InDistribution, 5);
+        (data, queries)
+    }
+
+    fn small_cfg() -> EngineConfig {
+        let mut cfg = EngineConfig::drim(IndexConfig {
+            k: 10,
+            nprobe: 16,
+            nlist: 64,
+            m: 8,
+            cb: 32,
+        });
+        cfg.batch = 24;
+        cfg
+    }
+
+    #[test]
+    fn end_to_end_recall_beats_threshold() {
+        let (data, queries) = small_workload();
+        let mut engine =
+            DrimEngine::build(&data, small_cfg(), PimArch::upmem_sc25(), 8, None).unwrap();
+        let (results, report) = engine.search_batch(&queries);
+        assert_eq!(results.len(), queries.len());
+        let truth = ann_core::flat::ground_truth(&queries, &data, 10);
+        let recall = ann_core::recall::mean_recall(&results, &truth, 10);
+        assert!(recall > 0.6, "recall@10 = {recall}");
+        assert!(report.qps > 0.0);
+        assert!(report.timing.pim_s() > 0.0);
+    }
+
+    #[test]
+    fn engine_matches_host_ivf_recall() {
+        let (data, queries) = small_workload();
+        let cfg = small_cfg();
+        let mut engine =
+            DrimEngine::build(&data, cfg.clone(), PimArch::upmem_sc25(), 8, None).unwrap();
+        let (results, _) = engine.search_batch(&queries);
+        let truth = ann_core::flat::ground_truth(&queries, &data, 10);
+        let engine_recall = ann_core::recall::mean_recall(&results, &truth, 10);
+
+        let host_results: Vec<Vec<Neighbor>> = (0..queries.len())
+            .map(|qi| engine.ivf.search(queries.get(qi), cfg.index.nprobe, cfg.index.k))
+            .collect();
+        let host_recall = ann_core::recall::mean_recall(&host_results, &truth, 10);
+        // u8 quantization costs a little recall but must stay close
+        assert!(
+            engine_recall > host_recall - 0.15,
+            "engine {engine_recall} vs host {host_recall}"
+        );
+    }
+
+    #[test]
+    fn sqt_does_not_change_results() {
+        let (data, queries) = small_workload();
+        let mut cfg_on = small_cfg();
+        cfg_on.sqt = true;
+        let mut cfg_off = small_cfg();
+        cfg_off.sqt = false;
+        let mut e1 = DrimEngine::build(&data, cfg_on, PimArch::upmem_sc25(), 4, None).unwrap();
+        let mut e2 = DrimEngine::build(&data, cfg_off, PimArch::upmem_sc25(), 4, None).unwrap();
+        let (r1, rep1) = e1.search_batch(&queries);
+        let (r2, rep2) = e2.search_batch(&queries);
+        let ids = |rs: &Vec<Vec<Neighbor>>| -> Vec<Vec<u64>> {
+            rs.iter().map(|l| l.iter().map(|n| n.id).collect()).collect()
+        };
+        assert_eq!(ids(&r1), ids(&r2), "SQT is lossless");
+        // and it must be faster
+        assert!(
+            rep1.timing.pim_s() < rep2.timing.pim_s(),
+            "sqt {} vs mul {}",
+            rep1.timing.pim_s(),
+            rep2.timing.pim_s()
+        );
+    }
+
+    #[test]
+    fn wram_buffers_speed_up_the_batch() {
+        let (data, queries) = small_workload();
+        let mut on = small_cfg();
+        on.wram_buffers = true;
+        let mut off = small_cfg();
+        off.wram_buffers = false;
+        let mut e_on = DrimEngine::build(&data, on, PimArch::upmem_sc25(), 4, None).unwrap();
+        let mut e_off = DrimEngine::build(&data, off, PimArch::upmem_sc25(), 4, None).unwrap();
+        let (_, rep_on) = e_on.search_batch(&queries);
+        let (_, rep_off) = e_off.search_batch(&queries);
+        // at this small configuration LC is lookup-compute-bound, so the
+        // gain is modest; the full-scale Fig. 12b harness shows ~4.4x
+        assert!(
+            rep_off.timing.pim_s() > 1.3 * rep_on.timing.pim_s(),
+            "off {} on {}",
+            rep_off.timing.pim_s(),
+            rep_on.timing.pim_s()
+        );
+    }
+
+    #[test]
+    fn batch_report_is_consistent() {
+        let (data, queries) = small_workload();
+        let mut engine =
+            DrimEngine::build(&data, small_cfg(), PimArch::upmem_sc25(), 8, None).unwrap();
+        let (_, report) = engine.search_batch(&queries);
+        assert_eq!(report.queries, queries.len());
+        assert!(report.energy_j > 0.0);
+        assert!(report.imbalance >= 1.0);
+        let frac_sum: f64 = report.phase_fraction.iter().sum();
+        assert!((frac_sum - 1.0).abs() < 1e-6 || frac_sum == 0.0);
+        assert!(report.sqt_wram_hit_rate > 0.99, "8-bit SQT always hits WRAM");
+    }
+
+    #[test]
+    fn mram_capacity_is_enforced() {
+        // absurdly small MRAM must fail the build
+        let (data, _) = small_workload();
+        let mut arch = PimArch::upmem_sc25();
+        arch.mram_bytes = 1 << 10;
+        let err = DrimEngine::build(&data, small_cfg(), arch, 2, None);
+        assert!(err.is_err());
+    }
+}

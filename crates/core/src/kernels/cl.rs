@@ -1,0 +1,138 @@
+//! Cluster locating (CL) — the host-side phase.
+//!
+//! DRIM-ANN keeps CL on the host CPU "to balance the amount of transferred
+//! data and the utilization of both DPUs and the host CPU" (paper
+//! Section 5.2): shipping raw queries to all DPUs over the 0.75 % link would
+//! dwarf the savings. Functionally this is exact nearest-centroid search;
+//! its cost is charged to the host roofline model with the CL equations.
+
+use crate::perf_model::WorkloadShape;
+use ann_core::topk::{BoundedMaxHeap, Neighbor};
+use ann_core::vector::VecSet;
+use rayon::prelude::*;
+use upmem_sim::proc::ProcModel;
+
+/// Result of cluster locating for one batch.
+#[derive(Debug, Clone)]
+pub struct ClOutput {
+    /// Per query: the probed cluster ids, ascending by centroid distance.
+    pub probes: Vec<Vec<u32>>,
+    /// Host wall-clock seconds charged for the phase.
+    pub host_s: f64,
+}
+
+/// Locate the `nprobe` nearest coarse centroids for every query.
+pub fn run(
+    queries: &VecSet<f32>,
+    centroids: &VecSet<f32>,
+    nprobe: usize,
+    shape: &WorkloadShape,
+    host: &ProcModel,
+) -> ClOutput {
+    let nprobe = nprobe.min(centroids.len()).max(1);
+    let probes: Vec<Vec<u32>> = (0..queries.len())
+        .into_par_iter()
+        .map(|qi| {
+            let q = queries.get(qi);
+            let mut heap = BoundedMaxHeap::new(nprobe);
+            for (c, row) in centroids.iter().enumerate() {
+                heap.push(Neighbor::new(c as u64, ann_core::distance::l2_sq_f32(q, row)));
+            }
+            heap.into_sorted().into_iter().map(|n| n.id as u32).collect()
+        })
+        .collect();
+
+    // Charge the host with a *blocked-GEMM* cost: Faiss computes
+    // query-vs-centroid distances as a blocked matrix product, so the
+    // centroid table streams once per query block — not once per query as
+    // the DPU-oriented Eq. 3 would charge. Compute follows Eq. 1.
+    let host_s = host_cl_time(queries.len(), centroids.len(), shape, host);
+    ClOutput { probes, host_s }
+}
+
+/// Blocked-GEMM host time for CL over `q` queries and `nlist` centroids
+/// (delegates to [`crate::perf_model::host_cl_time`] so the engine, trace
+/// mode and the analytic model all charge the identical CL cost).
+pub fn host_cl_time(q: usize, nlist: usize, shape: &WorkloadShape, host: &ProcModel) -> f64 {
+    crate::perf_model::host_cl_time(q as f64, nlist as f64, shape, host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexConfig;
+    use crate::perf_model::BitWidths;
+    use upmem_sim::platform::procs;
+
+    fn centroids() -> VecSet<f32> {
+        VecSet::from_flat(2, vec![0.0, 0.0, 10.0, 0.0, 0.0, 10.0, 10.0, 10.0])
+    }
+
+    fn shape(q: usize) -> WorkloadShape {
+        WorkloadShape::new(
+            1000,
+            q,
+            2,
+            &IndexConfig {
+                k: 1,
+                nprobe: 2,
+                nlist: 4,
+                m: 1,
+                cb: 4,
+            },
+            BitWidths::u8_regime(),
+        )
+    }
+
+    #[test]
+    fn finds_nearest_clusters_in_order() {
+        let queries = VecSet::from_flat(2, vec![1.0f32, 1.0]);
+        let out = run(
+            &queries,
+            &centroids(),
+            2,
+            &shape(1),
+            &procs::xeon_silver_4216(),
+        );
+        assert_eq!(out.probes[0][0], 0); // (0,0) closest to (1,1)
+        assert_eq!(out.probes[0].len(), 2);
+        assert!(out.host_s > 0.0);
+    }
+
+    #[test]
+    fn nprobe_clamped_to_nlist() {
+        let queries = VecSet::from_flat(2, vec![5.0f32, 5.0]);
+        let out = run(
+            &queries,
+            &centroids(),
+            100,
+            &shape(1),
+            &procs::xeon_silver_4216(),
+        );
+        assert_eq!(out.probes[0].len(), 4);
+    }
+
+    #[test]
+    fn host_time_grows_sublinearly_with_batch() {
+        // blocked GEMM: the centroid-table stream amortizes over the batch
+        let q1 = VecSet::from_flat(2, vec![1.0f32, 1.0]);
+        let mut q64 = VecSet::new(2);
+        for _ in 0..64 {
+            q64.push(&[1.0, 1.0]);
+        }
+        let host = procs::xeon_silver_4216();
+        let t1 = run(&q1, &centroids(), 2, &shape(1), &host).host_s;
+        let t64 = run(&q64, &centroids(), 2, &shape(1), &host).host_s;
+        assert!(t64 > t1, "t64 {t64} t1 {t1}");
+        assert!(t64 < 64.0 * t1, "amortization missing: {}", t64 / t1);
+    }
+
+    #[test]
+    fn host_cl_time_scales_with_nlist_at_large_batch() {
+        let host = procs::xeon_silver_4216();
+        let s = shape(1);
+        let t_small = host_cl_time(10_000, 1 << 13, &s, &host);
+        let t_large = host_cl_time(10_000, 1 << 16, &s, &host);
+        assert!((t_large / t_small - 8.0).abs() < 1.0, "ratio {}", t_large / t_small);
+    }
+}

@@ -1,0 +1,178 @@
+//! Distance calculation (DC) — the scan phase.
+//!
+//! For every encoded point of a cluster slice, gathers its `M` LUT entries
+//! and accumulates them into the ADC distance (paper Eq. 8-9). The gathers
+//! are data-dependent random accesses — the reason the LUT's WRAM residency
+//! is worth ~4x end-to-end (Fig. 12b).
+//!
+//! To support the paper's *lock pruning* (Section 6), the kernel takes the
+//! current top-k bound forwarded from the TS engine and reports, per point,
+//! whether the distance beats it.
+
+use super::KernelCtx;
+use upmem_sim::meter::PhaseMeter;
+
+/// Per-gather pipeline overhead beyond the accumulate itself: code-byte
+/// load, LUT address arithmetic, and loop bookkeeping. Real DPU ADC loops
+/// are several instructions per element (PrIM's scan kernels run 4-6), and
+/// the paper's 71.8–99.9 % model-accuracy gap (Fig. 11b) is exactly this
+/// kind of overhead.
+pub const GATHER_OVERHEAD_ALU: u64 = 3;
+
+/// Closed-form cost of scanning `n_points` codes — identical totals to
+/// [`run`]. Used by trace mode.
+pub fn charge(ctx: &KernelCtx<'_>, meter: &mut PhaseMeter, n_points: u64, m: usize, cb: usize) {
+    let code_bytes = if cb <= 256 { 1u64 } else { 2u64 };
+    let gathers = n_points * m as u64;
+    if ctx.placement.is_resident("lut") {
+        meter.wram_read_bytes(4 * gathers);
+    } else {
+        meter.mram_random_read(gathers, 4, ctx.dma_burst);
+    }
+    meter.charge_alu(gathers * GATHER_OVERHEAD_ALU * ctx.costs.alu);
+    meter.charge_add_c(n_points * (m as u64).saturating_sub(1), ctx.costs);
+    meter.charge_cmp(n_points * ctx.costs.cmp);
+    if n_points > 0 {
+        if ctx.placement.is_resident("codes") {
+            meter.wram_read_bytes(n_points * m as u64 * code_bytes);
+        } else {
+            meter.mram_stream_read_chunks(1, n_points * m as u64 * code_bytes);
+        }
+    }
+}
+
+/// Scan `codes` (`n x m` flat) against `lut` (`m x cb`), appending
+/// `(slot, distance)` for every point to `out`.
+///
+/// Returns the number of candidates whose distance is below `bound`
+/// (candidates the TS phase will actually consider).
+#[allow(clippy::too_many_arguments)]
+pub fn run(
+    ctx: &KernelCtx<'_>,
+    meter: &mut PhaseMeter,
+    codes: &[u16],
+    m: usize,
+    cb: usize,
+    lut: &[u32],
+    bound: u64,
+    out: &mut Vec<(u32, u64)>,
+) -> u64 {
+    debug_assert_eq!(codes.len() % m, 0);
+    debug_assert_eq!(lut.len(), m * cb);
+    let n = codes.len() / m;
+    let code_bytes = if cb <= 256 { 1u64 } else { 2u64 };
+
+    out.clear();
+    out.reserve(n);
+    let mut below = 0u64;
+    for (slot, code) in codes.chunks_exact(m).enumerate() {
+        let mut acc = 0u64;
+        for (s, &cidx) in code.iter().enumerate() {
+            acc += lut[s * cb + cidx as usize] as u64;
+            // one LUT gather per subquantizer (random by nature) plus the
+            // code load / address / loop overhead of the scan
+            ctx.read(meter, "lut", 4, true);
+            meter.charge_alu(GATHER_OVERHEAD_ALU * ctx.costs.alu);
+        }
+        // m-1 additions + bound comparison
+        meter.charge_add_c((m as u64).saturating_sub(1), ctx.costs);
+        meter.charge_cmp(ctx.costs.cmp);
+        if acc < bound {
+            below += 1;
+        }
+        out.push((slot as u32, acc));
+    }
+    // the codes themselves stream in from MRAM
+    if n > 0 {
+        ctx.read(meter, "codes", (n * m) as u64 * code_bytes, false);
+    }
+    below
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DataBits;
+    use crate::wram::{plan, WramCandidate, WramPlacement};
+    use upmem_sim::IsaCosts;
+
+    fn ctx<'a>(placement: &'a WramPlacement, costs: &'a IsaCosts) -> KernelCtx<'a> {
+        KernelCtx {
+            costs,
+            dma_burst: 8,
+            bits: DataBits::B8,
+            placement,
+        }
+    }
+
+    /// m=2, cb=4; lut[s][j] = 10*s + j
+    fn toy_lut() -> Vec<u32> {
+        vec![0, 1, 2, 3, 10, 11, 12, 13]
+    }
+
+    #[test]
+    fn distances_are_lut_sums() {
+        let placement = WramPlacement::none();
+        let costs = IsaCosts::upmem();
+        let c = ctx(&placement, &costs);
+        let codes = vec![0u16, 0, 3, 2]; // p0: lut[0][0]+lut[1][0]=10; p1: 3+12=15
+        let mut m = PhaseMeter::default();
+        let mut out = Vec::new();
+        run(&c, &mut m, &codes, 2, 4, &toy_lut(), u64::MAX, &mut out);
+        assert_eq!(out, vec![(0, 10), (1, 15)]);
+    }
+
+    #[test]
+    fn bound_counts_passing_candidates() {
+        let placement = WramPlacement::none();
+        let costs = IsaCosts::upmem();
+        let c = ctx(&placement, &costs);
+        let codes = vec![0u16, 0, 3, 2, 1, 1];
+        let mut m = PhaseMeter::default();
+        let mut out = Vec::new();
+        let below = run(&c, &mut m, &codes, 2, 4, &toy_lut(), 13, &mut out);
+        // distances: 10, 15, 12 -> two below 13
+        assert_eq!(below, 2);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn wram_lut_cuts_mram_traffic() {
+        let costs = IsaCosts::upmem();
+        let codes: Vec<u16> = (0..400).map(|i| (i % 4) as u16).collect();
+        let none = WramPlacement::none();
+        let c1 = ctx(&none, &costs);
+        let mut m1 = PhaseMeter::default();
+        let mut out = Vec::new();
+        run(&c1, &mut m1, &codes, 2, 4, &toy_lut(), u64::MAX, &mut out);
+
+        let resident = plan(
+            &[WramCandidate {
+                name: "lut",
+                bytes: 32,
+                accesses: 1e9,
+            }],
+            1024,
+        );
+        let c2 = ctx(&resident, &costs);
+        let mut m2 = PhaseMeter::default();
+        run(&c2, &mut m2, &codes, 2, 4, &toy_lut(), u64::MAX, &mut out);
+
+        assert!(m2.mram_read < m1.mram_read / 2);
+        assert!(m2.wram_read > 0);
+        // same arithmetic either way
+        assert_eq!(m1.cycles, m2.cycles);
+    }
+
+    #[test]
+    fn empty_codes_is_a_noop() {
+        let placement = WramPlacement::none();
+        let costs = IsaCosts::upmem();
+        let c = ctx(&placement, &costs);
+        let mut m = PhaseMeter::default();
+        let mut out = vec![(9u32, 9u64)];
+        let below = run(&c, &mut m, &[], 2, 4, &toy_lut(), u64::MAX, &mut out);
+        assert_eq!(below, 0);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,218 @@
+//! LUT construction (LC) — the compute-heaviest DPU phase.
+//!
+//! For each subspace `s` and codebook entry `j`, accumulates
+//! `sum_d (r[d] - cb[s][j][d])^2` into a `M x CB` distance lookup table.
+//! The squaring is where UPMEM's missing multiplier bites (32 cycles each);
+//! DRIM-ANN's SQT turns it into one table lookup (paper Section 3.1).
+//! Cost model: paper Eq. 6-7.
+
+use super::KernelCtx;
+use crate::sqt::Sqt;
+use upmem_sim::meter::PhaseMeter;
+
+/// How squarings are costed in the closed-form [`charge`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SquareCost {
+    /// Native multiply (32 cycles on UPMEM).
+    Multiply,
+    /// SQT lookup with the given WRAM hit rate (1.0 for the 8-bit table).
+    SqtLookup {
+        /// Fraction of lookups served from WRAM.
+        wram_hit_rate: f64,
+    },
+}
+
+/// Closed-form cost of one LC invocation — identical totals to [`run`] for
+/// the given hit rate (exactly 1.0 in the 8-bit regime). Used by trace mode.
+pub fn charge(
+    ctx: &KernelCtx<'_>,
+    meter: &mut PhaseMeter,
+    m: usize,
+    cb: usize,
+    dsub: usize,
+    square: SquareCost,
+) {
+    let b = ctx.bits.bytes();
+    let entries = (m * cb) as u64;
+    let elems = entries * dsub as u64;
+
+    match square {
+        SquareCost::Multiply => meter.charge_mul(elems, ctx.costs),
+        SquareCost::SqtLookup { wram_hit_rate } => {
+            let hits = (elems as f64 * wram_hit_rate.clamp(0.0, 1.0)).round() as u64;
+            let hits = hits.min(elems);
+            let misses = elems - hits;
+            // WRAM hits pay the calibrated pipeline cost (|diff|, addressing,
+            // dependent load, bank contention) plus the entry read ...
+            meter.charge_alu(hits * ctx.costs.sqt_lookup);
+            meter.wram_read_bytes(hits * 4);
+            // ... spills only issue the DMA (4 ALU) and pay in bandwidth
+            meter.charge_alu(misses * 4 * ctx.costs.alu);
+            meter.mram_random_read(misses, 4, ctx.dma_burst);
+        }
+    }
+    // subtract + accumulate per element
+    meter.charge_add_c(2 * elems, ctx.costs);
+    // codebook + residual reads per entry, LUT written once
+    if ctx.placement.is_resident("codebook") {
+        meter.wram_read_bytes(elems * b);
+    } else {
+        meter.mram_stream_read_chunks(entries, elems * b);
+    }
+    if ctx.placement.is_resident("residual") {
+        meter.wram_read_bytes(elems * b);
+    } else {
+        meter.mram_stream_read_chunks(entries, elems * b);
+    }
+    ctx.write(meter, "lut", entries * 4);
+}
+
+/// Build the integer ADC lookup table for one (query, cluster) residual.
+///
+/// `residual` is the quantized residual (`dsub * m` elements after
+/// zero-padding); `codebooks` is `m * cb * dsub` quantized codewords.
+/// When `sqt` is `Some`, squarings go through the lookup table; otherwise
+/// they are charged as native multiplies.
+#[allow(clippy::too_many_arguments)]
+pub fn run(
+    ctx: &KernelCtx<'_>,
+    meter: &mut PhaseMeter,
+    residual: &[u8],
+    codebooks: &[u8],
+    m: usize,
+    cb: usize,
+    dsub: usize,
+    mut sqt: Option<&mut Sqt>,
+    lut: &mut Vec<u32>,
+) {
+    debug_assert_eq!(codebooks.len(), m * cb * dsub);
+    debug_assert!(residual.len() >= m * dsub || residual.len() == m * dsub);
+    let b = ctx.bits.bytes();
+
+    lut.clear();
+    lut.reserve(m * cb);
+    for s in 0..m {
+        let r_sub = &residual[s * dsub..(s + 1) * dsub];
+        for j in 0..cb {
+            let cw = &codebooks[(s * cb + j) * dsub..(s * cb + j + 1) * dsub];
+            let mut acc = 0u64;
+            for (&r, &c) in r_sub.iter().zip(cw.iter()) {
+                let diff = r as i32 - c as i32;
+                let sq = match sqt.as_deref_mut() {
+                    Some(table) => table.square(diff, meter, ctx.costs, ctx.dma_burst),
+                    None => {
+                        meter.charge_mul(1, ctx.costs);
+                        (diff as i64 * diff as i64) as u64
+                    }
+                };
+                acc += sq;
+            }
+            lut.push(acc as u32);
+            // subtract + accumulate per element (the square was charged above)
+            meter.charge_add_c(2 * dsub as u64, ctx.costs);
+            // codebook entry + residual reads, LUT entry write
+            ctx.read(meter, "codebook", dsub as u64 * b, false);
+            ctx.read(meter, "residual", dsub as u64 * b, false);
+        }
+    }
+    ctx.write(meter, "lut", (m * cb) as u64 * 4);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DataBits;
+    use crate::wram::{plan, WramCandidate, WramPlacement};
+    use upmem_sim::IsaCosts;
+
+    fn ctx<'a>(placement: &'a WramPlacement, costs: &'a IsaCosts) -> KernelCtx<'a> {
+        KernelCtx {
+            costs,
+            dma_burst: 8,
+            bits: DataBits::B8,
+            placement,
+        }
+    }
+
+    /// 2 subspaces x 2 entries x 2 dims
+    fn toy() -> (Vec<u8>, Vec<u8>) {
+        let residual = vec![10u8, 20, 30, 40];
+        let codebooks = vec![
+            10u8, 20, // s0 j0 -> dist 0
+            0, 0, // s0 j1 -> 100 + 400 = 500
+            30, 40, // s1 j0 -> 0
+            50, 10, // s1 j1 -> 400 + 900 = 1300
+        ];
+        (residual, codebooks)
+    }
+
+    #[test]
+    fn lut_values_are_exact_squared_distances() {
+        let placement = WramPlacement::none();
+        let costs = IsaCosts::upmem();
+        let c = ctx(&placement, &costs);
+        let (r, cbk) = toy();
+        let mut m = PhaseMeter::default();
+        let mut lut = Vec::new();
+        run(&c, &mut m, &r, &cbk, 2, 2, 2, None, &mut lut);
+        assert_eq!(lut, vec![0, 500, 0, 1300]);
+    }
+
+    #[test]
+    fn sqt_gives_identical_lut() {
+        let placement = WramPlacement::none();
+        let costs = IsaCosts::upmem();
+        let c = ctx(&placement, &costs);
+        let (r, cbk) = toy();
+        let mut m1 = PhaseMeter::default();
+        let mut lut_mul = Vec::new();
+        run(&c, &mut m1, &r, &cbk, 2, 2, 2, None, &mut lut_mul);
+        let mut m2 = PhaseMeter::default();
+        let mut sqt = Sqt::for_u8();
+        let mut lut_sqt = Vec::new();
+        run(&c, &mut m2, &r, &cbk, 2, 2, 2, Some(&mut sqt), &mut lut_sqt);
+        assert_eq!(lut_mul, lut_sqt, "SQT must be lossless");
+    }
+
+    #[test]
+    fn sqt_reduces_cycles_but_adds_traffic() {
+        let placement = plan(
+            &[WramCandidate {
+                name: "sqt",
+                bytes: 1024,
+                accesses: 1e9,
+            }],
+            2048,
+        );
+        let costs = IsaCosts::upmem();
+        let c = ctx(&placement, &costs);
+        let (r, cbk) = toy();
+        let mut with_mul = PhaseMeter::default();
+        let mut lut = Vec::new();
+        run(&c, &mut with_mul, &r, &cbk, 2, 2, 2, None, &mut lut);
+        let mut with_sqt = PhaseMeter::default();
+        let mut sqt = Sqt::for_u8();
+        run(&c, &mut with_sqt, &r, &cbk, 2, 2, 2, Some(&mut sqt), &mut lut);
+        assert!(
+            with_sqt.cycles < with_mul.cycles,
+            "sqt {} mul {}",
+            with_sqt.cycles,
+            with_mul.cycles
+        );
+        assert!(with_sqt.wram_read > with_mul.wram_read);
+    }
+
+    #[test]
+    fn lut_size_is_m_times_cb() {
+        let placement = WramPlacement::none();
+        let costs = IsaCosts::upmem();
+        let c = ctx(&placement, &costs);
+        let residual = vec![0u8; 4 * 3];
+        let codebooks = vec![0u8; 4 * 8 * 3];
+        let mut m = PhaseMeter::default();
+        let mut lut = Vec::new();
+        run(&c, &mut m, &residual, &codebooks, 4, 8, 3, None, &mut lut);
+        assert_eq!(lut.len(), 32);
+        assert!(lut.iter().all(|&v| v == 0));
+    }
+}

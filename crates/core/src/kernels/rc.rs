@@ -1,0 +1,119 @@
+//! Residual calculation (RC) — first DPU phase.
+//!
+//! Computes `r = q - c(i)` for a (query, cluster) pair and quantizes the
+//! result to the DPU's integer regime. Cost: one subtraction + one
+//! quantization step per dimension; traffic: centroid + query in, residual
+//! out (paper Eq. 4-5).
+
+use super::KernelCtx;
+use ann_core::quantize::ScalarQuantizer;
+use upmem_sim::meter::PhaseMeter;
+
+/// Closed-form cost of one RC invocation over a `d`-dimensional pair —
+/// exactly what [`run`] charges (used verbatim by trace mode).
+pub fn charge(ctx: &KernelCtx<'_>, meter: &mut PhaseMeter, d: u64) {
+    let b = ctx.bits.bytes();
+    // compute: subtract + quantize (scale & clamp ~ 2 ALU ops) per dim
+    meter.charge_add_c(d, ctx.costs);
+    meter.charge_alu(2 * d * ctx.costs.alu);
+    // traffic: centroid from MRAM (cluster metadata), query from the task
+    // buffer, residual to its WRAM slot (or MRAM when not resident)
+    ctx.read(meter, "centroids", d * b, false);
+    ctx.read(meter, "query", d * b, false);
+    ctx.write(meter, "residual", d * b);
+}
+
+/// Compute and quantize the residual, charging `meter`.
+///
+/// `query` and `centroid` are f32 (as shipped from the host); the returned
+/// residual is in u8 codes under `rquant` — the operand regime of the SQT.
+pub fn run(
+    ctx: &KernelCtx<'_>,
+    meter: &mut PhaseMeter,
+    query: &[f32],
+    centroid: &[f32],
+    rquant: &ScalarQuantizer,
+    out: &mut Vec<u8>,
+) {
+    debug_assert_eq!(query.len(), centroid.len());
+    out.clear();
+    out.reserve(query.len());
+    for (&q, &c) in query.iter().zip(centroid.iter()) {
+        out.push(rquant.encode(q - c) as u8);
+    }
+    charge(ctx, meter, query.len() as u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DataBits;
+    use crate::wram::WramPlacement;
+    use upmem_sim::IsaCosts;
+
+    fn ctx<'a>(placement: &'a WramPlacement, costs: &'a IsaCosts) -> KernelCtx<'a> {
+        KernelCtx {
+            costs,
+            dma_burst: 8,
+            bits: DataBits::B8,
+            placement,
+        }
+    }
+
+    fn residual_quantizer() -> ScalarQuantizer {
+        // residuals in [-128, 127]
+        ScalarQuantizer {
+            lo: -128.0,
+            scale: 1.0,
+            levels: 256,
+        }
+    }
+
+    #[test]
+    fn residual_is_query_minus_centroid() {
+        let placement = WramPlacement::none();
+        let costs = IsaCosts::upmem();
+        let c = ctx(&placement, &costs);
+        let mut m = PhaseMeter::default();
+        let mut out = Vec::new();
+        let rq = residual_quantizer();
+        run(
+            &c,
+            &mut m,
+            &[10.0, 5.0, 0.0],
+            &[4.0, 5.0, 3.0],
+            &rq,
+            &mut out,
+        );
+        // decode back: 6, 0, -3
+        let dec: Vec<f32> = out.iter().map(|&q| rq.decode(q as u32)).collect();
+        assert_eq!(dec, vec![6.0, 0.0, -3.0]);
+    }
+
+    #[test]
+    fn charges_scale_with_dimension() {
+        let placement = WramPlacement::none();
+        let costs = IsaCosts::upmem();
+        let c = ctx(&placement, &costs);
+        let rq = residual_quantizer();
+        let mut m3 = PhaseMeter::default();
+        let mut out = Vec::new();
+        run(&c, &mut m3, &[0.0; 3], &[0.0; 3], &rq, &mut out);
+        let mut m6 = PhaseMeter::default();
+        run(&c, &mut m6, &[0.0; 6], &[0.0; 6], &rq, &mut out);
+        assert_eq!(m6.cycles, 2 * m3.cycles);
+        assert_eq!(m6.mram_read, 2 * m3.mram_read);
+    }
+
+    #[test]
+    fn saturates_at_quantizer_range() {
+        let placement = WramPlacement::none();
+        let costs = IsaCosts::upmem();
+        let c = ctx(&placement, &costs);
+        let rq = residual_quantizer();
+        let mut m = PhaseMeter::default();
+        let mut out = Vec::new();
+        run(&c, &mut m, &[1000.0], &[0.0], &rq, &mut out);
+        assert_eq!(out[0], 255);
+    }
+}

@@ -1,0 +1,252 @@
+//! Top-k sorting (TS) — shared priority-queue maintenance.
+//!
+//! Every DPU keeps one bounded priority queue per active query, shared by
+//! all tasklets and therefore lock-protected. With the naive
+//! lock-every-candidate policy this costs "approximately 50 % of total
+//! latency in certain scenarios" (paper Section 6); DRIM-ANN forwards the
+//! current k-th record into the DC loop so non-improving candidates never
+//! take the lock. The forwarded bound may be stale — that is safe (it only
+//! admits extra candidates) and is modelled here by refreshing the bound
+//! once per *chunk* rather than per candidate.
+
+use super::KernelCtx;
+use ann_core::topk::{BoundedMaxHeap, Neighbor};
+use upmem_sim::meter::PhaseMeter;
+use upmem_sim::tasklet::{LockPolicy, LockStats};
+
+/// Expected queue updates when `n` random-order candidates stream into a
+/// size-`k` bounded heap: `k + k * ln(n / k)` (harmonic argument).
+pub fn expected_updates(n: u64, k: usize) -> u64 {
+    if n == 0 || k == 0 {
+        return 0;
+    }
+    let k = k as f64;
+    let n = n as f64;
+    if n <= k {
+        n as u64
+    } else {
+        (k + k * (n / k).ln()).round() as u64
+    }
+}
+
+/// Closed-form cost of inserting `n` candidates of which `locked` take the
+/// lock and `retained` actually update the queue — identical totals to
+/// [`run`] when fed the stats [`run`] reports. Used by trace mode with
+/// [`expected_updates`] estimates.
+pub fn charge(
+    ctx: &KernelCtx<'_>,
+    meter: &mut PhaseMeter,
+    n: u64,
+    k: usize,
+    policy: LockPolicy,
+    locked: u64,
+    retained: u64,
+) {
+    let log_k = (k.max(2) as f64).log2().ceil() as u64;
+    let b_entry = 8u64;
+    // candidate fetch + loop bookkeeping, regardless of policy
+    meter.charge_alu(2 * n * ctx.costs.alu);
+    match policy {
+        LockPolicy::LockAlways => {
+            meter.lock_n(n);
+            meter.charge_cmp(n * log_k * ctx.costs.cmp);
+            if ctx.placement.is_resident("topk") {
+                meter.wram_read_bytes(n * b_entry);
+            } else {
+                meter.mram_random_read(n, b_entry, ctx.dma_burst);
+            }
+        }
+        LockPolicy::Forwarding => {
+            meter.charge_cmp(n * ctx.costs.cmp);
+            meter.lock_n(locked);
+            meter.charge_cmp(locked * log_k * ctx.costs.cmp);
+            if ctx.placement.is_resident("topk") {
+                meter.wram_read_bytes(locked * b_entry);
+            } else {
+                meter.mram_random_read(locked, b_entry, ctx.dma_burst);
+            }
+        }
+    }
+    if ctx.placement.is_resident("topk") {
+        meter.wram_write_bytes(retained * b_entry);
+    } else {
+        meter.mram_stream_write_chunks(retained, retained * b_entry);
+    }
+}
+
+/// Insert scanned candidates into the per-query top-k queue, charging TS
+/// costs under the chosen lock policy.
+///
+/// `candidates` are `(local_slot, distance)` pairs from DC; `ids` maps local
+/// slots to database ids. Returns updated lock statistics.
+#[allow(clippy::too_many_arguments)]
+pub fn run(
+    ctx: &KernelCtx<'_>,
+    meter: &mut PhaseMeter,
+    candidates: &[(u32, u64)],
+    ids: &[u32],
+    heap: &mut BoundedMaxHeap,
+    k: usize,
+    policy: LockPolicy,
+) -> LockStats {
+    let mut stats = LockStats::default();
+    let log_k = (k.max(2) as f64).log2().ceil() as u64;
+    let b_entry = 8u64; // distance (u32/f32) + id (u32) per queue record
+
+    // The forwarded bound: refreshed at chunk granularity (stale between
+    // refreshes, exactly like the real forwarding).
+    let mut forwarded = heap.bound();
+
+    for (i, &(slot, dist)) in candidates.iter().enumerate() {
+        let d = dist as f32;
+        // candidate fetch + loop bookkeeping
+        meter.charge_alu(2 * ctx.costs.alu);
+        match policy {
+            LockPolicy::LockAlways => {
+                // every candidate locks, compares, possibly updates
+                meter.lock();
+                meter.charge_cmp(log_k * ctx.costs.cmp);
+                ctx.read(meter, "topk", b_entry, true);
+                let updated = heap.push(Neighbor::new(ids[slot as usize] as u64, d));
+                if updated {
+                    ctx.write(meter, "topk", b_entry);
+                }
+                stats.locked_updates += 1;
+            }
+            LockPolicy::Forwarding => {
+                // one comparison against the forwarded bound, no lock
+                meter.charge_cmp(ctx.costs.cmp);
+                if d < forwarded {
+                    meter.lock();
+                    meter.charge_cmp(log_k * ctx.costs.cmp);
+                    ctx.read(meter, "topk", b_entry, true);
+                    if heap.push(Neighbor::new(ids[slot as usize] as u64, d)) {
+                        ctx.write(meter, "topk", b_entry);
+                    }
+                    stats.locked_updates += 1;
+                } else {
+                    stats.pruned += 1;
+                }
+            }
+        }
+        // refresh the forwarded record every 32 candidates (one DC chunk)
+        if i % 32 == 31 {
+            forwarded = heap.bound();
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DataBits;
+    use crate::wram::WramPlacement;
+    use upmem_sim::IsaCosts;
+
+    fn ctx<'a>(placement: &'a WramPlacement, costs: &'a IsaCosts) -> KernelCtx<'a> {
+        KernelCtx {
+            costs,
+            dma_burst: 8,
+            bits: DataBits::B8,
+            placement,
+        }
+    }
+
+    fn descending_candidates(n: usize) -> (Vec<(u32, u64)>, Vec<u32>) {
+        // distances n, n-1, ..., 1 — worst case for LockAlways
+        let cands: Vec<(u32, u64)> = (0..n).map(|i| (i as u32, (n - i) as u64)).collect();
+        let ids: Vec<u32> = (0..n as u32).collect();
+        (cands, ids)
+    }
+
+    #[test]
+    fn both_policies_yield_identical_topk() {
+        let placement = WramPlacement::none();
+        let costs = IsaCosts::upmem();
+        let c = ctx(&placement, &costs);
+        let (cands, ids) = descending_candidates(200);
+
+        let mut h1 = BoundedMaxHeap::new(5);
+        let mut m1 = PhaseMeter::default();
+        run(&c, &mut m1, &cands, &ids, &mut h1, 5, LockPolicy::LockAlways);
+
+        let mut h2 = BoundedMaxHeap::new(5);
+        let mut m2 = PhaseMeter::default();
+        run(&c, &mut m2, &cands, &ids, &mut h2, 5, LockPolicy::Forwarding);
+
+        let top1: Vec<u64> = h1.into_sorted().iter().map(|n| n.id).collect();
+        let top2: Vec<u64> = h2.into_sorted().iter().map(|n| n.id).collect();
+        assert_eq!(top1, top2);
+    }
+
+    #[test]
+    fn forwarding_prunes_most_locks_on_random_order() {
+        let placement = WramPlacement::none();
+        let costs = IsaCosts::upmem();
+        let c = ctx(&placement, &costs);
+        // deterministic pseudo-random distances
+        let cands: Vec<(u32, u64)> = (0..1000u32)
+            .map(|i| (i, ((i as u64).wrapping_mul(2654435761) % 100_000) + 1))
+            .collect();
+        let ids: Vec<u32> = (0..1000).collect();
+        let mut heap = BoundedMaxHeap::new(10);
+        let mut m = PhaseMeter::default();
+        let stats = run(&c, &mut m, &cands, &ids, &mut heap, 10, LockPolicy::Forwarding);
+        assert!(
+            stats.prune_rate() > 0.8,
+            "prune rate {}",
+            stats.prune_rate()
+        );
+        assert!(m.lock_acquires < 200);
+    }
+
+    #[test]
+    fn lock_always_locks_every_candidate() {
+        let placement = WramPlacement::none();
+        let costs = IsaCosts::upmem();
+        let c = ctx(&placement, &costs);
+        let (cands, ids) = descending_candidates(100);
+        let mut heap = BoundedMaxHeap::new(5);
+        let mut m = PhaseMeter::default();
+        let stats = run(&c, &mut m, &cands, &ids, &mut heap, 5, LockPolicy::LockAlways);
+        assert_eq!(stats.locked_updates, 100);
+        assert_eq!(m.lock_acquires, 100);
+    }
+
+    #[test]
+    fn forwarding_costs_fewer_cycles() {
+        let placement = WramPlacement::none();
+        let costs = IsaCosts::upmem();
+        let c = ctx(&placement, &costs);
+        let cands: Vec<(u32, u64)> = (0..500u32).map(|i| (i, 1000 + i as u64)).collect();
+        let ids: Vec<u32> = (0..500).collect();
+
+        let mut m_fwd = PhaseMeter::default();
+        let mut h = BoundedMaxHeap::new(4);
+        run(&c, &mut m_fwd, &cands, &ids, &mut h, 4, LockPolicy::Forwarding);
+
+        let mut m_lock = PhaseMeter::default();
+        let mut h2 = BoundedMaxHeap::new(4);
+        run(&c, &mut m_lock, &cands, &ids, &mut h2, 4, LockPolicy::LockAlways);
+
+        let t_fwd = m_fwd.time(&upmem_sim::PimArch::upmem_sc25(), 16);
+        let t_lock = m_lock.time(&upmem_sim::PimArch::upmem_sc25(), 16);
+        assert!(t_fwd < t_lock / 2.0, "fwd {t_fwd} lock {t_lock}");
+    }
+
+    #[test]
+    fn stale_bound_never_loses_true_neighbors() {
+        // adversarial: strictly decreasing distances make the stale bound
+        // maximally wrong; results must still match a full sort
+        let placement = WramPlacement::none();
+        let costs = IsaCosts::upmem();
+        let c = ctx(&placement, &costs);
+        let (cands, ids) = descending_candidates(500);
+        let mut heap = BoundedMaxHeap::new(7);
+        let mut m = PhaseMeter::default();
+        run(&c, &mut m, &cands, &ids, &mut heap, 7, LockPolicy::Forwarding);
+        let got: Vec<u64> = heap.into_sorted().iter().map(|n| n.dist as u64).collect();
+        assert_eq!(got, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+}

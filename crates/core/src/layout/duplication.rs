@@ -1,0 +1,181 @@
+//! Cluster duplication: extra copies of hot slices (paper Fig. 5b).
+//!
+//! "The duplicated times th2[i] of the i-th cluster is proportional to its
+//! heat and ... in inverse proportion to its amount of split slices", and
+//! duplication proceeds until PIM memory (or an explicit budget) is
+//! exhausted — more copies mean more scheduling freedom at runtime.
+
+use super::{ClusterInfo, Slice};
+
+/// Decide the copy count of every slice (>= 1 each).
+///
+/// Greedy water-filling: repeatedly give one more copy to the slice with the
+/// highest *heat per existing copy*, while the aggregate duplicate footprint
+/// stays within budget. The per-cluster slice count is naturally accounted
+/// for because a cluster's heat is already divided among its slices by
+/// [`super::partition::partition`].
+pub fn plan_copies(
+    slices: &[Slice],
+    _clusters: &[ClusterInfo],
+    ndpus: usize,
+    bytes_per_point: u64,
+    mram_budget_per_dpu: u64,
+    dup_budget_per_dpu: Option<u64>,
+) -> Vec<usize> {
+    let mut copies = vec![1usize; slices.len()];
+    if slices.is_empty() || ndpus < 2 {
+        return copies;
+    }
+
+    // total bytes the mandatory copies occupy
+    let base_bytes: u64 = slices.iter().map(|s| s.len as u64 * bytes_per_point).sum();
+    let capacity_total = mram_budget_per_dpu.saturating_mul(ndpus as u64);
+    let headroom_total = capacity_total.saturating_sub(base_bytes);
+    let dup_budget_total = dup_budget_per_dpu
+        .map(|b| b.saturating_mul(ndpus as u64))
+        .unwrap_or(u64::MAX)
+        .min(headroom_total);
+
+    // max-heap on heat-per-copy
+    use std::cmp::Ordering;
+    #[derive(PartialEq)]
+    struct Cand {
+        score: f64,
+        idx: usize,
+    }
+    impl Eq for Cand {}
+    impl PartialOrd for Cand {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Cand {
+        fn cmp(&self, other: &Self) -> Ordering {
+            self.score
+                .partial_cmp(&other.score)
+                .unwrap_or(Ordering::Equal)
+                .then(other.idx.cmp(&self.idx))
+        }
+    }
+
+    let mut heap: std::collections::BinaryHeap<Cand> = slices
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.len > 0 && s.heat > 0.0)
+        .map(|(i, s)| Cand {
+            score: s.heat, // heat per single copy
+            idx: i,
+        })
+        .collect();
+
+    let mut spent = 0u64;
+    while let Some(c) = heap.pop() {
+        let s = &slices[c.idx];
+        let cost = s.len as u64 * bytes_per_point;
+        if cost == 0 {
+            continue;
+        }
+        if spent + cost > dup_budget_total {
+            // budget exhausted for this slice size; smaller slices may still
+            // fit, so keep draining candidates
+            continue;
+        }
+        if copies[c.idx] >= ndpus {
+            continue; // a copy per DPU is the useful maximum
+        }
+        spent += cost;
+        copies[c.idx] += 1;
+        let new_score = s.heat / (copies[c.idx] + 1) as f64;
+        // stop refining slices whose marginal value collapsed to noise
+        if new_score > f64::EPSILON {
+            heap.push(Cand {
+                score: new_score,
+                idx: c.idx,
+            });
+        }
+    }
+    copies
+}
+
+/// Extra duplicate bytes per DPU a copy plan implies (mean).
+pub fn extra_bytes_per_dpu(slices: &[Slice], copies: &[usize], ndpus: usize, bytes_per_point: u64) -> f64 {
+    let extra: u64 = slices
+        .iter()
+        .zip(copies.iter())
+        .map(|(s, &c)| (c.saturating_sub(1)) as u64 * s.len as u64 * bytes_per_point)
+        .sum();
+    extra as f64 / ndpus.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_slice(cluster: u32, len: usize, heat: f64) -> Slice {
+        Slice {
+            cluster,
+            start: 0,
+            len,
+            heat,
+        }
+    }
+
+    #[test]
+    fn everyone_gets_at_least_one_copy() {
+        let slices = vec![mk_slice(0, 100, 10.0), mk_slice(1, 100, 0.0)];
+        let copies = plan_copies(&slices, &[], 4, 1, u64::MAX, Some(0));
+        assert_eq!(copies, vec![1, 1]);
+    }
+
+    #[test]
+    fn hot_slices_get_more_copies() {
+        let slices = vec![
+            mk_slice(0, 100, 100.0),
+            mk_slice(1, 100, 1.0),
+            mk_slice(2, 100, 1.0),
+        ];
+        let copies = plan_copies(&slices, &[], 8, 1, u64::MAX, Some(100));
+        // budget: 800 extra bytes total across 8 dpus = 8 copies of len-100
+        assert!(copies[0] > copies[1], "copies {copies:?}");
+        assert!(copies[0] > copies[2]);
+    }
+
+    #[test]
+    fn copies_capped_at_ndpus() {
+        let slices = vec![mk_slice(0, 10, 1000.0)];
+        let copies = plan_copies(&slices, &[], 4, 1, u64::MAX, None);
+        assert!(copies[0] <= 4);
+    }
+
+    #[test]
+    fn budget_zero_means_no_duplicates() {
+        let slices = vec![mk_slice(0, 100, 50.0), mk_slice(1, 50, 25.0)];
+        let copies = plan_copies(&slices, &[], 8, 4, u64::MAX, Some(0));
+        assert!(copies.iter().all(|&c| c == 1));
+        assert_eq!(extra_bytes_per_dpu(&slices, &copies, 8, 4), 0.0);
+    }
+
+    #[test]
+    fn mram_capacity_bounds_duplicates() {
+        // 2 DPUs x 1000 B budget; base = 2 x 400 B -> headroom 1200 B
+        let slices = vec![mk_slice(0, 400, 10.0), mk_slice(1, 400, 8.0)];
+        let copies = plan_copies(&slices, &[], 2, 1, 1000, None);
+        let extra: usize = copies.iter().map(|&c| c - 1).sum();
+        assert!(extra <= 3, "copies {copies:?}"); // 1200/400 = 3 extra max
+    }
+
+    #[test]
+    fn extra_bytes_accounting() {
+        let slices = vec![mk_slice(0, 100, 5.0)];
+        let e = extra_bytes_per_dpu(&slices, &[3], 4, 2);
+        // 2 extra copies x 100 points x 2 B / 4 dpus = 100
+        assert!((e - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_dpu_never_duplicates() {
+        let slices = vec![mk_slice(0, 10, 99.0)];
+        let copies = plan_copies(&slices, &[], 1, 1, u64::MAX, None);
+        assert_eq!(copies, vec![1]);
+    }
+}

@@ -1,0 +1,310 @@
+//! Data-layout optimization across DPUs (paper Section 3.2, Fig. 5).
+//!
+//! Three passes transform the IVF clusters into a balanced placement:
+//!
+//! 1. [`partition`] — clusters larger than a searched threshold `th1` are
+//!    split into equal-capacity *slices*, so one hot cluster's work can be
+//!    spread over several DPUs;
+//! 2. [`duplication`] — hot slices get extra copies (`th2[i]` proportional
+//!    to cluster heat, inversely to its slice count), giving the runtime
+//!    scheduler alternatives;
+//! 3. [`allocation`] — slices are placed on DPUs balancing accumulated
+//!    heat, then an exchange pass co-locates slices of the same cluster on
+//!    the same DPU so the residual, LUT and priority queue can be reused
+//!    (the "mixed layout").
+//!
+//! All passes operate on abstract `(size, heat)` descriptors, so the same
+//! code drives both functional runs (real vectors) and full-scale trace
+//! runs (statistical shapes only).
+
+pub mod allocation;
+pub mod duplication;
+pub mod heat;
+pub mod partition;
+
+use crate::config::{AllocPolicy, EngineConfig};
+
+/// Per-cluster workload descriptor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterInfo {
+    /// Cluster id (index into the IVF lists).
+    pub id: u32,
+    /// Number of points in the cluster.
+    pub points: usize,
+    /// Profiled heat: expected probes x points scanned (see [`heat`]).
+    pub heat: f64,
+}
+
+/// A contiguous slice of one cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slice {
+    /// Owning cluster.
+    pub cluster: u32,
+    /// First point offset within the cluster.
+    pub start: usize,
+    /// Points in this slice.
+    pub len: usize,
+    /// Heat attributed to this slice (cluster heat x len / points).
+    pub heat: f64,
+}
+
+/// One placed copy of a slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placed {
+    /// Index into [`LayoutPlan::slices`].
+    pub slice: usize,
+    /// Hosting DPU.
+    pub dpu: usize,
+}
+
+/// The complete placement decision.
+#[derive(Debug, Clone)]
+pub struct LayoutPlan {
+    /// Canonical slices (each appears once regardless of copy count).
+    pub slices: Vec<Slice>,
+    /// For every slice, the DPUs hosting a copy (>= 1 entry each).
+    pub slice_homes: Vec<Vec<usize>>,
+    /// For every DPU, the slices (canonical indices) it hosts.
+    pub dpu_slices: Vec<Vec<usize>>,
+    /// For every cluster, its slice indices in offset order.
+    pub cluster_slices: Vec<Vec<usize>>,
+    /// The split threshold actually used (points per slice).
+    pub th1: usize,
+}
+
+impl LayoutPlan {
+    /// Build the full plan from cluster descriptors under `cfg`.
+    ///
+    /// `ndpus` is the DPU count; `bytes_per_point` converts slice sizes to
+    /// MRAM footprints; `mram_budget` bounds per-DPU bytes.
+    pub fn build(
+        clusters: &[ClusterInfo],
+        ndpus: usize,
+        cfg: &EngineConfig,
+        bytes_per_point: u64,
+        mram_budget: u64,
+    ) -> LayoutPlan {
+        // LC table-build cost in point-scan equivalents: splitting a probed
+        // cluster re-runs LC per extra slice, so the threshold search must
+        // price it (see sched::lc_equiv_points)
+        let dsub_guess = 8; // refined by build_with_lc_equiv callers
+        let lc_equiv = crate::sched::lc_equiv_points(
+            cfg.index.m,
+            cfg.index.cb,
+            dsub_guess,
+            cfg.index.k,
+            cfg.sqt,
+            &upmem_sim::IsaCosts::upmem(),
+        );
+        Self::build_with_lc_equiv(clusters, ndpus, cfg, bytes_per_point, mram_budget, lc_equiv)
+    }
+
+    /// [`Self::build`] with an explicit LC cost (in point-scan equivalents)
+    /// for the partition threshold search.
+    pub fn build_with_lc_equiv(
+        clusters: &[ClusterInfo],
+        ndpus: usize,
+        cfg: &EngineConfig,
+        bytes_per_point: u64,
+        mram_budget: u64,
+        lc_equiv: f64,
+    ) -> LayoutPlan {
+        // 1. partition
+        let th1 = if cfg.partition {
+            cfg.split_granularity
+                .unwrap_or_else(|| partition::search_th1(clusters, ndpus, lc_equiv))
+        } else {
+            usize::MAX
+        };
+        let slices = partition::partition(clusters, th1);
+
+        // 2. duplication
+        let copies = if cfg.duplication {
+            // Default duplicate budget: the paper duplicates "as much as PIM
+            // memory allows". Simulating literally full 64 MiB MRAMs of
+            // copies costs minutes for no extra signal — the benefit
+            // saturates once the scheduler has enough alternatives (cf.
+            // Fig. 14b) — so the default is the larger of 8 MiB or four
+            // dataset shares per DPU, clamped by the actual headroom.
+            // Sweeps override it explicitly.
+            let dup_budget = cfg.dup_budget_bytes.or_else(|| {
+                let total: u64 = slices.iter().map(|s| s.len as u64 * bytes_per_point).sum();
+                let base_per_dpu = total / ndpus.max(1) as u64;
+                let headroom = mram_budget.saturating_sub(base_per_dpu);
+                Some((4 * base_per_dpu).max(8 << 20).min(headroom))
+            });
+            duplication::plan_copies(
+                &slices,
+                clusters,
+                ndpus,
+                bytes_per_point,
+                mram_budget,
+                dup_budget,
+            )
+        } else {
+            vec![1usize; slices.len()]
+        };
+
+        // 3. allocation
+        let (slice_homes, dpu_slices) = match cfg.allocation {
+            AllocPolicy::RoundRobin => {
+                allocation::round_robin(&slices, &copies, ndpus, bytes_per_point, mram_budget)
+            }
+            AllocPolicy::HeatBalanced => {
+                allocation::heat_balanced(&slices, &copies, ndpus, bytes_per_point, mram_budget)
+            }
+        };
+
+        let n_clusters = clusters.iter().map(|c| c.id as usize + 1).max().unwrap_or(0);
+        let mut cluster_slices = vec![Vec::new(); n_clusters];
+        for (i, s) in slices.iter().enumerate() {
+            cluster_slices[s.cluster as usize].push(i);
+        }
+
+        LayoutPlan {
+            slices,
+            slice_homes,
+            dpu_slices,
+            cluster_slices,
+            th1,
+        }
+    }
+
+    /// Total copies across all slices.
+    pub fn total_copies(&self) -> usize {
+        self.slice_homes.iter().map(|h| h.len()).sum()
+    }
+
+    /// Per-DPU resident bytes given a per-point footprint.
+    pub fn dpu_bytes(&self, bytes_per_point: u64) -> Vec<u64> {
+        self.dpu_slices
+            .iter()
+            .map(|ss| {
+                ss.iter()
+                    .map(|&i| self.slices[i].len as u64 * bytes_per_point)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Per-DPU accumulated heat (the quantity allocation balances).
+    pub fn dpu_heat(&self) -> Vec<f64> {
+        let mut heat = vec![0.0; self.dpu_slices.len()];
+        for (slice_idx, homes) in self.slice_homes.iter().enumerate() {
+            // heat divides across copies: the scheduler spreads the load
+            let share = self.slices[slice_idx].heat / homes.len() as f64;
+            for &d in homes {
+                heat[d] += share;
+            }
+        }
+        heat
+    }
+
+    /// Sanity checks: every slice placed at least once, copies on distinct
+    /// DPUs, slice coverage of every cluster is exact and disjoint.
+    pub fn validate(&self, clusters: &[ClusterInfo]) -> Result<(), String> {
+        for (i, homes) in self.slice_homes.iter().enumerate() {
+            if homes.is_empty() {
+                return Err(format!("slice {i} has no home"));
+            }
+            let set: std::collections::HashSet<_> = homes.iter().collect();
+            if set.len() != homes.len() {
+                return Err(format!("slice {i} has duplicate copies on one DPU"));
+            }
+        }
+        for c in clusters {
+            let mut covered = 0usize;
+            let mut cursor = 0usize;
+            for &si in &self.cluster_slices[c.id as usize] {
+                let s = &self.slices[si];
+                if s.start != cursor {
+                    return Err(format!("cluster {} has a gap at {}", c.id, cursor));
+                }
+                cursor += s.len;
+                covered += s.len;
+            }
+            if covered != c.points {
+                return Err(format!(
+                    "cluster {} covers {covered} of {} points",
+                    c.id, c.points
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EngineConfig, IndexConfig};
+
+    fn clusters() -> Vec<ClusterInfo> {
+        (0..32)
+            .map(|i| ClusterInfo {
+                id: i,
+                points: 100 + (i as usize % 7) * 400,
+                heat: 1.0 + (31 - i) as f64,
+            })
+            .collect()
+    }
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::drim(IndexConfig {
+            k: 10,
+            nprobe: 8,
+            nlist: 32,
+            m: 4,
+            cb: 16,
+            ..IndexConfig::paper_default()
+        })
+    }
+
+    #[test]
+    fn full_plan_validates() {
+        let cs = clusters();
+        let plan = LayoutPlan::build(&cs, 8, &cfg(), 20, 1 << 20);
+        plan.validate(&cs).unwrap();
+        assert!(plan.total_copies() >= plan.slices.len());
+    }
+
+    #[test]
+    fn naive_plan_validates_too() {
+        let cs = clusters();
+        let naive = EngineConfig::naive(cfg().index);
+        let plan = LayoutPlan::build(&cs, 8, &naive, 20, 1 << 20);
+        plan.validate(&cs).unwrap();
+        // no partition, no duplication: one slice per cluster, one copy
+        assert_eq!(plan.slices.len(), cs.len());
+        assert_eq!(plan.total_copies(), cs.len());
+    }
+
+    #[test]
+    fn heat_balancing_beats_round_robin() {
+        let cs = clusters();
+        let balanced = LayoutPlan::build(&cs, 8, &cfg(), 20, 1 << 20);
+        let naive = EngineConfig::naive(cfg().index);
+        let rr = LayoutPlan::build(&cs, 8, &naive, 20, 1 << 20);
+        let imb = |heat: &[f64]| {
+            let max = heat.iter().cloned().fold(0.0, f64::max);
+            let mean = heat.iter().sum::<f64>() / heat.len() as f64;
+            max / mean
+        };
+        assert!(
+            imb(&balanced.dpu_heat()) <= imb(&rr.dpu_heat()) + 1e-9,
+            "balanced {:?} rr {:?}",
+            balanced.dpu_heat(),
+            rr.dpu_heat()
+        );
+    }
+
+    #[test]
+    fn dpu_bytes_respect_budget() {
+        let cs = clusters();
+        let budget = 200_000u64;
+        let plan = LayoutPlan::build(&cs, 8, &cfg(), 20, budget);
+        for (d, &b) in plan.dpu_bytes(20).iter().enumerate() {
+            assert!(b <= budget, "dpu {d} holds {b} > {budget}");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Batch execution reports: everything the paper's figures read off a run.
+
+use upmem_sim::meter::Phase;
+use upmem_sim::system::BatchTiming;
+use upmem_sim::tasklet::LockStats;
+
+/// Summary of one executed query batch.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Queries in the batch.
+    pub queries: usize,
+    /// Detailed timing (host, per-DPU, transfers).
+    pub timing: BatchTiming,
+    /// Throughput in queries per second.
+    pub qps: f64,
+    /// System energy for the batch, joules.
+    pub energy_j: f64,
+    /// Fraction of critical-DPU time per phase, `Phase::ALL` order.
+    pub phase_fraction: [f64; 6],
+    /// Load imbalance (max/mean DPU time).
+    pub imbalance: f64,
+    /// Tasks postponed by the th3 rule (executed in a follow-up wave).
+    pub postponed: usize,
+    /// Top-k lock statistics.
+    pub lock: LockStats,
+    /// SQT WRAM hit rate (1.0 for the 8-bit table).
+    pub sqt_wram_hit_rate: f64,
+}
+
+impl BatchReport {
+    /// Assemble from timing + counters.
+    pub fn new(
+        queries: usize,
+        timing: BatchTiming,
+        energy_j: f64,
+        postponed: usize,
+        lock: LockStats,
+        sqt_wram_hit_rate: f64,
+    ) -> Self {
+        let total: f64 = timing.phase_s.iter().sum();
+        let mut phase_fraction = [0.0; 6];
+        if total > 0.0 {
+            for (i, &t) in timing.phase_s.iter().enumerate() {
+                phase_fraction[i] = t / total;
+            }
+        }
+        let qps = queries as f64 / timing.total_s().max(1e-12);
+        let imbalance = timing.imbalance();
+        BatchReport {
+            queries,
+            timing,
+            qps,
+            energy_j,
+            phase_fraction,
+            imbalance,
+            postponed,
+            lock,
+            sqt_wram_hit_rate,
+        }
+    }
+
+    /// Fraction of the critical DPU's time spent in `p`.
+    pub fn fraction(&self, p: Phase) -> f64 {
+        self.phase_fraction[p.idx()]
+    }
+
+    /// Pretty single-line summary for harness output.
+    pub fn summary(&self) -> String {
+        format!(
+            "q={} qps={:.0} total={:.3}ms pim={:.3}ms host={:.3}ms imb={:.2} postponed={} RC/LC/DC/TS = {:.0}%/{:.0}%/{:.0}%/{:.0}%",
+            self.queries,
+            self.qps,
+            self.timing.total_s() * 1e3,
+            self.timing.pim_s() * 1e3,
+            self.timing.host_s * 1e3,
+            self.imbalance,
+            self.postponed,
+            self.fraction(Phase::Rc) * 100.0,
+            self.fraction(Phase::Lc) * 100.0,
+            self.fraction(Phase::Dc) * 100.0,
+            self.fraction(Phase::Ts) * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> BatchTiming {
+        BatchTiming {
+            host_s: 0.001,
+            dpu_s: vec![0.004, 0.002],
+            push_s: 0.0001,
+            gather_s: 0.0001,
+            phase_s: [0.0, 0.001, 0.001, 0.0015, 0.0005, 0.0],
+        }
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let r = BatchReport::new(64, timing(), 1.0, 0, LockStats::default(), 1.0);
+        let total: f64 = r.phase_fraction.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(r.fraction(Phase::Dc) > r.fraction(Phase::Ts));
+    }
+
+    #[test]
+    fn qps_is_queries_over_total() {
+        let r = BatchReport::new(64, timing(), 1.0, 0, LockStats::default(), 1.0);
+        let expect = 64.0 / r.timing.total_s();
+        assert!((r.qps - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_contains_key_numbers() {
+        let r = BatchReport::new(64, timing(), 1.0, 3, LockStats::default(), 1.0);
+        let s = r.summary();
+        assert!(s.contains("q=64"));
+        assert!(s.contains("postponed=3"));
+    }
+}

@@ -1,0 +1,353 @@
+//! Runtime query scheduling (paper Section 3.3, Fig. 5d).
+//!
+//! Per batch, every (query, slice) pair the cluster-locating phase produced
+//! becomes a task. The greedy scheduler assigns each task to the coldest
+//! DPU holding a copy of that slice, where "heat" is the predicted latency
+//! accumulated on the DPU (Equations 1-12 with per-DPU live values). Tasks
+//! that would push a DPU beyond `(1 + th3) x` the mean heat are postponed to
+//! the next batch, bounding the long tail.
+
+use crate::layout::LayoutPlan;
+
+/// One unit of schedulable work: scan `slice` for `query`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Task {
+    /// Query index within the batch.
+    pub query: u32,
+    /// Canonical slice index into [`LayoutPlan::slices`].
+    pub slice: usize,
+    /// Predicted DPU latency of the scan (seconds; from the perf model).
+    pub cost: f64,
+}
+
+/// The batch assignment.
+#[derive(Debug, Clone, Default)]
+pub struct SchedulePlan {
+    /// Tasks per DPU.
+    pub per_dpu: Vec<Vec<Task>>,
+    /// Tasks postponed to the next batch (th3 overflow).
+    pub postponed: Vec<Task>,
+    /// Final predicted heat per DPU.
+    pub heat: Vec<f64>,
+}
+
+impl SchedulePlan {
+    /// Scheduled task count.
+    pub fn scheduled(&self) -> usize {
+        self.per_dpu.iter().map(|t| t.len()).sum()
+    }
+
+    /// Max/mean heat over DPUs that received work.
+    pub fn imbalance(&self) -> f64 {
+        upmem_sim::stats::imbalance(&self.heat)
+    }
+}
+
+/// Scheduling policies.
+#[derive(Debug, Clone, Copy)]
+pub enum Policy {
+    /// Each slice's tasks go to its first (primary) home — no runtime
+    /// balancing; the baseline.
+    Static,
+    /// Greedy coldest-replica with `th3` postponement.
+    Greedy {
+        /// Overflow tolerance above mean heat; `INFINITY` disables
+        /// postponement.
+        th3: f64,
+    },
+}
+
+/// Schedule `tasks` over the DPUs of `layout`.
+pub fn schedule(tasks: &[Task], layout: &LayoutPlan, ndpus: usize, policy: Policy) -> SchedulePlan {
+    schedule_with_heat(tasks, layout, ndpus, policy, None)
+}
+
+/// [`schedule`] continuing from pre-existing per-DPU heat — used for the
+/// postponed-task waves so deferred work lands on the DPUs that are still
+/// cold *after* the main wave.
+pub fn schedule_with_heat(
+    tasks: &[Task],
+    layout: &LayoutPlan,
+    ndpus: usize,
+    policy: Policy,
+    initial_heat: Option<&[f64]>,
+) -> SchedulePlan {
+    match policy {
+        Policy::Static => schedule_static(tasks, layout, ndpus),
+        Policy::Greedy { th3 } => schedule_greedy(tasks, layout, ndpus, th3, initial_heat),
+    }
+}
+
+fn schedule_static(tasks: &[Task], layout: &LayoutPlan, ndpus: usize) -> SchedulePlan {
+    let mut per_dpu = vec![Vec::new(); ndpus];
+    let mut heat = vec![0.0f64; ndpus];
+    for &t in tasks {
+        let home = layout.slice_homes[t.slice][0];
+        per_dpu[home].push(t);
+        heat[home] += t.cost;
+    }
+    SchedulePlan {
+        per_dpu,
+        postponed: Vec::new(),
+        heat,
+    }
+}
+
+fn schedule_greedy(
+    tasks: &[Task],
+    layout: &LayoutPlan,
+    ndpus: usize,
+    th3: f64,
+    initial_heat: Option<&[f64]>,
+) -> SchedulePlan {
+    let mut per_dpu: Vec<Vec<Task>> = vec![Vec::new(); ndpus];
+    let mut heat = match initial_heat {
+        Some(h) => h.to_vec(),
+        None => vec![0.0f64; ndpus],
+    };
+
+    // Schedule heavy tasks first (LPT-style) for a tighter makespan.
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    order.sort_by(|&a, &b| tasks[b].cost.partial_cmp(&tasks[a].cost).unwrap());
+
+    // mean heat if everything were perfectly spread — the th3 reference
+    let total_cost: f64 =
+        tasks.iter().map(|t| t.cost).sum::<f64>() + heat.iter().sum::<f64>();
+    let mean = total_cost / ndpus.max(1) as f64;
+    let limit = if th3.is_finite() {
+        mean * (1.0 + th3)
+    } else {
+        f64::INFINITY
+    };
+
+    let mut postponed = Vec::new();
+    for idx in order {
+        let t = tasks[idx];
+        let homes = &layout.slice_homes[t.slice];
+        // coldest replica
+        let (best, best_heat) = homes
+            .iter()
+            .map(|&d| (d, heat[d]))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("slice has at least one home");
+        if best_heat + t.cost > limit && best_heat > 0.0 {
+            postponed.push(t);
+            continue;
+        }
+        per_dpu[best].push(t);
+        heat[best] += t.cost;
+    }
+
+    SchedulePlan {
+        per_dpu,
+        postponed,
+        heat,
+    }
+}
+
+/// Predicted DPU seconds for one (query, slice) task — the scheduler's
+/// heat unit ("estimated by the latency calculated by Equation 1-12" with
+/// live values). Mirrors the kernel charge structure: an LC table build of
+/// `cb x m x dsub` elements at the lookup (or multiply) cost, plus the
+/// DC/TS per-point pipeline work.
+#[allow(clippy::too_many_arguments)]
+pub fn task_cost_s(
+    slice_len: usize,
+    m: usize,
+    cb: usize,
+    dsub: usize,
+    k: usize,
+    sqt: bool,
+    costs: &upmem_sim::IsaCosts,
+    freq_hz: f64,
+) -> f64 {
+    let square = if sqt { costs.sqt_lookup } else { costs.mul };
+    let lc_cycles = (cb * m * dsub) as u64 * (square + 2 * costs.add);
+    let per_point = m as u64 * (crate::kernels::dc::GATHER_OVERHEAD_ALU + costs.add)
+        + (k.max(2) as f64).log2() as u64
+        + 3;
+    let cycles = lc_cycles + slice_len as u64 * per_point;
+    cycles as f64 / freq_hz
+}
+
+/// How many point-scans one LC table build is worth — the quantity that
+/// makes cluster splitting expensive: every extra slice of a probed cluster
+/// re-runs LC on whichever DPU received it (unless co-located). Used by the
+/// partition threshold search.
+pub fn lc_equiv_points(
+    m: usize,
+    cb: usize,
+    dsub: usize,
+    k: usize,
+    sqt: bool,
+    costs: &upmem_sim::IsaCosts,
+) -> f64 {
+    let square = if sqt { costs.sqt_lookup } else { costs.mul };
+    let lc_cycles = (cb * m * dsub) as u64 * (square + 2 * costs.add);
+    let per_point = m as u64 * (crate::kernels::dc::GATHER_OVERHEAD_ALU + costs.add)
+        + (k.max(2) as f64).log2() as u64
+        + 3;
+    lc_cycles as f64 / per_point as f64
+}
+
+/// Build the task list for a batch given per-query probed clusters.
+///
+/// Each probed cluster expands into one task per slice (a query must scan
+/// all slices of a cluster; copies are alternatives, slices are not).
+/// `cost_of` predicts scan latency from slice length.
+pub fn expand_tasks(
+    probes_per_query: &[Vec<u32>],
+    layout: &LayoutPlan,
+    cost_of: impl Fn(usize) -> f64,
+) -> Vec<Task> {
+    let mut tasks = Vec::new();
+    for (qi, probes) in probes_per_query.iter().enumerate() {
+        for &c in probes {
+            for &si in &layout.cluster_slices[c as usize] {
+                tasks.push(Task {
+                    query: qi as u32,
+                    slice: si,
+                    cost: cost_of(layout.slices[si].len),
+                });
+            }
+        }
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EngineConfig, IndexConfig};
+    use crate::layout::{ClusterInfo, LayoutPlan};
+
+    fn layout(ndpus: usize, dup: bool) -> (Vec<ClusterInfo>, LayoutPlan) {
+        let clusters: Vec<ClusterInfo> = (0..8)
+            .map(|i| ClusterInfo {
+                id: i,
+                points: 100,
+                heat: if i == 0 { 50.0 } else { 1.0 },
+            })
+            .collect();
+        let mut cfg = EngineConfig::drim(IndexConfig {
+            k: 10,
+            nprobe: 4,
+            nlist: 8,
+            m: 4,
+            cb: 16,
+            ..IndexConfig::paper_default()
+        });
+        cfg.duplication = dup;
+        let plan = LayoutPlan::build(&clusters, ndpus, &cfg, 8, 1 << 20);
+        (clusters, plan)
+    }
+
+    fn hot_tasks(n: usize, slice: usize) -> Vec<Task> {
+        (0..n)
+            .map(|q| Task {
+                query: q as u32,
+                slice,
+                cost: 1.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn static_policy_stacks_on_primary() {
+        let (_, plan) = layout(4, false);
+        let tasks = hot_tasks(10, 0);
+        let sp = schedule(&tasks, &plan, 4, Policy::Static);
+        assert_eq!(sp.scheduled(), 10);
+        // all on one DPU
+        let non_empty = sp.per_dpu.iter().filter(|t| !t.is_empty()).count();
+        assert_eq!(non_empty, 1);
+        assert!(sp.imbalance() > 3.0);
+    }
+
+    #[test]
+    fn greedy_spreads_over_replicas() {
+        let (_, plan) = layout(4, true);
+        // slice 0 belongs to the hot cluster: duplication gave it copies
+        let hot_slice = plan.cluster_slices[0][0];
+        assert!(
+            plan.slice_homes[hot_slice].len() > 1,
+            "duplication should have copied the hot slice"
+        );
+        let tasks = hot_tasks(12, hot_slice);
+        let sp = schedule(&tasks, &plan, 4, Policy::Greedy { th3: f64::INFINITY });
+        let used = sp.per_dpu.iter().filter(|t| !t.is_empty()).count();
+        assert_eq!(used, plan.slice_homes[hot_slice].len());
+        assert!(sp.imbalance() < 4.0);
+    }
+
+    #[test]
+    fn th3_postpones_overflow() {
+        let (_, plan) = layout(4, false);
+        let slice = plan.cluster_slices[1][0]; // single-copy slice
+        let tasks = hot_tasks(8, slice);
+        // mean = 8/4 = 2.0; limit = 2.0 * 1.5 = 3 -> 3 run, 5 postponed
+        let sp = schedule(&tasks, &plan, 4, Policy::Greedy { th3: 0.5 });
+        assert!(sp.scheduled() < 8, "some tasks must be postponed");
+        assert_eq!(sp.scheduled() + sp.postponed.len(), 8);
+        let max_heat = sp.heat.iter().cloned().fold(0.0, f64::max);
+        assert!(max_heat <= 3.0 + 1e-9, "max heat {max_heat}");
+    }
+
+    #[test]
+    fn every_task_scheduled_or_postponed_exactly_once() {
+        let (_, plan) = layout(4, true);
+        let mut tasks = Vec::new();
+        for q in 0..20u32 {
+            for s in 0..plan.slices.len() {
+                tasks.push(Task {
+                    query: q,
+                    slice: s,
+                    cost: 0.5 + (s as f64) * 0.1,
+                });
+            }
+        }
+        let sp = schedule(&tasks, &plan, 4, Policy::Greedy { th3: 0.2 });
+        assert_eq!(sp.scheduled() + sp.postponed.len(), tasks.len());
+        // every scheduled task sits on a DPU that actually hosts its slice
+        for (d, ts) in sp.per_dpu.iter().enumerate() {
+            for t in ts {
+                assert!(
+                    plan.slice_homes[t.slice].contains(&d),
+                    "task on dpu {d} but slice {} lives on {:?}",
+                    t.slice,
+                    plan.slice_homes[t.slice]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expand_tasks_covers_all_slices_of_probed_clusters() {
+        let (_, plan) = layout(4, false);
+        let probes = vec![vec![0u32, 3], vec![5u32]];
+        let tasks = expand_tasks(&probes, &plan, |len| len as f64);
+        let expected: usize = plan.cluster_slices[0].len()
+            + plan.cluster_slices[3].len()
+            + plan.cluster_slices[5].len();
+        assert_eq!(tasks.len(), expected);
+        assert!(tasks.iter().all(|t| t.cost == 100.0 || t.cost < 100.0));
+    }
+
+    #[test]
+    fn greedy_beats_static_makespan_under_skew() {
+        let (_, plan) = layout(4, true);
+        let hot_slice = plan.cluster_slices[0][0];
+        let mut tasks = hot_tasks(16, hot_slice);
+        for q in 0..4u32 {
+            tasks.push(Task {
+                query: q,
+                slice: plan.cluster_slices[2][0],
+                cost: 1.0,
+            });
+        }
+        let greedy = schedule(&tasks, &plan, 4, Policy::Greedy { th3: f64::INFINITY });
+        let stat = schedule(&tasks, &plan, 4, Policy::Static);
+        let makespan = |sp: &SchedulePlan| sp.heat.iter().cloned().fold(0.0, f64::max);
+        assert!(makespan(&greedy) < makespan(&stat));
+    }
+}

@@ -1,0 +1,470 @@
+//! Full-scale trace mode: run the *real* layout, scheduling and costing
+//! machinery against statistical workload shapes — 100M to 1B points, 2,543
+//! DPUs — without materializing a single vector.
+//!
+//! Rationale (DESIGN.md): the figures that depend on load distribution and
+//! phase balance (paper Figs. 7–11, 13–15, Table 3) are functions of
+//! *cluster sizes*, *query heat* and *per-operation costs*, none of which
+//! require vector payloads. Trace mode samples cluster sizes from a Zipf
+//! partition (k-means over natural data is uneven), samples each query's
+//! probed clusters from a Zipf heat law, and charges the DPU meters through
+//! the same closed-form `charge` functions the functional kernels use —
+//! unit tests in [`crate::kernels`] pin the two to produce identical totals.
+
+use crate::config::{EngineConfig, SchedPolicy};
+use crate::kernels::{cl, dc, lc, rc, ts, KernelCtx};
+use crate::layout::{ClusterInfo, LayoutPlan};
+use crate::perf_model::{BitWidths, WorkloadShape};
+use crate::report::BatchReport;
+use crate::sched::{self, Policy};
+use crate::sqt::Sqt;
+use crate::wram::{plan as wram_plan, WramPlacement};
+use datasets::zipf::{zipf_partition, Discrete};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+use upmem_sim::meter::{DpuMeter, Phase};
+use upmem_sim::proc::ProcModel;
+use upmem_sim::system::PimSystem;
+use upmem_sim::tasklet::{LockPolicy, LockStats};
+use upmem_sim::PimArch;
+
+/// Statistical description of a full-scale workload.
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    /// Workload name (reports).
+    pub name: String,
+    /// Total indexed points (e.g. `1e8` for SIFT100M).
+    pub n_points: u64,
+    /// Vector dimension.
+    pub dim: usize,
+    /// Queries per batch.
+    pub batch: usize,
+    /// Zipf exponent of cluster sizes (k-means on natural data: ~0.35).
+    pub cluster_size_zipf: f64,
+    /// Zipf exponent of query heat over clusters (~0.9 in-distribution;
+    /// 1.2+ for hot-topic traffic).
+    pub heat_zipf: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TraceSpec {
+    /// Trace stand-in for a catalogued dataset at full paper scale.
+    pub fn for_dataset(d: &datasets::DatasetDescriptor, batch: usize) -> Self {
+        TraceSpec {
+            name: d.name.to_string(),
+            n_points: d.n_full,
+            dim: d.dim,
+            batch,
+            cluster_size_zipf: 0.35,
+            heat_zipf: d.zipf_s,
+            seed: 0x7ACE,
+        }
+    }
+}
+
+/// A ready-to-run full-scale simulation.
+pub struct TraceRunner {
+    /// Engine configuration in force.
+    pub cfg: EngineConfig,
+    /// The workload description.
+    pub spec: TraceSpec,
+    /// Layout plan over the DPUs.
+    pub layout: LayoutPlan,
+    /// Simulated system.
+    pub system: PimSystem,
+    /// WRAM residency.
+    pub placement: WramPlacement,
+    /// Host model (CL phase).
+    pub host: ProcModel,
+    /// Closed-form workload shape.
+    pub shape: WorkloadShape,
+    /// Probe distribution over clusters (size-proportional x Zipf boost).
+    probe_sampler: Discrete,
+    /// PQ sub-vector dimension.
+    dsub: usize,
+}
+
+impl TraceRunner {
+    /// Build the runner: sample cluster sizes, profile heat, lay out, plan
+    /// WRAM.
+    pub fn build(spec: TraceSpec, cfg: EngineConfig, arch: PimArch, ndpus: usize) -> TraceRunner {
+        let nlist = cfg.index.nlist;
+        let mut sizes = zipf_partition(spec.n_points as usize, nlist, spec.cluster_size_zipf);
+        // k-means cluster ids are not size-ordered; shuffle so id-based
+        // placements (round-robin baseline) see realistic random stacking
+        {
+            let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x51235);
+            for i in (1..sizes.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                sizes.swap(i, j);
+            }
+        }
+
+        // Probe probability of a cluster = sqrt of its point mass
+        // (in-distribution queries land in populated regions — this drives
+        // the paper's imbalance) times a Zipf "topic heat" boost over a
+        // seeded shuffle (hot topics uncorrelated with size). heat_zipf = 0
+        // degenerates to pure sqrt-size-proportional probing.
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut rank_to_cluster: Vec<u32> = (0..nlist as u32).collect();
+        for i in (1..rank_to_cluster.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            rank_to_cluster.swap(i, j);
+        }
+        let boost = datasets::zipf::zipf_weights(nlist, spec.heat_zipf);
+        let mut probe_weights = vec![0.0f64; nlist];
+        for (rank, &c) in rank_to_cluster.iter().enumerate() {
+            // probe mass grows sublinearly (sqrt) with cluster size: queries
+            // land in populated regions, but nearest-centroid geometry does
+            // not reward mass linearly — calibrated against the paper's
+            // 4.8-6.2x naive-imbalance band (Fig. 13)
+            probe_weights[c as usize] =
+                (sizes[c as usize].max(1) as f64).sqrt() * boost[rank] * nlist as f64;
+        }
+        let total_w: f64 = probe_weights.iter().sum();
+        let probe_sampler = Discrete::new(&probe_weights);
+
+        // expected probes per query per cluster -> heat (scanned points)
+        let clusters: Vec<ClusterInfo> = (0..nlist)
+            .map(|c| {
+                let freq = probe_weights[c] / total_w * cfg.index.nprobe as f64;
+                ClusterInfo {
+                    id: c as u32,
+                    points: sizes[c],
+                    heat: freq * sizes[c].max(1) as f64,
+                }
+            })
+            .collect();
+
+        let code_bytes = if cfg.index.cb <= 256 { 1 } else { 2 };
+        let bytes_per_point = (cfg.index.m * code_bytes + 4) as u64;
+        let dsub = spec.dim.div_ceil(cfg.index.m);
+        let codebook_bytes = (cfg.index.m * cfg.index.cb * dsub) as u64;
+        let mram_budget = arch.mram_bytes.saturating_sub(codebook_bytes);
+        let layout = LayoutPlan::build(&clusters, ndpus, &cfg, bytes_per_point, mram_budget);
+
+        let mut system = PimSystem::new(arch.clone(), ndpus);
+        system.tasklets = cfg.tasklets;
+
+        let shape = WorkloadShape::new(
+            spec.n_points,
+            spec.batch,
+            spec.dim,
+            &cfg.index,
+            BitWidths::u8_regime(),
+        );
+        let placement = if cfg.wram_buffers {
+            let sqt_bytes = Sqt::for_bits(cfg.bits).wram_bytes();
+            let local = layout.dpu_slices.first().map(|s| s.len()).unwrap_or(0);
+            let capacity = arch.wram_bytes.saturating_sub(cfg.tasklets as u64 * 1024);
+            wram_plan(
+                &crate::wram::standard_candidates(&shape, sqt_bytes, local, ndpus),
+                capacity,
+            )
+        } else {
+            WramPlacement::none()
+        };
+
+        TraceRunner {
+            cfg,
+            spec,
+            layout,
+            system,
+            placement,
+            host: upmem_sim::platform::procs::xeon_silver_4216(),
+            shape,
+            probe_sampler,
+            dsub,
+        }
+    }
+
+    /// Sample the probed clusters of one batch of queries.
+    pub fn sample_probes(&self, batch_seed: u64) -> Vec<Vec<u32>> {
+        let nprobe = self.cfg.index.nprobe.min(self.cfg.index.nlist);
+        let mut rng = StdRng::seed_from_u64(self.spec.seed ^ batch_seed.wrapping_mul(0x9E37));
+        (0..self.spec.batch)
+            .map(|_| {
+                let mut probed = Vec::with_capacity(nprobe);
+                let mut seen = std::collections::HashSet::with_capacity(nprobe * 2);
+                while probed.len() < nprobe {
+                    let c = self.probe_sampler.sample(&mut rng) as u32;
+                    if seen.insert(c) {
+                        probed.push(c);
+                    }
+                }
+                probed
+            })
+            .collect()
+    }
+
+    /// Scheduler heat unit (same formula as the functional engine).
+    fn task_cost(&self, slice_len: usize) -> f64 {
+        sched::task_cost_s(
+            slice_len,
+            self.cfg.index.m,
+            self.cfg.index.cb,
+            self.dsub,
+            self.cfg.index.k,
+            self.cfg.sqt,
+            &self.system.arch.costs,
+            self.system.arch.freq_hz,
+        )
+    }
+
+    /// Execute one batch; `batch_seed` varies the query sample.
+    pub fn run_batch(&mut self, batch_seed: u64) -> BatchReport {
+        self.system.reset_meters();
+        let probes = self.sample_probes(batch_seed);
+
+        // CL on host (blocked-GEMM model, same as the functional engine)
+        let host_s = cl::host_cl_time(
+            self.spec.batch,
+            self.cfg.index.nlist,
+            &self.shape,
+            &self.host,
+        );
+
+        // schedule
+        let tasks = sched::expand_tasks(&probes, &self.layout, |len| self.task_cost(len));
+        let policy = match self.cfg.scheduling {
+            SchedPolicy::Static => Policy::Static,
+            SchedPolicy::Greedy => Policy::Greedy { th3: self.cfg.th3 },
+        };
+        let mut plan = sched::schedule(&tasks, &self.layout, self.system.len(), policy);
+        let postponed_count = plan.postponed.len();
+        while !plan.postponed.is_empty() {
+            let extra = sched::schedule_with_heat(
+                &plan.postponed,
+                &self.layout,
+                self.system.len(),
+                Policy::Greedy { th3: f64::INFINITY },
+                Some(&plan.heat),
+            );
+            for (d, ts_) in extra.per_dpu.into_iter().enumerate() {
+                plan.per_dpu[d].extend(ts_);
+            }
+            plan.heat = extra.heat;
+            plan.postponed = extra.postponed;
+        }
+
+        // charge DPUs (parallel)
+        let k = self.cfg.index.k;
+        let m = self.cfg.index.m;
+        let cb = self.cfg.index.cb;
+        let dsub = self.dsub;
+        let d = self.spec.dim as u64;
+        let costs = self.system.arch.costs.clone();
+        let ctx = KernelCtx {
+            costs: &costs,
+            // random accesses pay the burst x the PrIM-style derate
+            dma_burst: self.system.arch.dma_burst_bytes * self.system.arch.mram_random_penalty,
+            bits: self.cfg.bits,
+            placement: &self.placement,
+        };
+        let square = if self.cfg.sqt {
+            let resident = self.placement.is_resident("sqt");
+            lc::SquareCost::SqtLookup {
+                wram_hit_rate: match (self.cfg.bits, resident) {
+                    (_, false) => 0.0, // spilled entirely (Fig. 12b ablation)
+                    (crate::config::DataBits::B8, true) => 1.0,
+                    // 16-bit: the WRAM window absorbs most lookups because
+                    // residuals are small (paper Section 3.1)
+                    (crate::config::DataBits::B16, true) => 0.9,
+                },
+            }
+        } else {
+            lc::SquareCost::Multiply
+        };
+        let lock_policy = self.cfg.lock_policy;
+        let layout = &self.layout;
+
+        let charged: Vec<(usize, DpuMeter, LockStats, u64, u64)> = plan
+            .per_dpu
+            .par_iter()
+            .enumerate()
+            .map(|(dpu, tasks)| {
+                let mut meter = DpuMeter::new();
+                let mut lock = LockStats::default();
+                let mut push_bytes = 0u64;
+                let mut gather_bytes = 0u64;
+
+                // group by (query, cluster) exactly like the engine
+                let mut groups: std::collections::BTreeMap<(u32, u32), Vec<usize>> =
+                    Default::default();
+                for t in tasks {
+                    let cluster = layout.slices[t.slice].cluster;
+                    groups.entry((t.query, cluster)).or_default().push(t.slice);
+                }
+                let mut queries_seen = std::collections::HashSet::new();
+                for ((q, _cluster), slices) in groups {
+                    queries_seen.insert(q);
+                    push_bytes += d * 4 + 8 * slices.len() as u64;
+                    rc::charge(&ctx, meter.phase_mut(Phase::Rc), d);
+                    lc::charge(&ctx, meter.phase_mut(Phase::Lc), m, cb, dsub, square);
+                    for &si in &slices {
+                        let n = layout.slices[si].len as u64;
+                        dc::charge(&ctx, meter.phase_mut(Phase::Dc), n, m, cb);
+                        let (locked, retained) = match lock_policy {
+                            LockPolicy::LockAlways => (n, ts::expected_updates(n, k)),
+                            LockPolicy::Forwarding => {
+                                let u = ts::expected_updates(n, k);
+                                (u, u)
+                            }
+                        };
+                        ts::charge(
+                            &ctx,
+                            meter.phase_mut(Phase::Ts),
+                            n,
+                            k,
+                            lock_policy,
+                            locked,
+                            retained,
+                        );
+                        match lock_policy {
+                            LockPolicy::LockAlways => lock.locked_updates += n,
+                            LockPolicy::Forwarding => {
+                                let u = ts::expected_updates(n, k);
+                                lock.locked_updates += u;
+                                lock.pruned += n - u.min(n);
+                            }
+                        }
+                    }
+                }
+                gather_bytes += queries_seen.len() as u64 * k as u64 * 8;
+                (dpu, meter, lock, push_bytes, gather_bytes)
+            })
+            .collect();
+
+        let mut lock = LockStats::default();
+        let mut push_bytes = 0u64;
+        let mut gather_bytes = 0u64;
+        for (dpu, meter, l, p, g) in charged {
+            self.system.dpus[dpu].meter.merge(&meter);
+            lock.locked_updates += l.locked_updates;
+            lock.pruned += l.pruned;
+            push_bytes += p;
+            gather_bytes += g;
+        }
+
+        let n = self.system.len().max(1) as u64;
+        let timing = self
+            .system
+            .batch_timing(host_s, push_bytes / n, gather_bytes / n);
+        let energy = self.system.energy_model().energy_j(timing.total_s());
+        let report = BatchReport::new(
+            self.spec.batch,
+            timing,
+            energy,
+            postponed_count,
+            lock,
+            1.0,
+        );
+        report
+    }
+
+    /// Run `batches` batches and return the mean QPS (steady-state estimate).
+    pub fn mean_qps(&mut self, batches: usize) -> f64 {
+        let mut total_q = 0usize;
+        let mut total_t = 0.0f64;
+        for b in 0..batches {
+            let rep = self.run_batch(b as u64 + 1);
+            total_q += rep.queries;
+            total_t += rep.timing.total_s();
+        }
+        total_q as f64 / total_t.max(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IndexConfig;
+
+    fn spec(n: u64) -> TraceSpec {
+        TraceSpec {
+            name: "trace-test".into(),
+            n_points: n,
+            dim: 32,
+            batch: 64,
+            cluster_size_zipf: 0.35,
+            heat_zipf: 1.0,
+            seed: 42,
+        }
+    }
+
+    fn cfg() -> EngineConfig {
+        let mut c = EngineConfig::drim(IndexConfig {
+            k: 10,
+            nprobe: 8,
+            nlist: 256,
+            m: 8,
+            cb: 64,
+        });
+        c.batch = 64;
+        c
+    }
+
+    #[test]
+    fn trace_runs_at_million_scale() {
+        let mut runner = TraceRunner::build(spec(1_000_000), cfg(), PimArch::upmem_sc25(), 64);
+        let rep = runner.run_batch(1);
+        assert!(rep.qps > 0.0);
+        assert!(rep.timing.pim_s() > 0.0);
+        assert_eq!(rep.queries, 64);
+    }
+
+    #[test]
+    fn probes_are_distinct_and_in_range() {
+        let runner = TraceRunner::build(spec(100_000), cfg(), PimArch::upmem_sc25(), 16);
+        let probes = runner.sample_probes(7);
+        assert_eq!(probes.len(), 64);
+        for p in &probes {
+            assert_eq!(p.len(), 8);
+            let set: std::collections::HashSet<_> = p.iter().collect();
+            assert_eq!(set.len(), p.len());
+            assert!(p.iter().all(|&c| (c as usize) < 256));
+        }
+    }
+
+    #[test]
+    fn skewed_heat_without_balancing_is_imbalanced() {
+        let mut hot = spec(1_000_000);
+        hot.heat_zipf = 1.4;
+        let naive = EngineConfig::naive(cfg().index);
+        let mut runner = TraceRunner::build(hot, naive, PimArch::upmem_sc25(), 64);
+        let rep = runner.run_batch(1);
+        assert!(rep.imbalance > 2.0, "imbalance {}", rep.imbalance);
+    }
+
+    #[test]
+    fn load_balance_optimizations_cut_makespan() {
+        let mut hot = spec(1_000_000);
+        hot.heat_zipf = 1.4;
+        let mut naive_runner =
+            TraceRunner::build(hot.clone(), EngineConfig::naive(cfg().index), PimArch::upmem_sc25(), 64);
+        let mut drim_runner = TraceRunner::build(hot, cfg(), PimArch::upmem_sc25(), 64);
+        let naive_rep = naive_runner.run_batch(1);
+        let drim_rep = drim_runner.run_batch(1);
+        let speedup = naive_rep.timing.pim_s() / drim_rep.timing.pim_s();
+        assert!(speedup > 1.5, "load-balance speedup {speedup}");
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let mut a = TraceRunner::build(spec(500_000), cfg(), PimArch::upmem_sc25(), 32);
+        let mut b = TraceRunner::build(spec(500_000), cfg(), PimArch::upmem_sc25(), 32);
+        let ra = a.run_batch(3);
+        let rb = b.run_batch(3);
+        assert_eq!(ra.timing.pim_s(), rb.timing.pim_s());
+        assert_eq!(ra.qps, rb.qps);
+    }
+
+    #[test]
+    fn mean_qps_aggregates_batches() {
+        let mut runner = TraceRunner::build(spec(200_000), cfg(), PimArch::upmem_sc25(), 16);
+        let qps = runner.mean_qps(3);
+        assert!(qps > 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! The paper's dataset catalogue (its Table 1) and scaled synthetic
+//! stand-ins.
+//!
+//! Full-scale shapes drive the analytic/trace experiments (roofline, QPS
+//! projections, OOM checks); `scaled()` produces a functional synthetic
+//! corpus with the same dimension/dtype/skew at a size this environment can
+//! search exactly for recall measurement.
+
+use crate::synth::SynthSpec;
+
+/// Storage element type of a corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dtype {
+    /// 8-bit unsigned (SIFT; DEEP after the paper's uint8 quantization).
+    U8,
+    /// 32-bit float (DEEP/T2I native form).
+    F32,
+}
+
+impl Dtype {
+    /// Bytes per element.
+    pub fn bytes(self) -> usize {
+        match self {
+            Dtype::U8 => 1,
+            Dtype::F32 => 4,
+        }
+    }
+}
+
+/// Shape-level description of one evaluation dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetDescriptor {
+    /// Canonical name (paper Table 1 alias in parentheses).
+    pub name: &'static str,
+    /// Vector dimension.
+    pub dim: usize,
+    /// Full-scale vector count.
+    pub n_full: u64,
+    /// Element type as evaluated (SIFT/DEEP run as u8 in the paper).
+    pub dtype: Dtype,
+    /// Query-set size used in the paper.
+    pub n_queries: usize,
+    /// Zipf exponent for the synthetic stand-in's cluster mass.
+    pub zipf_s: f64,
+}
+
+impl DatasetDescriptor {
+    /// Raw corpus size in bytes at full scale.
+    pub fn raw_bytes(&self) -> u64 {
+        self.n_full * self.dim as u64 * self.dtype.bytes() as u64
+    }
+
+    /// IVF-PQ payload bytes at full scale: `m`-byte codes plus 4-byte ids
+    /// (cb <= 256 assumed, as in the paper's Faiss comparison).
+    pub fn ivfpq_bytes(&self, m: usize) -> u64 {
+        self.n_full * (m as u64 + 4)
+    }
+
+    /// A synthetic stand-in with this dataset's shape at `n` vectors.
+    pub fn scaled(&self, n: usize, seed: u64) -> SynthSpec {
+        SynthSpec {
+            name: format!("{}[{}]", self.name, n),
+            dim: self.dim,
+            n,
+            n_components: (n / 64).clamp(8, 1024),
+            zipf_s: self.zipf_s,
+            cluster_std: 14.0,
+            value_range: (0.0, 255.0),
+            seed,
+        }
+    }
+}
+
+/// SIFT100M: 10^8 x 128-d u8 (queries from the SIFT1B query set).
+pub fn sift100m() -> DatasetDescriptor {
+    DatasetDescriptor {
+        name: "SIFT100M",
+        dim: 128,
+        n_full: 100_000_000,
+        dtype: Dtype::U8,
+        n_queries: 10_000,
+        zipf_s: 0.5,
+    }
+}
+
+/// DEEP100M: 10^8 x 96-d, quantized to u8 in the paper's evaluation.
+pub fn deep100m() -> DatasetDescriptor {
+    DatasetDescriptor {
+        name: "DEEP100M",
+        dim: 96,
+        n_full: 100_000_000,
+        dtype: Dtype::U8,
+        n_queries: 10_000,
+        zipf_s: 0.5,
+    }
+}
+
+/// SPACEV100M: 10^8 x 100-d, 29,316 queries (paper Section 5.3).
+pub fn spacev100m() -> DatasetDescriptor {
+    DatasetDescriptor {
+        name: "SPACEV100M",
+        dim: 100,
+        n_full: 100_000_000,
+        dtype: Dtype::U8,
+        n_queries: 29_316,
+        zipf_s: 0.5,
+    }
+}
+
+/// SIFT1B (ST1B): 10^9 x 128-d u8.
+pub fn sift1b() -> DatasetDescriptor {
+    DatasetDescriptor {
+        name: "SIFT1B",
+        dim: 128,
+        n_full: 1_000_000_000,
+        dtype: Dtype::U8,
+        n_queries: 10_000,
+        zipf_s: 0.5,
+    }
+}
+
+/// DEEP1B (DP1B): 10^9 x 96-d.
+pub fn deep1b() -> DatasetDescriptor {
+    DatasetDescriptor {
+        name: "DEEP1B",
+        dim: 96,
+        n_full: 1_000_000_000,
+        dtype: Dtype::U8,
+        n_queries: 10_000,
+        zipf_s: 0.5,
+    }
+}
+
+/// SPACEV1B (SV1B): 10^9 x 100-d.
+pub fn spacev1b() -> DatasetDescriptor {
+    DatasetDescriptor {
+        name: "SPACEV1B",
+        dim: 100,
+        n_full: 1_000_000_000,
+        dtype: Dtype::U8,
+        n_queries: 29_316,
+        zipf_s: 0.5,
+    }
+}
+
+/// T2I1B: 10^9 x 200-d (text-to-image, the highest-dimensional entry).
+pub fn t2i1b() -> DatasetDescriptor {
+    DatasetDescriptor {
+        name: "T2I1B",
+        dim: 200,
+        n_full: 1_000_000_000,
+        dtype: Dtype::F32,
+        n_queries: 100_000,
+        zipf_s: 0.5,
+    }
+}
+
+/// The full Table 1 of the paper, in its column order.
+pub fn table1() -> Vec<DatasetDescriptor> {
+    vec![
+        sift1b(),
+        deep1b(),
+        spacev1b(),
+        t2i1b(),
+        sift100m(),
+        deep100m(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_shapes() {
+        let t = table1();
+        assert_eq!(t.len(), 6);
+        // Table 1: dims 128, 96, 100, 200, 128, 96
+        let dims: Vec<usize> = t.iter().map(|d| d.dim).collect();
+        assert_eq!(dims, vec![128, 96, 100, 200, 128, 96]);
+        let ns: Vec<u64> = t.iter().map(|d| d.n_full).collect();
+        assert_eq!(
+            ns,
+            vec![
+                1_000_000_000,
+                1_000_000_000,
+                1_000_000_000,
+                1_000_000_000,
+                100_000_000,
+                100_000_000
+            ]
+        );
+    }
+
+    #[test]
+    fn sift100m_exceeds_a100_memory_at_1b() {
+        // the motivation for Fig. 2's OOM markers
+        assert!(sift1b().raw_bytes() > 80 << 30);
+        assert!(sift100m().raw_bytes() < 80 << 30);
+    }
+
+    #[test]
+    fn ivfpq_payload_much_smaller_than_raw() {
+        let d = sift100m();
+        assert!(d.ivfpq_bytes(16) < d.raw_bytes() / 6);
+    }
+
+    #[test]
+    fn scaled_preserves_shape() {
+        let d = deep100m();
+        let s = d.scaled(10_000, 7);
+        assert_eq!(s.dim, 96);
+        assert_eq!(s.n, 10_000);
+        assert!(s.name.contains("DEEP100M"));
+    }
+
+    #[test]
+    fn scaled_generates() {
+        let s = sift100m().scaled(500, 3);
+        let data = crate::synth::generate(&s);
+        assert_eq!(data.len(), 500);
+        assert_eq!(data.dim(), 128);
+    }
+
+    #[test]
+    fn spacev_query_count_matches_paper() {
+        assert_eq!(spacev100m().n_queries, 29_316);
+    }
+}

@@ -1,0 +1,78 @@
+//! Ground-truth computation for recall measurement.
+//!
+//! Thin facade over [`ann_core::flat`] with a convenience bundle type, so
+//! experiment code asks one object for "corpus + queries + truth".
+
+use crate::queries::{generate_queries, QuerySkew};
+use crate::synth::{generate, SynthSpec};
+use ann_core::vector::VecSet;
+
+/// A ready-to-run workload: corpus, queries, and exact answers.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The corpus.
+    pub data: VecSet<f32>,
+    /// The queries.
+    pub queries: VecSet<f32>,
+    /// Exact top-k id lists per query.
+    pub truth: Vec<Vec<u64>>,
+    /// k used for the truth lists.
+    pub k: usize,
+}
+
+impl Workload {
+    /// Build a workload from a synthetic spec: generate, query, solve.
+    pub fn build(spec: &SynthSpec, n_queries: usize, skew: QuerySkew, k: usize) -> Self {
+        let data = generate(spec);
+        let queries = generate_queries(spec, n_queries, skew, spec.seed ^ 0x51EE);
+        let truth = ann_core::flat::ground_truth(&queries, &data, k);
+        Workload {
+            data,
+            queries,
+            truth,
+            k,
+        }
+    }
+
+    /// Recall@k of a batch of approximate results against this truth.
+    pub fn recall(&self, results: &[Vec<ann_core::topk::Neighbor>]) -> f64 {
+        ann_core::recall::mean_recall(results, &self.truth, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_builds_consistently() {
+        let spec = SynthSpec::small("w", 8, 400, 3);
+        let w = Workload::build(&spec, 10, QuerySkew::InDistribution, 5);
+        assert_eq!(w.data.len(), 400);
+        assert_eq!(w.queries.len(), 10);
+        assert_eq!(w.truth.len(), 10);
+        assert!(w.truth.iter().all(|t| t.len() == 5));
+    }
+
+    #[test]
+    fn exact_results_score_perfect_recall() {
+        let spec = SynthSpec::small("w2", 8, 300, 5);
+        let w = Workload::build(&spec, 8, QuerySkew::InDistribution, 3);
+        let exact = ann_core::flat::exact_search_batch(&w.queries, &w.data, 3);
+        assert_eq!(w.recall(&exact), 1.0);
+    }
+
+    #[test]
+    fn garbage_results_score_zero() {
+        let spec = SynthSpec::small("w3", 8, 300, 7);
+        let w = Workload::build(&spec, 4, QuerySkew::InDistribution, 3);
+        let garbage: Vec<Vec<ann_core::topk::Neighbor>> = (0..4)
+            .map(|_| {
+                (0..3)
+                    .map(|i| ann_core::topk::Neighbor::new(100_000 + i, 0.0))
+                    .collect()
+            })
+            .collect();
+        assert_eq!(w.recall(&garbage), 0.0);
+    }
+}

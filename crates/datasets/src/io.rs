@@ -1,0 +1,206 @@
+//! Readers/writers for the TEXMEX vector formats used by SIFT/DEEP/GIST:
+//!
+//! * `fvecs` — per vector: little-endian `i32` dimension, then `dim` f32s;
+//! * `bvecs` — `i32` dimension, then `dim` bytes;
+//! * `ivecs` — `i32` dimension, then `dim` i32s (ground-truth id lists).
+//!
+//! These let real corpora drop straight into the reproduction when the
+//! hardware/data gate lifts.
+
+use ann_core::vector::VecSet;
+use std::io::{self, Read, Write};
+
+/// Read an `fvecs` stream into a vector set.
+pub fn read_fvecs<R: Read>(mut r: R) -> io::Result<VecSet<f32>> {
+    let mut out: Option<VecSet<f32>> = None;
+    loop {
+        let dim = match read_u32_opt(&mut r)? {
+            Some(d) => d as usize,
+            None => break,
+        };
+        validate_dim(dim, &out.as_ref().map(|s| s.dim()))?;
+        let mut buf = vec![0u8; dim * 4];
+        r.read_exact(&mut buf)?;
+        let row: Vec<f32> = buf
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect();
+        out.get_or_insert_with(|| VecSet::new(dim)).push(&row);
+    }
+    Ok(out.unwrap_or_else(|| VecSet::new(1)))
+}
+
+/// Write a vector set as `fvecs`.
+pub fn write_fvecs<W: Write>(mut w: W, set: &VecSet<f32>) -> io::Result<()> {
+    for row in set.iter() {
+        w.write_all(&(set.dim() as u32).to_le_bytes())?;
+        for &x in row {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Read a `bvecs` stream into a u8 vector set.
+pub fn read_bvecs<R: Read>(mut r: R) -> io::Result<VecSet<u8>> {
+    let mut out: Option<VecSet<u8>> = None;
+    loop {
+        let dim = match read_u32_opt(&mut r)? {
+            Some(d) => d as usize,
+            None => break,
+        };
+        validate_dim(dim, &out.as_ref().map(|s| s.dim()))?;
+        let mut buf = vec![0u8; dim];
+        r.read_exact(&mut buf)?;
+        out.get_or_insert_with(|| VecSet::new(dim)).push(&buf);
+    }
+    Ok(out.unwrap_or_else(|| VecSet::new(1)))
+}
+
+/// Write a u8 vector set as `bvecs`.
+pub fn write_bvecs<W: Write>(mut w: W, set: &VecSet<u8>) -> io::Result<()> {
+    for row in set.iter() {
+        w.write_all(&(set.dim() as u32).to_le_bytes())?;
+        w.write_all(row)?;
+    }
+    Ok(())
+}
+
+/// Read an `ivecs` stream (ground-truth lists) as rows of u32 ids.
+pub fn read_ivecs<R: Read>(mut r: R) -> io::Result<Vec<Vec<u32>>> {
+    let mut out = Vec::new();
+    loop {
+        let dim = match read_u32_opt(&mut r)? {
+            Some(d) => d as usize,
+            None => break,
+        };
+        let mut buf = vec![0u8; dim * 4];
+        r.read_exact(&mut buf)?;
+        out.push(
+            buf.chunks_exact(4)
+                .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                .collect(),
+        );
+    }
+    Ok(out)
+}
+
+/// Write ground-truth id lists as `ivecs`.
+pub fn write_ivecs<W: Write>(mut w: W, lists: &[Vec<u32>]) -> io::Result<()> {
+    for list in lists {
+        w.write_all(&(list.len() as u32).to_le_bytes())?;
+        for &id in list {
+            w.write_all(&id.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Read a little-endian u32; `Ok(None)` at clean EOF.
+fn read_u32_opt<R: Read>(r: &mut R) -> io::Result<Option<u32>> {
+    let mut b = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut b[filled..])?;
+        if n == 0 {
+            return if filled == 0 {
+                Ok(None)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "truncated vector header",
+                ))
+            };
+        }
+        filled += n;
+    }
+    Ok(Some(u32::from_le_bytes(b)))
+}
+
+fn validate_dim(dim: usize, prev: &Option<usize>) -> io::Result<()> {
+    if dim == 0 || dim > 1 << 20 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("implausible vector dimension {dim}"),
+        ));
+    }
+    if let Some(p) = prev {
+        if *p != dim {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("inconsistent dimensions: {p} then {dim}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fvecs_roundtrip() {
+        let mut s = VecSet::new(3);
+        s.push(&[1.0, -2.5, 3.25]);
+        s.push(&[0.0, 7.0, -0.125]);
+        let mut buf = Vec::new();
+        write_fvecs(&mut buf, &s).unwrap();
+        assert_eq!(buf.len(), 2 * (4 + 12));
+        let back = read_fvecs(&buf[..]).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn bvecs_roundtrip() {
+        let mut s = VecSet::new(4);
+        s.push(&[0u8, 127, 200, 255]);
+        s.push(&[1, 2, 3, 4]);
+        let mut buf = Vec::new();
+        write_bvecs(&mut buf, &s).unwrap();
+        let back = read_bvecs(&buf[..]).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn ivecs_roundtrip() {
+        let lists = vec![vec![5u32, 2, 9], vec![1u32, 0, 3]];
+        let mut buf = Vec::new();
+        write_ivecs(&mut buf, &lists).unwrap();
+        let back = read_ivecs(&buf[..]).unwrap();
+        assert_eq!(back, lists);
+    }
+
+    #[test]
+    fn empty_stream_reads_empty() {
+        let empty: &[u8] = &[];
+        assert!(read_fvecs(empty).unwrap().is_empty());
+        assert!(read_bvecs(empty).unwrap().is_empty());
+        assert!(read_ivecs(empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncated_vector_is_an_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&[1u8, 2]); // only 2 of 3 bytes
+        assert!(read_bvecs(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn inconsistent_dims_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[1u8, 2]);
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&[1u8, 2, 3]);
+        assert!(read_bvecs(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn implausible_dim_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(read_bvecs(&buf[..]).is_err());
+    }
+}

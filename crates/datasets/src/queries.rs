@@ -1,0 +1,124 @@
+//! Query-set generation.
+//!
+//! Two regimes matter for the paper's experiments:
+//!
+//! * **In-distribution** queries — drawn near the corpus' mixture
+//!   components with the *same* component probabilities (the default for
+//!   recall/QPS runs);
+//! * **Skewed** queries — component choice re-weighted by an extra Zipf
+//!   factor, concentrating load on a few hot clusters. This is the regime
+//!   where naive layouts collapse and DRIM-ANN's duplication + scheduling
+//!   recover 4.8–6.2x (paper Fig. 13).
+
+use crate::synth::{component_centers, gaussian, SynthSpec};
+use crate::zipf::Zipf;
+use ann_core::vector::VecSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How query load is spread over the corpus' latent components.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuerySkew {
+    /// Component probabilities equal to the corpus mass (in-distribution).
+    InDistribution,
+    /// Components re-ranked by an independent Zipf(`s`): a few become hot.
+    Hot {
+        /// Zipf exponent of query heat (1.0–1.5 are realistic web skews).
+        s: f64,
+    },
+}
+
+/// Generate `n_queries` queries for the corpus described by `spec`.
+///
+/// Queries are points near component centers with the same jitter scale as
+/// the corpus, so they have in-distribution nearest neighbors.
+pub fn generate_queries(spec: &SynthSpec, n_queries: usize, skew: QuerySkew, seed: u64) -> VecSet<f32> {
+    // Re-derive the corpus component centers from the corpus seed.
+    let mut corpus_rng = StdRng::seed_from_u64(spec.seed);
+    let centers = component_centers(spec, &mut corpus_rng);
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD9E5);
+    let sampler = match skew {
+        QuerySkew::InDistribution => Zipf::new(spec.n_components, spec.zipf_s),
+        QuerySkew::Hot { s } => Zipf::new(spec.n_components, s),
+    };
+
+    let (lo, hi) = spec.value_range;
+    let mut out = VecSet::with_capacity(spec.dim, n_queries);
+    let mut v = vec![0.0f32; spec.dim];
+    for _ in 0..n_queries {
+        let c = sampler.sample(&mut rng);
+        let center = centers.get(c);
+        for (d, slot) in v.iter_mut().enumerate() {
+            *slot = (center[d] + gaussian(&mut rng) * spec.cluster_std).clamp(lo, hi);
+        }
+        out.push(&v);
+    }
+    out
+}
+
+/// Empirical heat (sample counts) each component receives under `skew`,
+/// normalized to sum to 1. Used by trace-mode experiments to drive layout
+/// decisions without materializing queries.
+pub fn component_heat(n_components: usize, skew: QuerySkew) -> Vec<f64> {
+    match skew {
+        QuerySkew::InDistribution => crate::zipf::zipf_weights(n_components, 0.9),
+        QuerySkew::Hot { s } => crate::zipf::zipf_weights(n_components, s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::generate;
+
+    fn spec() -> SynthSpec {
+        SynthSpec::small("q", 8, 1000, 77)
+    }
+
+    #[test]
+    fn shapes_and_determinism() {
+        let s = spec();
+        let a = generate_queries(&s, 100, QuerySkew::InDistribution, 1);
+        let b = generate_queries(&s, 100, QuerySkew::InDistribution, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert_eq!(a.dim(), 8);
+        let c = generate_queries(&s, 100, QuerySkew::InDistribution, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn queries_have_close_neighbors_in_corpus() {
+        let s = spec();
+        let corpus = generate(&s);
+        let queries = generate_queries(&s, 20, QuerySkew::InDistribution, 5);
+        // each query's nearest corpus point should be within a few cluster
+        // radii, far below the uniform-random expectation
+        for qi in 0..queries.len() {
+            let res = ann_core::flat::exact_search(queries.get(qi), &corpus, 1);
+            let d = res[0].dist;
+            let radius = 8.0 * s.cluster_std * s.cluster_std * s.dim as f32;
+            assert!(d < radius, "query {qi} nearest dist {d} radius {radius}");
+        }
+    }
+
+    #[test]
+    fn hot_skew_concentrates_mass() {
+        let heat_uniformish = component_heat(50, QuerySkew::InDistribution);
+        let heat_hot = component_heat(50, QuerySkew::Hot { s: 1.5 });
+        assert!(heat_hot[0] > heat_uniformish[0]);
+        // top-5 hot components carry the majority of hot traffic
+        let top5: f64 = heat_hot.iter().take(5).sum();
+        assert!(top5 > 0.5, "top5 {top5}");
+    }
+
+    #[test]
+    fn values_respect_range() {
+        let s = spec();
+        let q = generate_queries(&s, 50, QuerySkew::Hot { s: 1.2 }, 9);
+        for &x in q.as_flat() {
+            assert!((0.0..=255.0).contains(&x));
+        }
+    }
+}

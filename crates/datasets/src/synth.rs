@@ -1,0 +1,181 @@
+//! Synthetic corpus generation.
+//!
+//! Corpora are Gaussian mixtures: `n_components` centers drawn uniformly in
+//! the value range, component masses Zipf-skewed, points jittered around
+//! their center and clipped to the range. This preserves the properties
+//! ANNS cost depends on — dimensionality, dtype range (u8 for SIFT-like
+//! data), clustered geometry, and uneven cluster mass — while remaining
+//! fully deterministic given the seed.
+
+use crate::zipf::zipf_partition;
+use ann_core::vector::VecSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Specification of a synthetic dataset.
+#[derive(Debug, Clone)]
+pub struct SynthSpec {
+    /// Dataset name (reports).
+    pub name: String,
+    /// Vector dimension.
+    pub dim: usize,
+    /// Number of vectors.
+    pub n: usize,
+    /// Latent mixture components (not the index's nlist!).
+    pub n_components: usize,
+    /// Zipf exponent of the component masses (0 = even).
+    pub zipf_s: f64,
+    /// Within-component standard deviation, in value units.
+    pub cluster_std: f32,
+    /// Value range `[lo, hi]`; SIFT-like data uses `[0, 255]`.
+    pub value_range: (f32, f32),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SynthSpec {
+    /// A quick default spec for tests/examples.
+    pub fn small(name: &str, dim: usize, n: usize, seed: u64) -> Self {
+        SynthSpec {
+            name: name.to_string(),
+            dim,
+            n,
+            n_components: (n / 100).clamp(4, 256),
+            zipf_s: 0.9,
+            cluster_std: 12.0,
+            value_range: (0.0, 255.0),
+            seed,
+        }
+    }
+}
+
+/// Generate the corpus described by `spec` as `f32` vectors (quantize with
+/// [`ann_core::quantize`] or [`VecSet::quantize_cast`] for the u8 regime).
+pub fn generate(spec: &SynthSpec) -> VecSet<f32> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let centers = component_centers(spec, &mut rng);
+    let sizes = zipf_partition(spec.n, spec.n_components, spec.zipf_s);
+
+    let (lo, hi) = spec.value_range;
+    let mut out = VecSet::with_capacity(spec.dim, spec.n);
+    let mut v = vec![0.0f32; spec.dim];
+    for (c, &count) in sizes.iter().enumerate() {
+        let center = centers.get(c);
+        for _ in 0..count {
+            for (d, slot) in v.iter_mut().enumerate() {
+                let g = gaussian(&mut rng) * spec.cluster_std;
+                *slot = (center[d] + g).clamp(lo, hi);
+            }
+            out.push(&v);
+        }
+    }
+    out
+}
+
+/// The mixture component centers for `spec` (also used by the query
+/// generators so queries land in the same regions).
+pub fn component_centers(spec: &SynthSpec, rng: &mut StdRng) -> VecSet<f32> {
+    let (lo, hi) = spec.value_range;
+    let mut centers = VecSet::with_capacity(spec.dim, spec.n_components);
+    let mut c = vec![0.0f32; spec.dim];
+    for _ in 0..spec.n_components {
+        for slot in c.iter_mut() {
+            *slot = rng.gen_range(lo..hi);
+        }
+        centers.push(&c);
+    }
+    centers
+}
+
+/// Standard normal via Box–Muller (no extra dependency).
+pub fn gaussian<R: Rng>(rng: &mut R) -> f32 {
+    let u1: f64 = rng.gen::<f64>().max(1e-300);
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SynthSpec {
+        SynthSpec::small("test", 16, 2000, 42)
+    }
+
+    #[test]
+    fn shape_matches_spec() {
+        let s = spec();
+        let data = generate(&s);
+        assert_eq!(data.len(), s.n);
+        assert_eq!(data.dim(), s.dim);
+    }
+
+    #[test]
+    fn values_respect_range() {
+        let data = generate(&spec());
+        for &x in data.as_flat() {
+            assert!((0.0..=255.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&spec());
+        let b = generate(&spec());
+        assert_eq!(a, b);
+        let mut other = spec();
+        other.seed = 43;
+        assert_ne!(generate(&other), a);
+    }
+
+    #[test]
+    fn data_is_clustered_not_uniform() {
+        // Nearest-neighbor distances in clustered data are far below the
+        // expected distance between uniform random points.
+        let mut s = spec();
+        s.n = 500;
+        s.cluster_std = 2.0;
+        let data = generate(&s);
+        let mut nn_total = 0.0f64;
+        for i in 0..50 {
+            let mut best = f32::INFINITY;
+            for j in 0..data.len() {
+                if i == j {
+                    continue;
+                }
+                let d = ann_core::distance::l2_sq_f32(data.get(i), data.get(j));
+                best = best.min(d);
+            }
+            nn_total += best as f64;
+        }
+        let mean_nn = nn_total / 50.0;
+        // uniform would give ~ dim * range²/~17 per pair; clustered gives
+        // roughly dim * (2*std²) = 16*8=128-scale distances
+        assert!(mean_nn < 16.0 * 255.0, "mean nn dist {mean_nn}");
+    }
+
+    #[test]
+    fn gaussian_is_standard_normal_ish() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let samples: Vec<f32> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        let var: f64 =
+            samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn quantizes_cleanly_to_u8() {
+        let data = generate(&spec());
+        let q: VecSet<u8> = data.quantize_cast();
+        assert_eq!(q.len(), data.len());
+        // round-trip error bounded by rounding (0.5)
+        for i in [0usize, 100, 1999] {
+            for (a, b) in data.get(i).iter().zip(q.get(i)) {
+                assert!((a - *b as f32).abs() <= 0.5 + 1e-5);
+            }
+        }
+    }
+}

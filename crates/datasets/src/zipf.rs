@@ -1,0 +1,215 @@
+//! Zipf distribution: the skew model for cluster mass and query heat.
+//!
+//! Real ANNS workloads are skewed — "some of the clusters can be hot in many
+//! practical application scenarios" (paper Section 3.2) — and cluster sizes
+//! produced by k-means over natural data are themselves uneven. A Zipf law
+//! with exponent `s` captures both; `s = 0` degenerates to uniform.
+
+use rand::Rng;
+
+/// Normalized Zipf weights over `n` ranks: `w_i ∝ 1 / (i+1)^s`.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0);
+    let raw: Vec<f64> = (1..=n).map(|i| 1.0 / (i as f64).powf(s)).collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / total).collect()
+}
+
+/// A sampler drawing ranks `0..n` with Zipf(`s`) probabilities via a
+/// precomputed CDF (O(log n) per draw).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler.
+    pub fn new(n: usize, s: f64) -> Self {
+        let w = zipf_weights(n, s);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for wi in w {
+            acc += wi;
+            cdf.push(acc);
+        }
+        // guard against accumulated floating error
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the distribution has no ranks (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw one rank.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).unwrap())
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+/// A sampler over arbitrary non-negative weights (generalizes [`Zipf`]).
+#[derive(Debug, Clone)]
+pub struct Discrete {
+    cdf: Vec<f64>,
+}
+
+impl Discrete {
+    /// Build from weights (need not be normalized; at least one positive).
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty());
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not be all zero");
+        let mut cdf = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Discrete { cdf }
+    }
+
+    /// Draw one index.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).unwrap())
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Split `total` items into `n` bucket sizes proportional to Zipf(`s`)
+/// weights; sizes sum exactly to `total` and every bucket gets >= 1 when
+/// `total >= n`.
+pub fn zipf_partition(total: usize, n: usize, s: f64) -> Vec<usize> {
+    assert!(n > 0);
+    let w = zipf_weights(n, s);
+    let mut sizes: Vec<usize> = w.iter().map(|&wi| (wi * total as f64) as usize).collect();
+    if total >= n {
+        for sz in sizes.iter_mut() {
+            if *sz == 0 {
+                *sz = 1;
+            }
+        }
+    }
+    // fix rounding drift by adjusting the largest bucket
+    let sum: usize = sizes.iter().sum();
+    if sum < total {
+        sizes[0] += total - sum;
+    } else {
+        let mut excess = sum - total;
+        for sz in sizes.iter_mut() {
+            let take = excess.min(sz.saturating_sub(1));
+            *sz -= take;
+            excess -= take;
+            if excess == 0 {
+                break;
+            }
+        }
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weights_sum_to_one() {
+        let w = zipf_weights(100, 1.0);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn s_zero_is_uniform() {
+        let w = zipf_weights(10, 0.0);
+        for &wi in &w {
+            assert!((wi - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weights_decrease_with_rank() {
+        let w = zipf_weights(50, 1.2);
+        for pair in w.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+        assert!(w[0] > 5.0 * w[49]);
+    }
+
+    #[test]
+    fn sampler_matches_pmf_roughly() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 5];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for i in 0..5 {
+            let emp = counts[i] as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(i)).abs() < 0.01,
+                "rank {i}: empirical {emp} vs pmf {}",
+                z.pmf(i)
+            );
+        }
+    }
+
+    #[test]
+    fn partition_sums_exactly() {
+        for (total, n, s) in [(1000usize, 7usize, 1.0f64), (100, 100, 0.8), (5000, 64, 1.5)] {
+            let sizes = zipf_partition(total, n, s);
+            assert_eq!(sizes.len(), n);
+            assert_eq!(sizes.iter().sum::<usize>(), total, "total={total} n={n}");
+            assert!(sizes.iter().all(|&x| x >= 1));
+        }
+    }
+
+    #[test]
+    fn partition_is_skewed() {
+        let sizes = zipf_partition(10_000, 10, 1.0);
+        assert!(sizes[0] > 3 * sizes[9]);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(20, 0.9);
+        let total: f64 = (0..20).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.len(), 20);
+        assert!(!z.is_empty());
+    }
+}

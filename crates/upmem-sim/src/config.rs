@@ -1,0 +1,185 @@
+//! Architectural parameters of a DRAM-PIM system.
+
+use crate::isa::IsaCosts;
+
+/// Complete architectural description of a DRAM-PIM platform.
+///
+/// The default constructors mirror the hardware used in the DRIM-ANN paper;
+/// see [`crate::platform::Platform`] for the full preset catalogue (UPMEM,
+/// Samsung HBM-PIM, SK Hynix AiM).
+#[derive(Debug, Clone)]
+pub struct PimArch {
+    /// Human-readable platform name (used in reports).
+    pub name: &'static str,
+    /// Number of data processing units (in-memory cores).
+    pub num_dpus: usize,
+    /// DPU clock frequency in Hz.
+    pub freq_hz: f64,
+    /// Per-DPU DRAM bank capacity in bytes (UPMEM: 64 MiB "MRAM").
+    pub mram_bytes: u64,
+    /// Per-DPU scratchpad capacity in bytes (UPMEM: 64 KiB "WRAM").
+    pub wram_bytes: u64,
+    /// Hardware threads per DPU (UPMEM: up to 24 tasklets).
+    pub max_tasklets: usize,
+    /// Pipeline depth: tasklets needed to reach one instruction per cycle
+    /// (UPMEM: 11).
+    pub pipeline_depth: usize,
+    /// Data lanes per issued vector instruction (UPMEM: 1, i.e. pure SISD;
+    /// HBM-PIM / AiM embed SIMD MAC units).
+    pub simd_lanes: usize,
+    /// Sustained MRAM streaming bandwidth per DPU, bytes/second
+    /// (UPMEM at 350 MHz: ~700 MB/s; ~1 GB/s at 450 MHz).
+    pub mram_bw_per_dpu: f64,
+    /// WRAM bandwidth amplification over MRAM streaming (paper: ~4.72x).
+    pub wram_amplification: f64,
+    /// Minimum MRAM DMA burst in bytes (UPMEM: 8). Smaller random accesses
+    /// are rounded up to a full burst.
+    pub dma_burst_bytes: u64,
+    /// Fixed pipeline cost of issuing one MRAM DMA transfer, in cycles.
+    pub dma_setup_cycles: u64,
+    /// Bandwidth derate multiplier for *random* fine-grained MRAM access:
+    /// the PrIM characterisation measured small random DMAs at roughly a
+    /// quarter of streaming bandwidth (row-activation and scheduling
+    /// overheads), so each random burst is charged this many times over.
+    pub mram_random_penalty: u64,
+    /// Host<->PIM link bandwidth as a fraction of the aggregate MRAM
+    /// bandwidth (paper: 0.75 %).
+    pub host_link_fraction: f64,
+    /// DPUs per DIMM (UPMEM: 128 = 2 ranks x 64).
+    pub dpus_per_dimm: usize,
+    /// Power drawn by one PIM DIMM in watts (paper: 13.92 W).
+    pub dimm_power_w: f64,
+    /// Idle/base power of the host machine hosting the DIMMs, watts.
+    pub host_base_power_w: f64,
+    /// Per-op cycle cost table.
+    pub costs: IsaCosts,
+}
+
+impl PimArch {
+    /// The UPMEM configuration used in the paper's main experiments
+    /// (Section 5.1): 2,543 DPUs at 350 MHz, 159 GB of PIM memory.
+    pub fn upmem_sc25() -> Self {
+        PimArch {
+            name: "UPMEM",
+            num_dpus: 2543,
+            freq_hz: 350.0e6,
+            mram_bytes: 64 << 20,
+            wram_bytes: 64 << 10,
+            max_tasklets: 24,
+            pipeline_depth: 11,
+            simd_lanes: 1,
+            // 64-bit DMA port streams up to 8 B/cycle peak, but the PrIM
+            // characterisation measured ~600 MB/s sustained per DPU at
+            // 350 MHz. The aggregate (~1.53 TB/s) then satisfies the paper's
+            // observation that the A100's 1.94 TB/s peak is "more than
+            // 1.25x" the UPMEM total.
+            mram_bw_per_dpu: 600.0e6,
+            wram_amplification: 4.72,
+            dma_burst_bytes: 8,
+            dma_setup_cycles: 8,
+            mram_random_penalty: 4,
+            host_link_fraction: 0.0075,
+            dpus_per_dimm: 128,
+            dimm_power_w: 13.92,
+            // Xeon Silver 4216 host package under the light CL-only load
+            // it carries in DRIM-ANN.
+            host_base_power_w: 100.0,
+            costs: IsaCosts::upmem(),
+        }
+    }
+
+    /// An UPMEM system built from `n` DIMMs (128 DPUs each), as used in the
+    /// roofline scaling study (paper Fig. 2: 16, 24 and 32 DIMMs).
+    pub fn upmem_dimms(n: usize) -> Self {
+        let mut a = Self::upmem_sc25();
+        a.num_dpus = n * a.dpus_per_dimm;
+        a
+    }
+
+    /// Number of DIMMs needed to hold `num_dpus`.
+    pub fn num_dimms(&self) -> usize {
+        self.num_dpus.div_ceil(self.dpus_per_dimm)
+    }
+
+    /// Aggregate MRAM capacity over all DPUs, bytes.
+    pub fn total_capacity(&self) -> u64 {
+        self.mram_bytes * self.num_dpus as u64
+    }
+
+    /// Aggregate in-memory streaming bandwidth over all DPUs, bytes/second.
+    pub fn total_bandwidth(&self) -> f64 {
+        self.mram_bw_per_dpu * self.num_dpus as f64
+    }
+
+    /// Host<->PIM link bandwidth in bytes/second.
+    pub fn host_link_bw(&self) -> f64 {
+        self.total_bandwidth() * self.host_link_fraction
+    }
+
+    /// Peak aggregate compute throughput in (scalar) operations per second,
+    /// assuming full pipelines: `num_dpus * freq * simd_lanes`.
+    pub fn peak_ops_per_sec(&self) -> f64 {
+        self.num_dpus as f64 * self.freq_hz * self.simd_lanes as f64
+    }
+
+    /// Pipeline efficiency for a given tasklet count: the 11-stage in-order
+    /// pipeline only reaches 1 IPC with >= `pipeline_depth` resident
+    /// tasklets.
+    pub fn pipeline_eff(&self, tasklets: usize) -> f64 {
+        let t = tasklets.clamp(1, self.max_tasklets);
+        (t as f64 / self.pipeline_depth as f64).min(1.0)
+    }
+
+    /// Effective per-DPU WRAM bandwidth, bytes/second.
+    pub fn wram_bw_per_dpu(&self) -> f64 {
+        self.mram_bw_per_dpu * self.wram_amplification
+    }
+}
+
+impl Default for PimArch {
+    fn default() -> Self {
+        Self::upmem_sc25()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sc25_capacity_matches_paper() {
+        let a = PimArch::upmem_sc25();
+        // 2543 x 64 MiB = 159 GiB of PIM memory, as in Section 5.1.
+        let gib = a.total_capacity() as f64 / (1u64 << 30) as f64;
+        assert!((gib - 158.9).abs() < 1.0, "got {gib} GiB");
+    }
+
+    #[test]
+    fn host_link_is_tiny_fraction() {
+        let a = PimArch::upmem_sc25();
+        assert!(a.host_link_bw() < 0.01 * a.total_bandwidth());
+        assert!(a.host_link_bw() > 0.005 * a.total_bandwidth());
+    }
+
+    #[test]
+    fn pipeline_eff_saturates_at_depth() {
+        let a = PimArch::upmem_sc25();
+        assert!(a.pipeline_eff(1) < 0.1);
+        assert!((a.pipeline_eff(11) - 1.0).abs() < 1e-12);
+        assert!((a.pipeline_eff(24) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimm_scaling() {
+        let a = PimArch::upmem_dimms(24);
+        assert_eq!(a.num_dpus, 24 * 128);
+        assert_eq!(a.num_dimms(), 24);
+    }
+
+    #[test]
+    fn aggregate_bandwidth_scales_with_dpus() {
+        let a16 = PimArch::upmem_dimms(16);
+        let a32 = PimArch::upmem_dimms(32);
+        assert!((a32.total_bandwidth() / a16.total_bandwidth() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,63 @@
+//! Energy model: `E = P x t`, mirroring how the paper obtains energy from
+//! Intel RAPL package counters and the per-DIMM power specification
+//! (13.92 W per UPMEM PIM-DIMM, Section 5.2).
+
+use crate::config::PimArch;
+
+/// System-level power model for a PIM server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Host base power (CPU package + board), watts.
+    pub host_w: f64,
+    /// Power per PIM DIMM, watts.
+    pub dimm_w: f64,
+    /// Installed PIM DIMMs.
+    pub n_dimms: usize,
+}
+
+impl EnergyModel {
+    /// Model derived from an architecture description.
+    pub fn for_arch(arch: &PimArch) -> Self {
+        EnergyModel {
+            host_w: arch.host_base_power_w,
+            dimm_w: arch.dimm_power_w,
+            n_dimms: arch.num_dimms(),
+        }
+    }
+
+    /// Total system power in watts.
+    pub fn power_w(&self) -> f64 {
+        self.host_w + self.dimm_w * self.n_dimms as f64
+    }
+
+    /// Energy in joules for a run of `seconds`.
+    pub fn energy_j(&self, seconds: f64) -> f64 {
+        self.power_w() * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sc25_server_power_above_cpu_alone() {
+        let arch = PimArch::upmem_sc25();
+        let e = EnergyModel::for_arch(&arch);
+        // 20 DIMMs x 13.92 W on top of the host: the paper notes the UPMEM
+        // server draws more power than the CPU server yet still wins on
+        // energy thanks to speed.
+        assert!(e.power_w() > 300.0, "power {}", e.power_w());
+        assert_eq!(e.n_dimms, arch.num_dimms());
+    }
+
+    #[test]
+    fn energy_linear_in_time() {
+        let e = EnergyModel {
+            host_w: 100.0,
+            dimm_w: 10.0,
+            n_dimms: 5,
+        };
+        assert!((e.energy_j(2.0) - 300.0).abs() < 1e-12);
+    }
+}

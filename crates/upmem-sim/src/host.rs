@@ -1,0 +1,88 @@
+//! Host <-> PIM data transfer model.
+//!
+//! Host-DPU traffic crosses the ordinary DDR4 bus and, because UPMEM DIMMs
+//! are not interleaved like normal memory, achieves no more than ~0.75 % of
+//! the aggregate in-PIM bandwidth (paper Section 2.2, citing the PrIM study).
+//! Transfers also require all target DPUs to be synchronised (they cannot be
+//! reached while a kernel runs), which is why DRIM-ANN batches queries and
+//! triggers all DPUs synchronously.
+
+use crate::config::PimArch;
+
+/// Kinds of host<->PIM transfer, mirroring the UPMEM SDK primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XferKind {
+    /// Same buffer copied to every target DPU (`dpu_broadcast_to`).
+    Broadcast,
+    /// Distinct per-DPU buffers pushed in parallel (`dpu_push_xfer`).
+    Scatter,
+    /// Distinct per-DPU buffers pulled in parallel.
+    Gather,
+}
+
+/// The host link with its sustained bandwidth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostLink {
+    /// Sustained host<->PIM bandwidth in bytes/second (aggregate over all
+    /// ranks; parallel per-DPU transfers share it).
+    pub bw_bytes_per_sec: f64,
+    /// Fixed software latency per transfer call (driver + rank sync),
+    /// seconds.
+    pub call_latency_s: f64,
+}
+
+impl HostLink {
+    /// Link derived from an architecture description.
+    pub fn for_arch(arch: &PimArch) -> Self {
+        HostLink {
+            bw_bytes_per_sec: arch.host_link_bw(),
+            call_latency_s: 20.0e-6,
+        }
+    }
+
+    /// Time to move `bytes_per_dpu` to/from each of `ndpus` DPUs.
+    ///
+    /// Scatter/gather traffic sums across DPUs; a broadcast sends one copy
+    /// over the bus (the DIMM fans it out to ranks).
+    pub fn time(&self, kind: XferKind, bytes_per_dpu: u64, ndpus: usize) -> f64 {
+        let total = match kind {
+            XferKind::Broadcast => bytes_per_dpu as f64,
+            XferKind::Scatter | XferKind::Gather => bytes_per_dpu as f64 * ndpus as f64,
+        };
+        self.call_latency_s + total / self.bw_bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_scales_with_dpus_broadcast_does_not() {
+        let link = HostLink {
+            bw_bytes_per_sec: 1e9,
+            call_latency_s: 0.0,
+        };
+        let b = link.time(XferKind::Broadcast, 1_000_000, 100);
+        let s = link.time(XferKind::Scatter, 1_000_000, 100);
+        assert!((s / b - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_is_fraction_of_pim_bandwidth() {
+        let arch = PimArch::upmem_sc25();
+        let link = HostLink::for_arch(&arch);
+        let frac = link.bw_bytes_per_sec / arch.total_bandwidth();
+        assert!((frac - arch.host_link_fraction).abs() < 1e-12);
+    }
+
+    #[test]
+    fn call_latency_floors_small_transfers() {
+        let link = HostLink {
+            bw_bytes_per_sec: 1e9,
+            call_latency_s: 1e-3,
+        };
+        let t = link.time(XferKind::Gather, 1, 1);
+        assert!(t >= 1e-3);
+    }
+}

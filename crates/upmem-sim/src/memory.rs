@@ -1,0 +1,193 @@
+//! Capacity tracking for the per-DPU memory hierarchy.
+//!
+//! The simulator keeps *data* in ordinary Rust structures owned by the
+//! application (typed, cheap to access); what must be modelled faithfully is
+//! *capacity*: a DPU has exactly 64 MiB of MRAM and 64 KiB of WRAM, and
+//! DRIM-ANN's layout optimizer must respect both (cluster slices + metadata
+//! in MRAM, hot buffers in WRAM). [`MemTracker`] provides named segment
+//! allocation with overflow errors.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error returned when an allocation would exceed the region's capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CapacityError {
+    /// Segment that failed to allocate.
+    pub segment: String,
+    /// Requested size in bytes.
+    pub requested: u64,
+    /// Bytes still available.
+    pub available: u64,
+    /// Total region capacity.
+    pub capacity: u64,
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "segment `{}` needs {} B but only {} B of {} B remain",
+            self.segment, self.requested, self.available, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+/// A fixed-capacity memory region with named segments.
+///
+/// Segment names let tests and reports inspect what occupies a DPU's MRAM or
+/// WRAM (e.g. `"codes"`, `"sqt"`, `"lut"`, `"topk"`).
+#[derive(Debug, Clone, Default)]
+pub struct MemTracker {
+    capacity: u64,
+    segments: BTreeMap<String, u64>,
+}
+
+impl MemTracker {
+    /// New region with `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        MemTracker {
+            capacity,
+            segments: BTreeMap::new(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.segments.values().sum()
+    }
+
+    /// Bytes still free.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used()
+    }
+
+    /// Allocate (or grow) the named segment by `bytes`.
+    pub fn alloc(&mut self, segment: &str, bytes: u64) -> Result<(), CapacityError> {
+        if bytes > self.free() {
+            return Err(CapacityError {
+                segment: segment.to_string(),
+                requested: bytes,
+                available: self.free(),
+                capacity: self.capacity,
+            });
+        }
+        *self.segments.entry(segment.to_string()).or_insert(0) += bytes;
+        Ok(())
+    }
+
+    /// Set the named segment to exactly `bytes` (replacing any prior size).
+    pub fn set(&mut self, segment: &str, bytes: u64) -> Result<(), CapacityError> {
+        let current = self.segments.get(segment).copied().unwrap_or(0);
+        let others = self.used() - current;
+        if others + bytes > self.capacity {
+            return Err(CapacityError {
+                segment: segment.to_string(),
+                requested: bytes,
+                available: self.capacity - others,
+                capacity: self.capacity,
+            });
+        }
+        self.segments.insert(segment.to_string(), bytes);
+        Ok(())
+    }
+
+    /// Release the named segment entirely, returning its size.
+    pub fn release(&mut self, segment: &str) -> u64 {
+        self.segments.remove(segment).unwrap_or(0)
+    }
+
+    /// Size of the named segment (0 if absent).
+    pub fn segment(&self, segment: &str) -> u64 {
+        self.segments.get(segment).copied().unwrap_or(0)
+    }
+
+    /// Iterate over `(name, bytes)` pairs in name order.
+    pub fn segments(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.segments.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Remove all segments.
+    pub fn clear(&mut self) {
+        self.segments.clear();
+    }
+
+    /// Fraction of capacity in use, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.used() as f64 / self.capacity as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_accounting() {
+        let mut m = MemTracker::new(100);
+        m.alloc("a", 40).unwrap();
+        m.alloc("b", 30).unwrap();
+        assert_eq!(m.used(), 70);
+        assert_eq!(m.free(), 30);
+        assert_eq!(m.segment("a"), 40);
+        assert_eq!(m.release("a"), 40);
+        assert_eq!(m.used(), 30);
+    }
+
+    #[test]
+    fn alloc_grows_existing_segment() {
+        let mut m = MemTracker::new(100);
+        m.alloc("a", 10).unwrap();
+        m.alloc("a", 15).unwrap();
+        assert_eq!(m.segment("a"), 25);
+    }
+
+    #[test]
+    fn overflow_is_rejected_with_context() {
+        let mut m = MemTracker::new(64);
+        m.alloc("codes", 60).unwrap();
+        let err = m.alloc("lut", 10).unwrap_err();
+        assert_eq!(err.requested, 10);
+        assert_eq!(err.available, 4);
+        assert_eq!(err.segment, "lut");
+        assert!(err.to_string().contains("lut"));
+    }
+
+    #[test]
+    fn set_replaces_size() {
+        let mut m = MemTracker::new(100);
+        m.set("x", 80).unwrap();
+        m.set("x", 20).unwrap();
+        assert_eq!(m.used(), 20);
+        assert!(m.set("x", 101).is_err());
+        // failed set leaves state untouched
+        assert_eq!(m.segment("x"), 20);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut m = MemTracker::new(200);
+        assert_eq!(m.utilization(), 0.0);
+        m.alloc("half", 100).unwrap();
+        assert!((m.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_capacity_region() {
+        let mut m = MemTracker::new(0);
+        assert_eq!(m.utilization(), 0.0);
+        assert!(m.alloc("x", 1).is_err());
+        assert!(m.alloc("x", 0).is_ok());
+    }
+}

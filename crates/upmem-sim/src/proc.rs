@@ -1,0 +1,104 @@
+//! Generic roofline processor model.
+//!
+//! Used for (a) the host CPU that runs the cluster-locating phase in
+//! DRIM-ANN, and (b) the CPU/GPU comparison platforms of the paper's
+//! evaluation. The timing law is the same overlap rule as the DPU meter
+//! (paper Eq. 12): `t = max(ops / compute, bytes / bandwidth)`.
+
+/// A processor described by its roofline: peak useful throughput and
+/// sustained memory bandwidth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcModel {
+    /// Display name, e.g. `"Xeon Gold 5218 (32T)"`.
+    pub name: &'static str,
+    /// Peak useful (post-SIMD-efficiency) operations per second.
+    pub ops_per_sec: f64,
+    /// Sustained memory bandwidth, bytes per second.
+    pub bytes_per_sec: f64,
+    /// Memory capacity in bytes (for out-of-memory detection).
+    pub capacity_bytes: u64,
+    /// Package power in watts (for the energy comparison).
+    pub power_w: f64,
+}
+
+impl ProcModel {
+    /// Time to execute `ops` operations touching `bytes` of memory, assuming
+    /// perfect compute/IO overlap (roofline).
+    #[inline]
+    pub fn time(&self, ops: f64, bytes: f64) -> f64 {
+        (ops / self.ops_per_sec).max(bytes / self.bytes_per_sec)
+    }
+
+    /// Whether a working set of `bytes` fits in device memory.
+    #[inline]
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.capacity_bytes
+    }
+
+    /// Arithmetic intensity (ops/byte) at which this processor transitions
+    /// from memory-bound to compute-bound.
+    #[inline]
+    pub fn ridge_point(&self) -> f64 {
+        self.ops_per_sec / self.bytes_per_sec
+    }
+
+    /// Attainable throughput (ops/s) at arithmetic intensity `ai`, i.e. the
+    /// classic roofline: `min(peak, ai * bw)`.
+    #[inline]
+    pub fn attainable(&self, ai: f64) -> f64 {
+        self.ops_per_sec.min(ai * self.bytes_per_sec)
+    }
+
+    /// Energy in joules for a run of `seconds`.
+    #[inline]
+    pub fn energy(&self, seconds: f64) -> f64 {
+        self.power_w * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> ProcModel {
+        ProcModel {
+            name: "toy",
+            ops_per_sec: 100.0,
+            bytes_per_sec: 10.0,
+            capacity_bytes: 1000,
+            power_w: 50.0,
+        }
+    }
+
+    #[test]
+    fn roofline_time_is_max_of_legs() {
+        let p = toy();
+        // compute-bound: 1000 ops vs 10 bytes
+        assert!((p.time(1000.0, 10.0) - 10.0).abs() < 1e-12);
+        // memory-bound: 10 ops vs 1000 bytes
+        assert!((p.time(10.0, 1000.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ridge_point_separates_regimes() {
+        let p = toy();
+        assert!((p.ridge_point() - 10.0).abs() < 1e-12);
+        // below the ridge: bandwidth-limited
+        assert!((p.attainable(1.0) - 10.0).abs() < 1e-12);
+        // above the ridge: compute-limited
+        assert!((p.attainable(100.0) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_check() {
+        let p = toy();
+        assert!(p.fits(1000));
+        assert!(!p.fits(1001));
+    }
+
+    #[test]
+    fn energy_scales_with_time() {
+        let p = toy();
+        assert!((p.energy(2.0) - 100.0).abs() < 1e-12);
+    }
+}

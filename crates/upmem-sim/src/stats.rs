@@ -1,0 +1,106 @@
+//! Small numeric helpers used across reports: means, geometric means,
+//! load-imbalance factors.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean of strictly positive values; 0 for an empty slice.
+///
+/// The paper reports geomean speedups (e.g. 1.89x on SIFT100M, Fig. 7).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|&x| x.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Max value of a slice (0 for empty).
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(0.0, f64::max)
+}
+
+/// Load-imbalance factor `max / mean`; 1.0 means perfectly balanced work and
+/// equals the slowdown suffered by a synchronous all-DPU barrier relative to
+/// ideal balancing.
+pub fn imbalance(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m == 0.0 {
+        1.0
+    } else {
+        max(xs) / m
+    }
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Percentile (nearest-rank) of an unsorted slice, `p` in [0, 100].
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v[rank.min(v.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_leq_mean() {
+        let xs = [1.0, 2.0, 3.0, 10.0];
+        assert!(geomean(&xs) <= mean(&xs));
+    }
+
+    #[test]
+    fn imbalance_balanced_is_one() {
+        assert!((imbalance(&[2.0, 2.0, 2.0]) - 1.0).abs() < 1e-12);
+        let i = imbalance(&[1.0, 1.0, 4.0]);
+        assert!((i - 2.0).abs() < 1e-12);
+        assert_eq!(imbalance(&[]), 1.0);
+    }
+
+    #[test]
+    fn stddev_basic() {
+        assert_eq!(stddev(&[5.0, 5.0]), 0.0);
+        assert!((stddev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_basic() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

@@ -1,0 +1,314 @@
+//! Whole-system assembly: a set of DPUs plus the host link, and the batch
+//! execution timeline.
+//!
+//! DRIM-ANN's execution model (paper Fig. 4): per batch, the host runs
+//! cluster locating and pushes tasks; all DPUs are triggered synchronously
+//! and run RC/LC/DC/TS; the host gathers the per-DPU top-k lists and merges.
+//! Host work and host<->PIM transfers overlap DPU execution across batches,
+//! so batch time is `max(host_time, pim_time)` with `pim_time = max over
+//! DPUs` (the synchronous barrier is what makes load balance critical).
+
+use crate::config::PimArch;
+use crate::energy::EnergyModel;
+use crate::host::{HostLink, XferKind};
+use crate::memory::MemTracker;
+use crate::meter::{DpuMeter, Phase};
+use crate::stats;
+
+/// One simulated DPU: capacity trackers plus the op/IO meter.
+///
+/// Application data (cluster slices, codebooks, LUTs) lives in the embedding
+/// application, keyed by DPU id; the simulator tracks capacity and cost.
+#[derive(Debug, Clone)]
+pub struct Dpu {
+    /// Index within the system.
+    pub id: usize,
+    /// 64 MiB DRAM bank.
+    pub mram: MemTracker,
+    /// 64 KiB scratchpad.
+    pub wram: MemTracker,
+    /// Cost accounting for the current batch.
+    pub meter: DpuMeter,
+}
+
+impl Dpu {
+    /// Fresh DPU for the given architecture.
+    pub fn new(id: usize, arch: &PimArch) -> Self {
+        Dpu {
+            id,
+            mram: MemTracker::new(arch.mram_bytes),
+            wram: MemTracker::new(arch.wram_bytes),
+            meter: DpuMeter::new(),
+        }
+    }
+}
+
+/// Timing summary of one executed batch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchTiming {
+    /// Host-side time (CL phase and merge), seconds.
+    pub host_s: f64,
+    /// Per-DPU total times, seconds.
+    pub dpu_s: Vec<f64>,
+    /// Host->PIM push time, seconds.
+    pub push_s: f64,
+    /// PIM->host gather time, seconds.
+    pub gather_s: f64,
+    /// Aggregated per-phase PIM times (of the *critical* DPU), seconds.
+    pub phase_s: [f64; 6],
+}
+
+impl BatchTiming {
+    /// PIM-side makespan: slowest DPU (synchronous trigger and barrier).
+    pub fn pim_s(&self) -> f64 {
+        stats::max(&self.dpu_s)
+    }
+
+    /// End-to-end batch latency. Host execution and transfers overlap DPU
+    /// execution (pipelined across batches), as measured in the paper
+    /// ("the latency of host execution and data transfer ... is fully
+    /// overlapped with that of DPU execution").
+    pub fn total_s(&self) -> f64 {
+        let xfer = self.push_s + self.gather_s;
+        self.host_s.max(self.pim_s() + xfer)
+    }
+
+    /// Load imbalance across DPUs (max/mean); the headroom the paper's
+    /// layout + scheduling optimizations reclaim.
+    pub fn imbalance(&self) -> f64 {
+        stats::imbalance(&self.dpu_s)
+    }
+
+    /// Mean DPU utilization relative to the slowest DPU, in [0,1].
+    pub fn dpu_utilization(&self) -> f64 {
+        let m = self.pim_s();
+        if m == 0.0 {
+            1.0
+        } else {
+            stats::mean(&self.dpu_s) / m
+        }
+    }
+}
+
+/// A complete PIM system: architecture + DPUs + host link.
+#[derive(Debug, Clone)]
+pub struct PimSystem {
+    /// Architecture parameters.
+    pub arch: PimArch,
+    /// The DPUs. May be fewer than `arch.num_dpus` for scaled-down runs;
+    /// timing laws use per-DPU quantities so ratios are preserved.
+    pub dpus: Vec<Dpu>,
+    /// Host<->PIM link.
+    pub link: HostLink,
+    /// Tasklets resident per DPU for the current kernels.
+    pub tasklets: usize,
+}
+
+impl PimSystem {
+    /// Build a system with `ndpus` DPUs of the given architecture.
+    pub fn new(arch: PimArch, ndpus: usize) -> Self {
+        let link = HostLink::for_arch(&arch);
+        let dpus = (0..ndpus).map(|i| Dpu::new(i, &arch)).collect();
+        let tasklets = arch.pipeline_depth.max(16).min(arch.max_tasklets);
+        PimSystem {
+            arch,
+            dpus,
+            link,
+            tasklets,
+        }
+    }
+
+    /// Build with the architecture's full DPU count.
+    pub fn full(arch: PimArch) -> Self {
+        let n = arch.num_dpus;
+        Self::new(arch, n)
+    }
+
+    /// Number of instantiated DPUs.
+    pub fn len(&self) -> usize {
+        self.dpus.len()
+    }
+
+    /// True when no DPUs are instantiated.
+    pub fn is_empty(&self) -> bool {
+        self.dpus.is_empty()
+    }
+
+    /// Reset all meters (start of batch).
+    pub fn reset_meters(&mut self) {
+        for d in &mut self.dpus {
+            d.meter.reset();
+        }
+    }
+
+    /// Time of DPU `i` for the current batch.
+    pub fn dpu_time(&self, i: usize, tasklets: usize) -> f64 {
+        self.dpus[i].meter.time(&self.arch, tasklets)
+    }
+
+    /// Collect the batch timing given host time and per-DPU transfer sizes.
+    pub fn batch_timing(
+        &self,
+        host_s: f64,
+        push_bytes_per_dpu: u64,
+        gather_bytes_per_dpu: u64,
+    ) -> BatchTiming {
+        let dpu_s: Vec<f64> = self
+            .dpus
+            .iter()
+            .map(|d| d.meter.time(&self.arch, self.tasklets))
+            .collect();
+        let n = self.dpus.len();
+        let push_s = self.link.time(XferKind::Scatter, push_bytes_per_dpu, n);
+        let gather_s = self.link.time(XferKind::Gather, gather_bytes_per_dpu, n);
+        // phase breakdown of the critical (slowest) DPU
+        let critical = dpu_s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let phase_s = if self.dpus.is_empty() {
+            [0.0; 6]
+        } else {
+            self.dpus[critical]
+                .meter
+                .phase_times(&self.arch, self.tasklets)
+        };
+        BatchTiming {
+            host_s,
+            dpu_s,
+            push_s,
+            gather_s,
+            phase_s,
+        }
+    }
+
+    /// Energy model of this system.
+    pub fn energy_model(&self) -> EnergyModel {
+        // When running scaled-down (fewer instantiated DPUs than the real
+        // machine), power still reflects the full configured system: the
+        // real machine cannot power-gate unused MRAM (paper Section 5.2).
+        EnergyModel::for_arch(&self.arch)
+    }
+
+    /// Aggregate per-phase meter over all DPUs (for C2IO diagnostics).
+    pub fn aggregate_meter(&self) -> DpuMeter {
+        let mut total = DpuMeter::new();
+        for d in &self.dpus {
+            total.merge(&d.meter);
+        }
+        total
+    }
+
+    /// Convenience: sum of a phase's time across no DPU — the *mean* phase
+    /// time weighted by the slowest DPU is already in [`BatchTiming`]; this
+    /// returns the mean per-DPU time of one phase for diagnostics.
+    pub fn mean_phase_time(&self, p: Phase) -> f64 {
+        let times: Vec<f64> = self
+            .dpus
+            .iter()
+            .map(|d| d.meter.phase(p).time(&self.arch, self.tasklets))
+            .collect();
+        stats::mean(&times)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meter::Phase;
+
+    fn small_sys() -> PimSystem {
+        PimSystem::new(PimArch::upmem_sc25(), 4)
+    }
+
+    #[test]
+    fn batch_total_is_max_of_host_and_pim() {
+        let mut sys = small_sys();
+        sys.dpus[2]
+            .meter
+            .phase_mut(Phase::Dc)
+            .charge_add(350_000_000); // 1 s on DPU 2
+        let t = sys.batch_timing(0.5, 0, 0);
+        assert!((t.pim_s() - 1.0).abs() < 1e-9);
+        assert!(t.total_s() >= 1.0);
+        // host-dominated case
+        let t2 = sys.batch_timing(3.0, 0, 0);
+        assert!((t2.total_s() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_detected() {
+        let mut sys = small_sys();
+        for d in &mut sys.dpus {
+            d.meter.phase_mut(Phase::Dc).charge_add(1_000_000);
+        }
+        sys.dpus[0].meter.phase_mut(Phase::Dc).charge_add(3_000_000);
+        let t = sys.batch_timing(0.0, 0, 0);
+        assert!(t.imbalance() > 1.5, "imbalance {}", t.imbalance());
+        assert!(t.dpu_utilization() < 0.7);
+    }
+
+    #[test]
+    fn balanced_system_has_unit_imbalance() {
+        let mut sys = small_sys();
+        for d in &mut sys.dpus {
+            d.meter.phase_mut(Phase::Lc).charge_add(42_000);
+        }
+        let t = sys.batch_timing(0.0, 0, 0);
+        assert!((t.imbalance() - 1.0).abs() < 1e-9);
+        assert!((t.dpu_utilization() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfers_add_to_pim_side() {
+        let mut sys = small_sys();
+        sys.dpus[0].meter.phase_mut(Phase::Dc).charge_add(1000);
+        let t0 = sys.batch_timing(0.0, 0, 0);
+        let t1 = sys.batch_timing(0.0, 1 << 20, 1 << 16);
+        assert!(t1.total_s() > t0.total_s());
+        assert!(t1.push_s > 0.0 && t1.gather_s > 0.0);
+    }
+
+    #[test]
+    fn reset_meters_clears_times() {
+        let mut sys = small_sys();
+        sys.dpus[1].meter.phase_mut(Phase::Ts).charge_add(1000);
+        sys.reset_meters();
+        let t = sys.batch_timing(0.0, 0, 0);
+        assert_eq!(t.pim_s(), 0.0);
+    }
+
+    #[test]
+    fn phase_breakdown_comes_from_critical_dpu() {
+        let mut sys = small_sys();
+        sys.dpus[1]
+            .meter
+            .phase_mut(Phase::Lc)
+            .charge_add(350_000_000);
+        sys.dpus[2].meter.phase_mut(Phase::Dc).charge_add(35_000_000);
+        let t = sys.batch_timing(0.0, 0, 0);
+        // DPU 1 is critical; its breakdown is all LC.
+        assert!(t.phase_s[Phase::Lc.idx()] > 0.9);
+        assert_eq!(t.phase_s[Phase::Dc.idx()], 0.0);
+    }
+
+    #[test]
+    fn full_system_instantiates_arch_count() {
+        let arch = PimArch::upmem_dimms(1);
+        let sys = PimSystem::full(arch);
+        assert_eq!(sys.len(), 128);
+        assert!(!sys.is_empty());
+    }
+
+    #[test]
+    fn aggregate_meter_merges_all() {
+        let mut sys = small_sys();
+        for d in &mut sys.dpus {
+            d.meter.phase_mut(Phase::Rc).charge_add(10);
+        }
+        let agg = sys.aggregate_meter();
+        assert_eq!(agg.phase(Phase::Rc).cycles, 40);
+    }
+}

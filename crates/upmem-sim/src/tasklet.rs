@@ -1,0 +1,130 @@
+//! Tasklet (hardware thread) occupancy and the shared top-k lock model.
+//!
+//! Each UPMEM DPU runs up to 24 *tasklets* through an 11-stage in-order
+//! pipeline; a single tasklet therefore achieves at best 1/11 IPC, and full
+//! throughput requires at least 11 resident tasklets (Gómez-Luna et al.,
+//! IEEE Access 2022). DRIM-ANN assigns work over codebook entries / cluster
+//! points to tasklets, so the model here is occupancy plus a synchronisation
+//! cost on the shared per-DPU top-k priority queue. Section 6 of the paper
+//! ("Lock pruning") reports that the naive locked queue costs up to ~50 % of
+//! total latency, removed by forwarding the current k-th distance into the
+//! distance-calculation loop.
+
+use crate::config::PimArch;
+
+/// Static description of how a kernel spreads work across tasklets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskletPlan {
+    /// Resident tasklets executing the kernel.
+    pub tasklets: usize,
+    /// Per-batch synchronisation barriers (e.g. phase boundaries).
+    pub barriers: u64,
+    /// Extra WRAM bytes consumed per additional tasklet (private buffers).
+    pub wram_per_tasklet: u64,
+}
+
+impl TaskletPlan {
+    /// A plan using `tasklets` threads with no extra overheads.
+    pub fn new(tasklets: usize) -> Self {
+        TaskletPlan {
+            tasklets,
+            barriers: 0,
+            wram_per_tasklet: 0,
+        }
+    }
+
+    /// The paper's default: enough tasklets to fill the pipeline (11 on
+    /// UPMEM silicon; we use 16 as the SDK's sweet spot).
+    pub fn default_for(arch: &PimArch) -> Self {
+        TaskletPlan::new(arch.pipeline_depth.max(16).min(arch.max_tasklets))
+    }
+
+    /// Pipeline efficiency achieved by this plan on `arch`.
+    pub fn efficiency(&self, arch: &PimArch) -> f64 {
+        arch.pipeline_eff(self.tasklets)
+    }
+
+    /// Total private WRAM needed by the plan.
+    pub fn wram_footprint(&self) -> u64 {
+        self.tasklets as u64 * self.wram_per_tasklet
+    }
+}
+
+/// Outcome statistics of the shared top-k queue under a given locking policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LockStats {
+    /// Candidates that took the lock and updated the queue.
+    pub locked_updates: u64,
+    /// Candidates rejected without locking thanks to the forwarded bound.
+    pub pruned: u64,
+}
+
+impl LockStats {
+    /// Fraction of candidates that avoided the lock.
+    pub fn prune_rate(&self) -> f64 {
+        let total = self.locked_updates + self.pruned;
+        if total == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / total as f64
+        }
+    }
+}
+
+/// Locking policy for the shared top-k priority queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LockPolicy {
+    /// Every candidate insertion takes the shared lock (baseline).
+    LockAlways,
+    /// DRIM-ANN's lock pruning: the current k-th best distance is forwarded
+    /// to the distance loop; candidates not beating it never lock. The
+    /// forwarded bound may be stale, which is safe (it only admits extra
+    /// candidates, never drops true ones).
+    #[default]
+    Forwarding,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_fills_pipeline() {
+        let arch = PimArch::upmem_sc25();
+        let plan = TaskletPlan::default_for(&arch);
+        assert!((plan.efficiency(&arch) - 1.0).abs() < 1e-12);
+        assert!(plan.tasklets <= arch.max_tasklets);
+    }
+
+    #[test]
+    fn single_tasklet_is_pipeline_limited() {
+        let arch = PimArch::upmem_sc25();
+        let plan = TaskletPlan::new(1);
+        assert!((plan.efficiency(&arch) - 1.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wram_footprint_scales() {
+        let plan = TaskletPlan {
+            tasklets: 16,
+            barriers: 2,
+            wram_per_tasklet: 256,
+        };
+        assert_eq!(plan.wram_footprint(), 4096);
+    }
+
+    #[test]
+    fn prune_rate() {
+        let s = LockStats {
+            locked_updates: 10,
+            pruned: 90,
+        };
+        assert!((s.prune_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(LockStats::default().prune_rate(), 0.0);
+    }
+
+    #[test]
+    fn default_policy_is_forwarding() {
+        assert_eq!(LockPolicy::default(), LockPolicy::Forwarding);
+    }
+}

@@ -1,0 +1,240 @@
+//! Functional kernels and closed-form (trace-mode) charge functions must
+//! account identical costs — this is what makes trace-mode timing
+//! trustworthy at scales the functional engine cannot reach.
+
+use drim_ann::config::DataBits;
+use drim_ann::kernels::{dc, lc, rc, ts, KernelCtx};
+use drim_ann::sqt::Sqt;
+use drim_ann::wram::{plan, WramCandidate, WramPlacement};
+use upmem_sim::meter::PhaseMeter;
+use upmem_sim::tasklet::LockPolicy;
+use upmem_sim::IsaCosts;
+
+fn ctx<'a>(placement: &'a WramPlacement, costs: &'a IsaCosts) -> KernelCtx<'a> {
+    KernelCtx {
+        costs,
+        dma_burst: 8,
+        bits: DataBits::B8,
+        placement,
+    }
+}
+
+fn wram_everything() -> WramPlacement {
+    plan(
+        &["sqt", "lut", "codebook", "residual", "topk", "codes"]
+            .iter()
+            .map(|n| WramCandidate {
+                name: n,
+                bytes: 1,
+                accesses: 1.0,
+            })
+            .collect::<Vec<_>>(),
+        1 << 20,
+    )
+}
+
+#[test]
+fn rc_charge_matches_run() {
+    for placement in [WramPlacement::none(), wram_everything()] {
+        let costs = IsaCosts::upmem();
+        let c = ctx(&placement, &costs);
+        let rq = ann_core::quantize::ScalarQuantizer {
+            lo: -128.0,
+            scale: 1.0,
+            levels: 256,
+        };
+        let mut functional = PhaseMeter::default();
+        let mut out = Vec::new();
+        let q: Vec<f32> = (0..96).map(|i| i as f32).collect();
+        let cent = vec![1.5f32; 96];
+        rc::run(&c, &mut functional, &q, &cent, &rq, &mut out);
+
+        let mut bulk = PhaseMeter::default();
+        rc::charge(&c, &mut bulk, 96);
+        assert_eq!(functional, bulk, "placement {placement:?}");
+    }
+}
+
+#[test]
+fn lc_charge_matches_run_with_sqt() {
+    for placement in [WramPlacement::none(), wram_everything()] {
+        let costs = IsaCosts::upmem();
+        let c = ctx(&placement, &costs);
+        let (m, cb, dsub) = (8usize, 16usize, 4usize);
+        let residual: Vec<u8> = (0..m * dsub).map(|i| (i * 7 % 256) as u8).collect();
+        let codebooks: Vec<u8> = (0..m * cb * dsub).map(|i| (i * 13 % 256) as u8).collect();
+
+        let mut functional = PhaseMeter::default();
+        let mut sqt = Sqt::for_u8();
+        let mut lut = Vec::new();
+        lc::run(
+            &c,
+            &mut functional,
+            &residual,
+            &codebooks,
+            m,
+            cb,
+            dsub,
+            Some(&mut sqt),
+            &mut lut,
+        );
+
+        let mut bulk = PhaseMeter::default();
+        lc::charge(
+            &c,
+            &mut bulk,
+            m,
+            cb,
+            dsub,
+            lc::SquareCost::SqtLookup { wram_hit_rate: 1.0 },
+        );
+        assert_eq!(functional, bulk, "placement {placement:?}");
+    }
+}
+
+#[test]
+fn lc_charge_matches_run_with_multiply() {
+    let placement = WramPlacement::none();
+    let costs = IsaCosts::upmem();
+    let c = ctx(&placement, &costs);
+    let (m, cb, dsub) = (4usize, 8usize, 6usize);
+    let residual = vec![100u8; m * dsub];
+    let codebooks = vec![50u8; m * cb * dsub];
+
+    let mut functional = PhaseMeter::default();
+    let mut lut = Vec::new();
+    lc::run(&c, &mut functional, &residual, &codebooks, m, cb, dsub, None, &mut lut);
+
+    let mut bulk = PhaseMeter::default();
+    lc::charge(&c, &mut bulk, m, cb, dsub, lc::SquareCost::Multiply);
+    assert_eq!(functional, bulk);
+}
+
+#[test]
+fn dc_charge_matches_run() {
+    for placement in [WramPlacement::none(), wram_everything()] {
+        let costs = IsaCosts::upmem();
+        let c = ctx(&placement, &costs);
+        let (m, cb, n) = (8usize, 16usize, 137usize);
+        let codes: Vec<u16> = (0..n * m).map(|i| (i % cb) as u16).collect();
+        let lut: Vec<u32> = (0..m * cb).map(|i| i as u32).collect();
+
+        let mut functional = PhaseMeter::default();
+        let mut out = Vec::new();
+        dc::run(&c, &mut functional, &codes, m, cb, &lut, u64::MAX, &mut out);
+
+        let mut bulk = PhaseMeter::default();
+        dc::charge(&c, &mut bulk, n as u64, m, cb);
+        assert_eq!(functional, bulk, "placement {placement:?}");
+    }
+}
+
+#[test]
+fn ts_charge_matches_run_lock_always_descending() {
+    // strictly decreasing distances: every candidate locks AND retains,
+    // making the bulk parameters exact
+    let placement = WramPlacement::none();
+    let costs = IsaCosts::upmem();
+    let c = ctx(&placement, &costs);
+    let n = 300usize;
+    let k = 10usize;
+    let cands: Vec<(u32, u64)> = (0..n).map(|i| (i as u32, (n - i) as u64)).collect();
+    let ids: Vec<u32> = (0..n as u32).collect();
+
+    let mut functional = PhaseMeter::default();
+    let mut heap = ann_core::topk::BoundedMaxHeap::new(k);
+    ts::run(
+        &c,
+        &mut functional,
+        &cands,
+        &ids,
+        &mut heap,
+        k,
+        LockPolicy::LockAlways,
+    );
+
+    let mut bulk = PhaseMeter::default();
+    ts::charge(
+        &c,
+        &mut bulk,
+        n as u64,
+        k,
+        LockPolicy::LockAlways,
+        n as u64,
+        n as u64, // descending: every push retained
+    );
+    assert_eq!(functional, bulk);
+}
+
+#[test]
+fn ts_charge_matches_run_forwarding_with_observed_stats() {
+    let placement = WramPlacement::none();
+    let costs = IsaCosts::upmem();
+    let c = ctx(&placement, &costs);
+    let n = 400usize;
+    let k = 7usize;
+    // pseudo-random distances
+    let cands: Vec<(u32, u64)> = (0..n as u32)
+        .map(|i| (i, ((i as u64).wrapping_mul(2654435761) % 10_000) + 1))
+        .collect();
+    let ids: Vec<u32> = (0..n as u32).collect();
+
+    let mut functional = PhaseMeter::default();
+    let mut heap = ann_core::topk::BoundedMaxHeap::new(k);
+    let stats = ts::run(
+        &c,
+        &mut functional,
+        &cands,
+        &ids,
+        &mut heap,
+        k,
+        LockPolicy::Forwarding,
+    );
+
+    // count retained by replaying pushes
+    let mut replay = ann_core::topk::BoundedMaxHeap::new(k);
+    let mut retained = 0u64;
+    let mut fwd = replay.bound();
+    for (i, &(slot, d)) in cands.iter().enumerate() {
+        if (d as f32) < fwd && replay.push(ann_core::topk::Neighbor::new(slot as u64, d as f32)) {
+            retained += 1;
+        } else if (d as f32) < fwd {
+            // locked but not retained: nothing written
+        }
+        if i % 32 == 31 {
+            fwd = replay.bound();
+        }
+    }
+
+    let mut bulk = PhaseMeter::default();
+    ts::charge(
+        &c,
+        &mut bulk,
+        n as u64,
+        k,
+        LockPolicy::Forwarding,
+        stats.locked_updates,
+        retained,
+    );
+    assert_eq!(functional, bulk);
+}
+
+#[test]
+fn expected_updates_matches_random_stream_order_of_magnitude() {
+    // harmonic estimate vs an actual random stream
+    let n = 10_000u64;
+    let k = 10usize;
+    let mut heap = ann_core::topk::BoundedMaxHeap::new(k);
+    let mut updates = 0u64;
+    for i in 0..n {
+        let d = ((i.wrapping_mul(6364136223846793005) >> 33) % 1_000_000) as f32;
+        if heap.push(ann_core::topk::Neighbor::new(i, d)) {
+            updates += 1;
+        }
+    }
+    let est = ts::expected_updates(n, k);
+    assert!(
+        (est as f64) > updates as f64 * 0.3 && (est as f64) < updates as f64 * 3.0,
+        "estimate {est} vs actual {updates}"
+    );
+}

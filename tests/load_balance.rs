@@ -1,0 +1,125 @@
+//! Load-balance integration: the optimization stack must recover the
+//! imbalance that skewed traffic induces (paper Figs. 13-14).
+
+use drim_ann::config::{AllocPolicy, EngineConfig, IndexConfig, SchedPolicy};
+use drim_ann::trace::{TraceRunner, TraceSpec};
+use upmem_sim::PimArch;
+
+fn hot_spec() -> TraceSpec {
+    TraceSpec {
+        name: "hot".into(),
+        n_points: 2_000_000,
+        dim: 64,
+        batch: 256,
+        cluster_size_zipf: 0.5,
+        heat_zipf: 1.4,
+        seed: 7,
+    }
+}
+
+fn index() -> IndexConfig {
+    IndexConfig {
+        k: 10,
+        nprobe: 16,
+        nlist: 512,
+        m: 8,
+        cb: 64,
+    }
+}
+
+fn pim_time(cfg: EngineConfig) -> (f64, f64) {
+    let mut runner = TraceRunner::build(hot_spec(), cfg, PimArch::upmem_sc25(), 128);
+    let rep = runner.run_batch(1);
+    (rep.timing.pim_s(), rep.imbalance)
+}
+
+#[test]
+fn each_optimization_layer_helps() {
+    let naive = EngineConfig::naive(index());
+    let mut alloc = EngineConfig::naive(index());
+    alloc.allocation = AllocPolicy::HeatBalanced;
+    let mut alloc_part = alloc.clone();
+    alloc_part.partition = true;
+    let mut alloc_part_dup = alloc_part.clone();
+    alloc_part_dup.duplication = true;
+    alloc_part_dup.scheduling = SchedPolicy::Greedy;
+
+    let (t_naive, imb_naive) = pim_time(naive);
+    let (t_alloc, _) = pim_time(alloc);
+    let (t_part, _) = pim_time(alloc_part);
+    let (t_full, imb_full) = pim_time(alloc_part_dup);
+
+    assert!(t_alloc < t_naive, "allocation: {t_alloc} !< {t_naive}");
+    assert!(t_part <= t_alloc * 1.02, "partition: {t_part} !<= {t_alloc}");
+    assert!(t_full <= t_part * 1.02, "dup+sched: {t_full} !<= {t_part}");
+    // overall speedup should be substantial under this skew
+    assert!(
+        t_naive / t_full > 2.0,
+        "overall load-balance speedup {} too small",
+        t_naive / t_full
+    );
+    assert!(imb_full < imb_naive, "imbalance {imb_full} !< {imb_naive}");
+}
+
+#[test]
+fn duplication_budget_saturates() {
+    // Fig 14b: speedup grows with the duplicate budget then saturates
+    let base = {
+        let mut c = EngineConfig::drim(index());
+        c.duplication = false;
+        c
+    };
+    let (t_nodup, _) = pim_time(base.clone());
+    let speedup_at = |kb: u64| {
+        let mut c = base.clone();
+        c.duplication = true;
+        c.dup_budget_bytes = Some(kb << 10);
+        let (t, _) = pim_time(c);
+        t_nodup / t
+    };
+    let s_small = speedup_at(4);
+    let s_big = speedup_at(4096);
+    let s_huge = speedup_at(16384);
+    assert!(s_big >= s_small * 0.98, "more budget should help: {s_small} -> {s_big}");
+    // saturation: quadrupling the budget again changes little
+    assert!(
+        (s_huge / s_big) < 1.3,
+        "saturation expected: {s_big} -> {s_huge}"
+    );
+}
+
+#[test]
+fn th3_postponement_bounds_the_tail() {
+    // duplication off: with a single replica per slice the scheduler cannot
+    // spread hot clusters, so th3 is the only tail control — the regime
+    // where postponement visibly engages
+    let mut eager = EngineConfig::drim(index());
+    eager.duplication = false;
+    eager.th3 = f64::INFINITY; // never postpone
+    let mut bounded = EngineConfig::drim(index());
+    bounded.duplication = false;
+    bounded.th3 = 0.10;
+
+    let mut runner_e = TraceRunner::build(hot_spec(), eager, PimArch::upmem_sc25(), 128);
+    let mut runner_b = TraceRunner::build(hot_spec(), bounded, PimArch::upmem_sc25(), 128);
+    let rep_e = runner_e.run_batch(1);
+    let rep_b = runner_b.run_batch(1);
+    // the bounded schedule postpones something under this skew...
+    assert!(rep_b.postponed > 0, "expected postponed tasks");
+    // ...and must not be slower overall (postponed work still executes)
+    assert!(rep_b.timing.pim_s() <= rep_e.timing.pim_s() * 1.10);
+}
+
+#[test]
+fn static_scheduling_wastes_replicas() {
+    let mut greedy = EngineConfig::drim(index());
+    greedy.scheduling = SchedPolicy::Greedy;
+    let mut fixed = EngineConfig::drim(index());
+    fixed.scheduling = SchedPolicy::Static;
+    let (t_greedy, _) = pim_time(greedy);
+    let (t_static, _) = pim_time(fixed);
+    assert!(
+        t_greedy < t_static,
+        "greedy {t_greedy} should beat static {t_static}"
+    );
+}

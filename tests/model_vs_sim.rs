@@ -1,0 +1,136 @@
+//! Simulator-vs-analytic-model agreement (the property paper Fig. 11b
+//! validates: the real engine achieves 71.8–99.9 % of the model's
+//! prediction).
+
+use drim_ann::config::{EngineConfig, IndexConfig};
+use drim_ann::perf_model::{predict, BitWidths, WorkloadShape};
+use drim_ann::trace::{TraceRunner, TraceSpec};
+use upmem_sim::platform::procs;
+use upmem_sim::PimArch;
+
+/// Uniform cluster sizes and heat: the regime where the perfectly-balanced
+/// analytic model and the simulator should coincide. (Skewed regimes
+/// intentionally diverge — that gap *is* the load-imbalance signal the
+/// paper's optimizations close; see `tests/load_balance.rs`.)
+fn spec(n: u64, dim: usize, batch: usize) -> TraceSpec {
+    TraceSpec {
+        name: "model-vs-sim".into(),
+        n_points: n,
+        dim,
+        batch,
+        cluster_size_zipf: 0.0,
+        heat_zipf: 0.0,
+        seed: 99,
+    }
+}
+
+#[test]
+fn trace_qps_tracks_model_prediction() {
+    // the model must describe the same machine the trace instantiates
+    let mut arch = PimArch::upmem_sc25();
+    arch.num_dpus = 512;
+    let host = procs::xeon_silver_4216();
+    for nlist in [1usize << 10, 1 << 12] {
+        let index = IndexConfig {
+            k: 10,
+            nprobe: 32,
+            nlist,
+            m: 16,
+            cb: 256,
+        };
+        let shape = WorkloadShape::new(10_000_000, 512, 128, &index, BitWidths::u8_regime());
+        let ideal = predict(&shape, &arch, &host, true).qps;
+
+        let mut runner = TraceRunner::build(
+            spec(10_000_000, 128, 512),
+            EngineConfig::drim(index),
+            arch.clone(),
+            512,
+        );
+        let actual = runner.mean_qps(2);
+        let ratio = actual / ideal;
+        // the model is an *ideal* (perfect balance, no overheads): the
+        // simulator must come in below it but within the paper's band,
+        // widened for our reduced-scale run
+        assert!(
+            (0.25..=1.6).contains(&ratio),
+            "nlist {nlist}: actual {actual:.0} / ideal {ideal:.0} = {ratio:.2}"
+        );
+    }
+}
+
+#[test]
+fn model_and_sim_agree_on_sweep_direction() {
+    // if the model says nprobe=128 is slower than nprobe=32, the simulator
+    // must agree (and vice versa) — directional consistency is what makes
+    // the model a usable DSE surrogate
+    let arch = PimArch::upmem_sc25();
+    let host = procs::xeon_silver_4216();
+    let qps_pair = |nprobe: usize| {
+        let index = IndexConfig {
+            k: 10,
+            nprobe,
+            nlist: 1 << 10,
+            m: 16,
+            cb: 256,
+        };
+        let shape = WorkloadShape::new(5_000_000, 256, 96, &index, BitWidths::u8_regime());
+        let model = predict(&shape, &arch, &host, true).qps;
+        let mut runner = TraceRunner::build(
+            spec(5_000_000, 96, 256),
+            EngineConfig::drim(index),
+            arch.clone(),
+            256,
+        );
+        (model, runner.mean_qps(1))
+    };
+    let (m32, s32) = qps_pair(32);
+    let (m128, s128) = qps_pair(128);
+    assert!(m32 > m128, "model: fewer probes must be faster");
+    assert!(s32 > s128, "sim: fewer probes must be faster");
+    // and the *magnitude* of the slowdown should be comparable (within 2x)
+    let model_ratio = m32 / m128;
+    let sim_ratio = s32 / s128;
+    assert!(
+        (model_ratio / sim_ratio) < 2.0 && (sim_ratio / model_ratio) < 2.0,
+        "model ratio {model_ratio:.2} vs sim ratio {sim_ratio:.2}"
+    );
+}
+
+#[test]
+fn c2io_predicts_which_phase_dominates() {
+    // the model's DC-vs-LC bottleneck shift with nlist (paper Fig. 9) must
+    // appear in the simulator's phase breakdown
+    let arch = PimArch::upmem_sc25();
+    let report_for = |nlist: usize| {
+        let index = IndexConfig {
+            k: 10,
+            nprobe: 32,
+            nlist,
+            m: 16,
+            cb: 256,
+        };
+        let mut runner = TraceRunner::build(
+            spec(10_000_000, 128, 256),
+            EngineConfig::drim(index),
+            arch.clone(),
+            256,
+        );
+        runner.run_batch(1)
+    };
+    use drim_ann::Phase;
+    let small = report_for(1 << 9); // C ~ 19.5k points: DC-heavy
+    let large = report_for(1 << 14); // C ~ 610: LC-heavy
+    assert!(
+        small.fraction(Phase::Dc) > small.fraction(Phase::Lc),
+        "small nlist: DC {} LC {}",
+        small.fraction(Phase::Dc),
+        small.fraction(Phase::Lc)
+    );
+    assert!(
+        large.fraction(Phase::Lc) > large.fraction(Phase::Dc),
+        "large nlist: LC {} DC {}",
+        large.fraction(Phase::Lc),
+        large.fraction(Phase::Dc)
+    );
+}

@@ -1,0 +1,125 @@
+//! Persistence + dynamic-update integration: a saved index reloads into an
+//! identical engine; inserts/removals flow through search correctly.
+
+use ann_core::ivf::{IvfPqIndex, IvfPqParams};
+use drim_ann::config::{EngineConfig, IndexConfig};
+use drim_ann::engine::DrimEngine;
+use upmem_sim::PimArch;
+
+fn workload() -> (ann_core::VecSet<f32>, ann_core::VecSet<f32>) {
+    let spec = datasets::SynthSpec::small("persist", 16, 5_000, 51);
+    let data = datasets::generate(&spec);
+    let queries = datasets::queries::generate_queries(
+        &spec,
+        16,
+        datasets::queries::QuerySkew::InDistribution,
+        3,
+    );
+    (data, queries)
+}
+
+fn index_cfg() -> IndexConfig {
+    IndexConfig {
+        k: 10,
+        nprobe: 12,
+        nlist: 64,
+        m: 8,
+        cb: 32,
+    }
+}
+
+#[test]
+fn engine_from_reloaded_index_matches_original() {
+    let (data, queries) = workload();
+    let params = IvfPqParams::new(64).m(8).cb(32);
+    let idx = IvfPqIndex::build(&data, &params);
+
+    let mut buf = Vec::new();
+    ann_core::persist::save(&idx, &mut buf).unwrap();
+    let reloaded = ann_core::persist::load(&buf[..]).unwrap();
+
+    let mut e1 = DrimEngine::from_index(
+        idx,
+        &data,
+        EngineConfig::drim(index_cfg()),
+        PimArch::upmem_sc25(),
+        8,
+        None,
+    )
+    .unwrap();
+    let mut e2 = DrimEngine::from_index(
+        reloaded,
+        &data,
+        EngineConfig::drim(index_cfg()),
+        PimArch::upmem_sc25(),
+        8,
+        None,
+    )
+    .unwrap();
+    let (r1, _) = e1.search_batch(&queries);
+    let (r2, _) = e2.search_batch(&queries);
+    let ids = |rs: &[Vec<ann_core::Neighbor>]| -> Vec<Vec<u64>> {
+        rs.iter().map(|l| l.iter().map(|n| n.id).collect()).collect()
+    };
+    assert_eq!(ids(&r1), ids(&r2));
+}
+
+#[test]
+fn file_roundtrip_via_tempfile() {
+    let (data, _) = workload();
+    let idx = IvfPqIndex::build(&data, &IvfPqParams::new(32).m(4).cb(16));
+    let path = std::env::temp_dir().join("drim_ann_persist_test.idx");
+    ann_core::persist::save(&idx, std::fs::File::create(&path).unwrap()).unwrap();
+    let back = ann_core::persist::load(std::fs::File::open(&path).unwrap()).unwrap();
+    assert_eq!(back.len(), idx.len());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn dynamic_stream_keeps_recall() {
+    // start with half the corpus, stream in the rest, verify search quality
+    // over the grown index
+    let (data, queries) = workload();
+    let half = data.len() / 2;
+    let initial = data.select(&(0..half).collect::<Vec<_>>());
+    let mut idx = IvfPqIndex::build(&initial, &IvfPqParams::new(64).m(8).cb(32));
+    for i in half..data.len() {
+        idx.insert(i as u32, data.get(i));
+    }
+    assert_eq!(idx.len(), data.len());
+
+    let truth = ann_core::flat::ground_truth(&queries, &data, 10);
+    let results: Vec<_> = (0..queries.len())
+        .map(|qi| idx.search(queries.get(qi), 12, 10))
+        .collect();
+    let recall = ann_core::recall::mean_recall(&results, &truth, 10);
+    assert!(recall > 0.6, "streamed-in index recall {recall}");
+}
+
+#[test]
+fn churn_conserves_index_invariants() {
+    let (data, _) = workload();
+    let mut idx = IvfPqIndex::build(&data, &IvfPqParams::new(32).m(4).cb(16));
+    // remove 100, re-insert them, repeatedly
+    for round in 0..3 {
+        for id in 0..100u32 {
+            assert!(idx.remove(id), "round {round}, id {id}");
+        }
+        assert_eq!(idx.len(), data.len() - 100);
+        for id in 0..100u32 {
+            idx.insert(id, data.get(id as usize));
+        }
+        assert_eq!(idx.len(), data.len());
+        for l in &idx.lists {
+            assert_eq!(l.codes.len(), l.ids.len() * idx.params.m);
+        }
+    }
+    // every id present exactly once
+    let mut seen = vec![0u8; data.len()];
+    for l in &idx.lists {
+        for &id in &l.ids {
+            seen[id as usize] += 1;
+        }
+    }
+    assert!(seen.iter().all(|&c| c == 1));
+}

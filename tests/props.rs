@@ -1,0 +1,176 @@
+//! Property-based invariants across crates (proptest).
+
+use ann_core::topk::{merge_topk, BoundedMaxHeap, Neighbor};
+use drim_ann::config::{EngineConfig, IndexConfig};
+use drim_ann::layout::{ClusterInfo, LayoutPlan};
+use drim_ann::sched::{expand_tasks, schedule, Policy};
+use proptest::prelude::*;
+
+fn arb_clusters() -> impl Strategy<Value = Vec<ClusterInfo>> {
+    prop::collection::vec((1usize..2000, 0.0f64..100.0), 1..40).prop_map(|v| {
+        v.into_iter()
+            .enumerate()
+            .map(|(i, (points, heat))| ClusterInfo {
+                id: i as u32,
+                points,
+                heat: heat + 0.01,
+            })
+            .collect()
+    })
+}
+
+fn engine_cfg(partition: bool, duplication: bool) -> EngineConfig {
+    let mut cfg = EngineConfig::drim(IndexConfig {
+        k: 10,
+        nprobe: 4,
+        nlist: 40,
+        m: 4,
+        cb: 16,
+    });
+    cfg.partition = partition;
+    cfg.duplication = duplication;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every layout covers every cluster exactly once, copies live on
+    /// distinct DPUs, and per-DPU bytes respect the budget.
+    #[test]
+    fn layout_conservation(clusters in arb_clusters(),
+                           ndpus in 1usize..32,
+                           partition in any::<bool>(),
+                           duplication in any::<bool>()) {
+        let total_points: usize = clusters.iter().map(|c| c.points).sum();
+        let budget = ((total_points * 8 / ndpus) as u64 + 4096) * 2;
+        let plan = LayoutPlan::build(&clusters, ndpus, &engine_cfg(partition, duplication), 8, budget);
+        prop_assert!(plan.validate(&clusters).is_ok(), "{:?}", plan.validate(&clusters));
+        // duplicates never exceed one copy per DPU
+        for homes in &plan.slice_homes {
+            prop_assert!(homes.len() <= ndpus);
+        }
+    }
+
+    /// The scheduler never loses or duplicates a task, and every task runs
+    /// on a DPU that hosts its slice.
+    #[test]
+    fn scheduler_conservation(clusters in arb_clusters(),
+                              ndpus in 1usize..16,
+                              nq in 1usize..20,
+                              th3 in prop::option::of(0.01f64..2.0)) {
+        let plan = LayoutPlan::build(&clusters, ndpus, &engine_cfg(true, true), 8, u64::MAX / 2);
+        let probes: Vec<Vec<u32>> = (0..nq)
+            .map(|q| {
+                let a = (q % clusters.len()) as u32;
+                let b = ((q * 7 + 3) % clusters.len()) as u32;
+                if a == b { vec![a] } else { vec![a, b] }
+            })
+            .collect();
+        let tasks = expand_tasks(&probes, &plan, |len| len as f64 + 1.0);
+        let policy = match th3 {
+            Some(t) => Policy::Greedy { th3: t },
+            None => Policy::Static,
+        };
+        let sp = schedule(&tasks, &plan, ndpus, policy);
+        prop_assert_eq!(sp.scheduled() + sp.postponed.len(), tasks.len());
+        for (d, ts) in sp.per_dpu.iter().enumerate() {
+            for t in ts {
+                prop_assert!(plan.slice_homes[t.slice].contains(&d));
+            }
+        }
+    }
+
+    /// Bounded heap == sorted truncation of a full sort, for any input.
+    #[test]
+    fn bounded_heap_is_partial_sort(dists in prop::collection::vec(0.0f32..1e6, 1..300),
+                                    k in 1usize..50) {
+        let mut heap = BoundedMaxHeap::new(k);
+        for (i, &d) in dists.iter().enumerate() {
+            heap.push(Neighbor::new(i as u64, d));
+        }
+        let got: Vec<f32> = heap.into_sorted().iter().map(|n| n.dist).collect();
+        let mut sorted = dists.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.truncate(k);
+        prop_assert_eq!(got, sorted);
+    }
+
+    /// Merging per-DPU top-k lists equals the deduplicated top-k of the
+    /// union (merge_topk keeps each id once — replicated slices may report
+    /// the same vector from two DPUs; first-seen occurrence wins, matching
+    /// the merge's scan order).
+    #[test]
+    fn merge_topk_equals_global(lists in prop::collection::vec(
+            prop::collection::vec((0u64..1000, 0.0f32..1e6), 0..40), 1..6),
+        k in 1usize..20) {
+        let lists: Vec<Vec<Neighbor>> = lists
+            .into_iter()
+            .map(|l| l.into_iter().map(|(id, d)| Neighbor::new(id, d)).collect())
+            .collect();
+        let merged = merge_topk(&lists, k);
+        // expected: first occurrence of each id in scan order, then top-k
+        let mut seen = std::collections::HashSet::new();
+        let mut all: Vec<Neighbor> = Vec::new();
+        for l in &lists {
+            for &n in l {
+                if seen.insert(n.id) {
+                    all.push(n);
+                }
+            }
+        }
+        all.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap().then(a.id.cmp(&b.id)));
+        all.truncate(k);
+        let got: Vec<u64> = merged.iter().map(|n| n.id).collect();
+        let want: Vec<u64> = all.iter().map(|n| n.id).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The SQT is lossless over the whole signed-diff domain.
+    #[test]
+    fn sqt_lossless(diff in -255i32..=255) {
+        let mut sqt = drim_ann::sqt::Sqt::for_u8();
+        let mut meter = upmem_sim::meter::PhaseMeter::default();
+        let got = sqt.square(diff, &mut meter, &upmem_sim::IsaCosts::upmem(), 8);
+        prop_assert_eq!(got, (diff as i64 * diff as i64) as u64);
+    }
+
+    /// Zipf partitions conserve mass for any shape.
+    #[test]
+    fn zipf_partition_conserves(total in 1usize..100_000,
+                                n in 1usize..256,
+                                s in 0.0f64..2.0) {
+        let sizes = datasets::zipf::zipf_partition(total, n, s);
+        prop_assert_eq!(sizes.iter().sum::<usize>(), total);
+        if total >= n {
+            prop_assert!(sizes.iter().all(|&x| x >= 1));
+        }
+    }
+
+    /// Scalar quantization round-trip error is bounded by half a step.
+    #[test]
+    fn quantizer_error_bounded(vals in prop::collection::vec(-1000.0f32..1000.0, 2..100)) {
+        let set = ann_core::VecSet::from_flat(1, vals.clone());
+        let q = ann_core::quantize::ScalarQuantizer::fit_u8(&set);
+        for &v in &vals {
+            let err = (q.decode(q.encode(v)) - v).abs();
+            prop_assert!(err <= q.max_error() + 1e-3, "v={v} err={err}");
+        }
+    }
+
+    /// The perf model is monotone: more probed clusters never cost less.
+    #[test]
+    fn perf_model_monotone_in_nprobe(nprobe in 1usize..128, extra in 1usize..64) {
+        use drim_ann::perf_model::{BitWidths, WorkloadShape};
+        let mk = |p: usize| WorkloadShape::new(
+            1_000_000, 100, 64,
+            &IndexConfig { k: 10, nprobe: p, nlist: 1024, m: 8, cb: 64 },
+            BitWidths::u8_regime(),
+        );
+        let a = mk(nprobe);
+        let b = mk(nprobe + extra);
+        prop_assert!(b.c_lc() >= a.c_lc());
+        prop_assert!(b.c_dc() >= a.c_dc());
+        prop_assert!(b.io_dc() >= a.io_dc());
+    }
+}
