@@ -1,10 +1,16 @@
-//! Distance kernels.
+//! Distance kernels — scalar reference forms.
 //!
 //! Everything in the paper is squared Euclidean (L2²) distance: cluster
 //! locating compares the query against coarse centroids, LUT construction
 //! compares residual sub-vectors against codebook entries, and the
 //! asymmetric-distance computation (ADC) sums LUT entries. Squared distance
 //! preserves ranking, so the square root is never taken.
+//!
+//! These single-fold loops are the *reference* implementations: simple,
+//! obviously correct, and what the property tests compare against. Hot
+//! paths route through the blocked multi-accumulator forms in
+//! [`crate::kernels`], which compute the same quantities reassociated for
+//! auto-vectorization.
 
 /// Squared L2 distance between two `f32` slices of equal length.
 #[inline]
@@ -61,14 +67,14 @@ pub fn norm_sq_f32(a: &[f32]) -> f32 {
 
 /// Index of the nearest vector in `set` (row-major flat, `dim`-wide) to
 /// `query`, together with the squared distance. Returns `None` for an empty
-/// set.
+/// set. Distances go through the blocked kernel ([`crate::kernels`]).
 pub fn nearest_f32(query: &[f32], set_flat: &[f32], dim: usize) -> Option<(usize, f32)> {
     if set_flat.is_empty() {
         return None;
     }
     let mut best = (0usize, f32::INFINITY);
     for (i, row) in set_flat.chunks_exact(dim).enumerate() {
-        let d = l2_sq_f32(query, row);
+        let d = crate::kernels::l2_sq_f32(query, row);
         if d < best.1 {
             best = (i, d);
         }
@@ -91,7 +97,10 @@ mod tests {
         assert_eq!(l2_sq_u8(&[0, 0], &[3, 4]), 25);
         assert_eq!(l2_sq_u8(&[255], &[0]), 255 * 255);
         // symmetric
-        assert_eq!(l2_sq_u8(&[10, 200], &[250, 5]), l2_sq_u8(&[250, 5], &[10, 200]));
+        assert_eq!(
+            l2_sq_u8(&[10, 200], &[250, 5]),
+            l2_sq_u8(&[250, 5], &[10, 200])
+        );
     }
 
     #[test]

@@ -63,7 +63,11 @@ impl Dpq {
                 let mut subs: Vec<f32> = Vec::with_capacity(data.len() * dsub);
                 for v in data.iter() {
                     for d in 0..dsub {
-                        subs.push(if start + d < v.len() { v[start + d] } else { 0.0 });
+                        subs.push(if start + d < v.len() {
+                            v[start + d]
+                        } else {
+                            0.0
+                        });
                     }
                 }
 

@@ -1,7 +1,7 @@
 //! Exact (brute-force) nearest-neighbor search, used for ground truth and
 //! recall measurement. Parallelized over queries with rayon.
 
-use crate::distance::l2_sq_f32;
+use crate::kernels::l2_sq_f32;
 use crate::topk::{BoundedMaxHeap, Neighbor};
 use crate::vector::VecSet;
 use rayon::prelude::*;
@@ -16,7 +16,11 @@ pub fn exact_search(query: &[f32], data: &VecSet<f32>, k: usize) -> Vec<Neighbor
 }
 
 /// Exact top-k for a whole query set, parallel over queries.
-pub fn exact_search_batch(queries: &VecSet<f32>, data: &VecSet<f32>, k: usize) -> Vec<Vec<Neighbor>> {
+pub fn exact_search_batch(
+    queries: &VecSet<f32>,
+    data: &VecSet<f32>,
+    k: usize,
+) -> Vec<Vec<Neighbor>> {
     (0..queries.len())
         .into_par_iter()
         .map(|qi| exact_search(queries.get(qi), data, k))

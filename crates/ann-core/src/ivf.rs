@@ -162,6 +162,10 @@ pub struct IvfPqIndex {
     pub dim: usize,
     /// Coarse centroids (`nlist x dim`).
     pub coarse: VecSet<f32>,
+    /// Cached squared norms of the coarse centroids (`‖c‖²` terms of the
+    /// fused cluster-locating kernel). Kept in sync with `coarse`; rebuild
+    /// with [`IvfPqIndex::refresh_coarse_norms`] after mutating centroids.
+    pub coarse_norms: Vec<f32>,
     /// Inverted lists, one per cluster.
     pub lists: Vec<IvfList>,
     /// Residual quantizer.
@@ -217,21 +221,28 @@ impl IvfPqIndex {
 
         // 4. encode everything into inverted lists
         let mut lists: Vec<IvfList> = (0..params.nlist).map(|_| IvfList::default()).collect();
-        for i in 0..data.len() {
-            let c = assignments[i] as usize;
+        for (i, &a) in assignments.iter().enumerate() {
+            let c = a as usize;
             residual_into(data.get(i), coarse.get(c), &mut buf);
             let code = quant.encode(&buf);
             lists[c].ids.push(i as u32);
             lists[c].codes.extend_from_slice(&code);
         }
 
+        let coarse_norms = crate::kernels::row_norms_f32(coarse.as_flat(), dim);
         IvfPqIndex {
             params: params.clone(),
             dim,
             coarse,
+            coarse_norms,
             lists,
             quant,
         }
+    }
+
+    /// Recompute the cached centroid norms (call after mutating `coarse`).
+    pub fn refresh_coarse_norms(&mut self) {
+        self.coarse_norms = crate::kernels::row_norms_f32(self.coarse.as_flat(), self.dim);
     }
 
     /// Number of indexed vectors.
@@ -245,11 +256,29 @@ impl IvfPqIndex {
     }
 
     /// Cluster-locating phase: the `nprobe` nearest coarse centroids,
-    /// ascending by distance.
+    /// ascending by distance. Distances come from the fused batch kernel
+    /// with the cached centroid norms.
     pub fn locate(&self, query: &[f32], nprobe: usize) -> Vec<(u32, f32)> {
+        self.locate_with_scratch(query, nprobe, &mut Vec::new())
+    }
+
+    /// [`Self::locate`] with a caller-owned distance scratch buffer, so
+    /// per-query callers (the search loop, batch scans) pay no allocation.
+    fn locate_with_scratch(
+        &self,
+        query: &[f32],
+        nprobe: usize,
+        dists: &mut Vec<f32>,
+    ) -> Vec<(u32, f32)> {
+        crate::kernels::l2_sq_batch(
+            query,
+            self.coarse.as_flat(),
+            self.dim,
+            &self.coarse_norms,
+            dists,
+        );
         let mut heap = BoundedMaxHeap::new(nprobe.min(self.params.nlist).max(1));
-        for (c, row) in self.coarse.iter().enumerate() {
-            let d = crate::distance::l2_sq_f32(query, row);
+        for (c, &d) in dists.iter().enumerate() {
             heap.push(Neighbor::new(c as u64, d));
         }
         heap.into_sorted()
@@ -259,11 +288,19 @@ impl IvfPqIndex {
     }
 
     /// Full search: returns the `k` nearest neighbors by ADC distance.
+    ///
+    /// The per-list scan is the blocked 8-wide ADC kernel; candidates are
+    /// pruned against the running top-k bound before touching the heap
+    /// (the host-side analogue of the paper's forwarded-record pruning).
     pub fn search(&self, query: &[f32], nprobe: usize, k: usize) -> Vec<Neighbor> {
-        let probes = self.locate(query, nprobe);
+        // one scratch buffer serves both the CL distances and the per-list
+        // ADC distances
+        let mut dists = Vec::new();
+        let probes = self.locate_with_scratch(query, nprobe, &mut dists);
         let mut heap = BoundedMaxHeap::new(k);
         let mut residual = vec![0.0f32; self.dim];
         let m = self.params.m;
+        let cb = self.params.cb;
         for (c, _) in probes {
             let list = &self.lists[c as usize];
             if list.is_empty() {
@@ -271,9 +308,16 @@ impl IvfPqIndex {
             }
             residual_into(query, self.coarse.get(c as usize), &mut residual);
             let lut = self.quant.lut(&residual);
-            for (slot, code) in list.codes.chunks_exact(m).enumerate() {
-                let d = self.quant.adc(&lut, code);
-                heap.push(Neighbor::new(list.ids[slot] as u64, d));
+            crate::kernels::adc_scan_f32(&list.codes, m, cb, &lut, &mut dists);
+            // `<=` so candidates tying the k-th distance still reach the
+            // heap, which breaks ties by id exactly like the unpruned
+            // scalar path; only strictly-worse candidates are skipped
+            let mut bound = heap.bound();
+            for (slot, &d) in dists.iter().enumerate() {
+                if d <= bound {
+                    heap.push(Neighbor::new(list.ids[slot] as u64, d));
+                    bound = heap.bound();
+                }
             }
         }
         heap.into_sorted()
@@ -285,7 +329,8 @@ impl IvfPqIndex {
     /// and PQ-encoded; centroids and codebooks are not retrained.
     pub fn insert(&mut self, id: u32, v: &[f32]) {
         assert_eq!(v.len(), self.dim, "inserted vector has wrong dimension");
-        let (c, _) = crate::kmeans::nearest_centroid(v, &self.coarse);
+        let (c, _) =
+            crate::kmeans::nearest_centroid_with_norms(v, &self.coarse, &self.coarse_norms);
         let mut residual = vec![0.0f32; self.dim];
         residual_into(v, self.coarse.get(c as usize), &mut residual);
         let code = self.quant.encode(&residual);
@@ -407,8 +452,7 @@ mod tests {
             let q = data.get(qi * 7);
             let approx = idx.search(q, 8, 10);
             let exact = exact_search(q, &data, 10);
-            let exact_ids: std::collections::HashSet<u64> =
-                exact.iter().map(|n| n.id).collect();
+            let exact_ids: std::collections::HashSet<u64> = exact.iter().map(|n| n.id).collect();
             hits += approx.iter().filter(|n| exact_ids.contains(&n.id)).count();
             total += 10;
         }
@@ -421,15 +465,26 @@ mod tests {
         let data = clustered_data(1000, 8, 11);
         let idx = IvfPqIndex::build(&data, &IvfPqParams::new(16).m(4).cb(32));
         let q = data.get(3);
-        let d1 = idx.search(q, 1, 5).last().map(|n| n.dist).unwrap_or(f32::MAX);
-        let d16 = idx.search(q, 16, 5).last().map(|n| n.dist).unwrap_or(f32::MAX);
+        let d1 = idx
+            .search(q, 1, 5)
+            .last()
+            .map(|n| n.dist)
+            .unwrap_or(f32::MAX);
+        let d16 = idx
+            .search(q, 16, 5)
+            .last()
+            .map(|n| n.dist)
+            .unwrap_or(f32::MAX);
         assert!(d16 <= d1 + 1e-6);
     }
 
     #[test]
     fn opq_variant_builds_and_searches() {
         let data = clustered_data(600, 8, 13);
-        let idx = IvfPqIndex::build(&data, &IvfPqParams::new(8).m(4).cb(16).variant(PqVariant::Opq));
+        let idx = IvfPqIndex::build(
+            &data,
+            &IvfPqParams::new(8).m(4).cb(16).variant(PqVariant::Opq),
+        );
         let res = idx.search(data.get(0), 4, 5);
         assert_eq!(res.len(), 5);
     }
@@ -437,7 +492,10 @@ mod tests {
     #[test]
     fn dpq_variant_builds_and_searches() {
         let data = clustered_data(600, 8, 17);
-        let idx = IvfPqIndex::build(&data, &IvfPqParams::new(8).m(4).cb(16).variant(PqVariant::Dpq));
+        let idx = IvfPqIndex::build(
+            &data,
+            &IvfPqParams::new(8).m(4).cb(16).variant(PqVariant::Dpq),
+        );
         let res = idx.search(data.get(0), 4, 5);
         assert_eq!(res.len(), 5);
     }

@@ -6,7 +6,7 @@
 //! procedures Faiss runs, so recall comparisons against the baseline are
 //! apples-to-apples.
 
-use crate::distance::l2_sq_f32;
+use crate::kernels::{self, l2_sq_f32};
 use crate::vector::VecSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -106,10 +106,13 @@ pub fn kmeans(data: &VecSet<f32>, params: &KMeansParams) -> KMeansResult {
     let mut inertia = f64::INFINITY;
 
     for _ in 0..params.iters {
-        // assignment step (parallel over points)
+        // assignment step (parallel over points), through the fused
+        // norm-decomposition kernel: centroid norms are computed once per
+        // iteration and shared by every point
+        let cnorms = kernels::row_norms_f32(centroids.as_flat(), dim);
         let dists: Vec<(u32, f32)> = (0..train.len())
             .into_par_iter()
-            .map(|i| nearest_centroid(train.get(i), &centroids))
+            .map(|i| nearest_centroid_with_norms(train.get(i), &centroids, &cnorms))
             .collect();
         inertia = dists.iter().map(|&(_, d)| d as f64).sum();
         for (i, &(a, _)) in dists.iter().enumerate() {
@@ -178,25 +181,38 @@ pub fn kmeans(data: &VecSet<f32>, params: &KMeansParams) -> KMeansResult {
     }
 }
 
-/// Assign every vector of `data` to its nearest centroid (parallel).
+/// Assign every vector of `data` to its nearest centroid (parallel),
+/// through the fused batch kernel with centroid norms computed once.
 pub fn assign(data: &VecSet<f32>, centroids: &VecSet<f32>) -> Vec<u32> {
+    let cnorms = kernels::row_norms_f32(centroids.as_flat(), centroids.dim());
     (0..data.len())
         .into_par_iter()
-        .map(|i| nearest_centroid(data.get(i), centroids).0)
+        .map(|i| nearest_centroid_with_norms(data.get(i), centroids, &cnorms).0)
         .collect()
 }
 
 /// Nearest centroid index + squared distance.
+///
+/// Computes centroid norms on the fly; callers that hold a centroid set
+/// across many lookups should cache [`kernels::row_norms_f32`] once and use
+/// [`nearest_centroid_with_norms`] instead.
 #[inline]
 pub fn nearest_centroid(v: &[f32], centroids: &VecSet<f32>) -> (u32, f32) {
-    let mut best = (0u32, f32::INFINITY);
-    for (c, row) in centroids.iter().enumerate() {
-        let d = l2_sq_f32(v, row);
-        if d < best.1 {
-            best = (c as u32, d);
-        }
-    }
-    best
+    let cnorms = kernels::row_norms_f32(centroids.as_flat(), centroids.dim());
+    nearest_centroid_with_norms(v, centroids, &cnorms)
+}
+
+/// Nearest centroid via the `‖q‖² − 2·q·c + ‖c‖²` decomposition with cached
+/// centroid norms (`cnorms` must match `centroids`).
+#[inline]
+pub fn nearest_centroid_with_norms(
+    v: &[f32],
+    centroids: &VecSet<f32>,
+    cnorms: &[f32],
+) -> (u32, f32) {
+    let (i, d) = kernels::nearest_row(v, centroids.as_flat(), centroids.dim(), cnorms)
+        .expect("centroid set must be non-empty");
+    (i as u32, d)
 }
 
 /// k-means++ seeding: first centroid uniform, then D²-weighted sampling.
@@ -283,9 +299,7 @@ mod tests {
         // every centroid should be near one of the true centers
         let truth = [(0.0f32, 0.0f32), (10.0, 10.0), (-10.0, 8.0)];
         for c in res.centroids.iter() {
-            let ok = truth
-                .iter()
-                .any(|&(x, y)| l2_sq_f32(c, &[x, y]) < 1.0);
+            let ok = truth.iter().any(|&(x, y)| l2_sq_f32(c, &[x, y]) < 1.0);
             assert!(ok, "centroid {c:?} not near any blob center");
         }
         // inertia should be tiny relative to blob separation
@@ -332,9 +346,9 @@ mod tests {
         let data = blobs();
         let res = kmeans(&data, &KMeansParams::new(3).iters(8));
         let assigned = assign(&data, &res.centroids);
-        for i in 0..data.len() {
+        for (i, &a) in assigned.iter().enumerate() {
             let (c, _) = nearest_centroid(data.get(i), &res.centroids);
-            assert_eq!(assigned[i], c);
+            assert_eq!(a, c);
         }
     }
 

@@ -7,7 +7,8 @@
 //! * dense vector containers for `f32` and quantized `u8` corpora
 //!   ([`vector`]);
 //! * distance kernels ([`distance`]) including the asymmetric
-//!   query-vs-quantized form used by IVF-PQ;
+//!   query-vs-quantized form used by IVF-PQ, plus their blocked,
+//!   SIMD-friendly forms ([`kernels`]) that every hot path routes through;
 //! * k-means with k-means++ seeding and empty-cluster repair ([`kmeans`]);
 //! * product quantization ([`pq`]) and its variants OPQ ([`opq`], learned
 //!   rotation via a built-in Jacobi SVD Procrustes solver in [`linalg`])
@@ -28,6 +29,7 @@ pub mod distance;
 pub mod dpq;
 pub mod flat;
 pub mod ivf;
+pub mod kernels;
 pub mod kmeans;
 pub mod linalg;
 pub mod opq;

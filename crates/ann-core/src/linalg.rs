@@ -279,7 +279,11 @@ pub fn jacobi_svd(a: &Matrix) -> Svd {
     for (out_j, &(norm, j)) in entries.iter().enumerate() {
         s.push(norm);
         for r in 0..w.rows {
-            let val = if norm > 1e-12 { w.get(r, j) / norm } else { 0.0 };
+            let val = if norm > 1e-12 {
+                w.get(r, j) / norm
+            } else {
+                0.0
+            };
             u.set(r, out_j, val);
         }
         for r in 0..n {

@@ -124,8 +124,7 @@ fn cross_covariance(x: &VecSet<f32>, y: &VecSet<f32>) -> Matrix {
     let d = x.dim();
     let mut m = Matrix::zeros(d, d);
     for (xv, yv) in x.iter().zip(y.iter()) {
-        for i in 0..d {
-            let xi = xv[i];
+        for (i, &xi) in xv.iter().enumerate() {
             if xi == 0.0 {
                 continue;
             }
@@ -208,7 +207,10 @@ mod tests {
         let adc = opq.pq.adc(&lut, &code);
         // distance in rotated space == distance in raw space (R orthogonal)
         let exact = crate::distance::l2_sq_f32(q, &opq.decode(&code));
-        assert!((adc - exact).abs() / exact.max(1.0) < 0.05, "adc {adc} exact {exact}");
+        assert!(
+            (adc - exact).abs() / exact.max(1.0) < 0.05,
+            "adc {adc} exact {exact}"
+        );
     }
 
     #[test]

@@ -97,15 +97,9 @@ pub fn load<R: Read>(mut r: R) -> io::Result<IvfPqIndex> {
         0 => (PqVariant::Pq, PqModel::Plain(pq)),
         1 => {
             let rot = Matrix::from_rows(dim, dim, get_f32s(&mut r, dim * dim)?);
-            (
-                PqVariant::Opq,
-                PqModel::Rotated(Opq { rotation: rot, pq }),
-            )
+            (PqVariant::Opq, PqModel::Rotated(Opq { rotation: rot, pq }))
         }
-        2 => (
-            PqVariant::Dpq,
-            PqModel::Refined(crate::dpq::Dpq { pq }),
-        ),
+        2 => (PqVariant::Dpq, PqModel::Refined(crate::dpq::Dpq { pq })),
         other => return Err(bad(&format!("unknown variant tag {other}"))),
     };
 
@@ -125,10 +119,13 @@ pub fn load<R: Read>(mut r: R) -> io::Result<IvfPqIndex> {
         lists.push(IvfList { ids, codes });
     }
 
+    // derived, not serialized: rebuild the cached centroid norms
+    let coarse_norms = crate::kernels::row_norms_f32(coarse.as_flat(), dim);
     Ok(IvfPqIndex {
         params: IvfPqParams::new(nlist).m(m).cb(cb).variant(variant),
         dim,
         coarse,
+        coarse_norms,
         lists,
         quant,
     })
@@ -179,10 +176,7 @@ mod tests {
 
     fn roundtrip(variant: PqVariant) {
         let data = toy_data(400, 8, 3);
-        let idx = IvfPqIndex::build(
-            &data,
-            &IvfPqParams::new(8).m(4).cb(16).variant(variant),
-        );
+        let idx = IvfPqIndex::build(&data, &IvfPqParams::new(8).m(4).cb(16).variant(variant));
         let mut buf = Vec::new();
         save(&idx, &mut buf).unwrap();
         let back = load(&buf[..]).unwrap();
@@ -193,8 +187,16 @@ mod tests {
         assert_eq!(back.len(), idx.len());
         // identical search results
         for qi in [0usize, 17, 399] {
-            let a: Vec<u64> = idx.search(data.get(qi), 4, 5).iter().map(|n| n.id).collect();
-            let b: Vec<u64> = back.search(data.get(qi), 4, 5).iter().map(|n| n.id).collect();
+            let a: Vec<u64> = idx
+                .search(data.get(qi), 4, 5)
+                .iter()
+                .map(|n| n.id)
+                .collect();
+            let b: Vec<u64> = back
+                .search(data.get(qi), 4, 5)
+                .iter()
+                .map(|n| n.id)
+                .collect();
             assert_eq!(a, b, "variant {variant:?}, query {qi}");
         }
     }

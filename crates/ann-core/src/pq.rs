@@ -137,16 +137,21 @@ impl ProductQuantizer {
     }
 
     /// Encode one vector into `m` codeword indices.
+    ///
+    /// Nearest-codeword distances use the blocked *exact* row kernel
+    /// (`kernels::l2_sq_rows`), not the norm decomposition: codebooks are
+    /// mutated in place by the DPQ refinement, so cached norms could go
+    /// stale, and the argmin must match the scalar reference exactly.
     pub fn encode(&self, v: &[f32]) -> Vec<u16> {
         assert_eq!(v.len(), self.dim);
         let mut code = Vec::with_capacity(self.m);
         let mut buf = vec![0.0f32; self.dsub];
+        let mut dists = Vec::with_capacity(self.cb);
         for s in 0..self.m {
             extract_sub(v, s, self.dsub, &mut buf);
-            let cbk = self.codebook(s);
+            crate::kernels::l2_sq_rows(&buf, self.codebook(s), self.dsub, &mut dists);
             let mut best = (0u16, f32::INFINITY);
-            for (j, row) in cbk.chunks_exact(self.dsub).enumerate() {
-                let d = l2_sq_f32(&buf, row);
+            for (j, &d) in dists.iter().enumerate() {
                 if d < best.1 {
                     best = (j as u16, d);
                 }
@@ -182,18 +187,18 @@ impl ProductQuantizer {
     }
 
     /// Build the ADC lookup table for a query (or residual): `m * cb`
-    /// partial squared distances. This is the LC phase.
+    /// partial squared distances. This is the LC phase, blocked per
+    /// subspace: one call of the exact row kernel fills a whole
+    /// subspace-major LUT row sequentially.
     pub fn lut(&self, q: &[f32]) -> Vec<f32> {
         assert_eq!(q.len(), self.dim);
-        let mut lut = vec![0.0f32; self.m * self.cb];
+        let mut lut = Vec::with_capacity(self.m * self.cb);
         let mut buf = vec![0.0f32; self.dsub];
+        let mut row = Vec::with_capacity(self.cb);
         for s in 0..self.m {
             extract_sub(q, s, self.dsub, &mut buf);
-            let cbk = self.codebook(s);
-            let dst = &mut lut[s * self.cb..(s + 1) * self.cb];
-            for (j, row) in cbk.chunks_exact(self.dsub).enumerate() {
-                dst[j] = l2_sq_f32(&buf, row);
-            }
+            crate::kernels::l2_sq_rows(&buf, self.codebook(s), self.dsub, &mut row);
+            lut.extend_from_slice(&row);
         }
         lut
     }
@@ -225,7 +230,11 @@ impl ProductQuantizer {
 fn extract_sub(v: &[f32], s: usize, dsub: usize, buf: &mut [f32]) {
     let start = s * dsub;
     for (d, slot) in buf.iter_mut().enumerate() {
-        *slot = if start + d < v.len() { v[start + d] } else { 0.0 };
+        *slot = if start + d < v.len() {
+            v[start + d]
+        } else {
+            0.0
+        };
     }
 }
 
@@ -287,7 +296,8 @@ mod tests {
     #[test]
     fn more_codewords_reduce_error() {
         let data = toy_data(600, 8);
-        let e_small = ProductQuantizer::train(&data, &PqParams::new(4, 4)).quantization_error(&data);
+        let e_small =
+            ProductQuantizer::train(&data, &PqParams::new(4, 4)).quantization_error(&data);
         let e_large =
             ProductQuantizer::train(&data, &PqParams::new(4, 64)).quantization_error(&data);
         assert!(e_large < e_small, "{e_large} !< {e_small}");

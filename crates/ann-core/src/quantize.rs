@@ -50,8 +50,7 @@ impl ScalarQuantizer {
     /// Quantize one value to a code.
     #[inline]
     pub fn encode(&self, x: f32) -> u32 {
-        (((x - self.lo) / self.scale).round())
-            .clamp(0.0, (self.levels - 1) as f32) as u32
+        (((x - self.lo) / self.scale).round()).clamp(0.0, (self.levels - 1) as f32) as u32
     }
 
     /// Reconstruct the value of a code.
@@ -65,7 +64,10 @@ impl ScalarQuantizer {
         assert!(self.levels <= 256);
         VecSet::from_flat(
             data.dim(),
-            data.as_flat().iter().map(|&x| self.encode(x) as u8).collect(),
+            data.as_flat()
+                .iter()
+                .map(|&x| self.encode(x) as u8)
+                .collect(),
         )
     }
 
@@ -74,7 +76,10 @@ impl ScalarQuantizer {
         assert!(self.levels <= 65536);
         VecSet::from_flat(
             data.dim(),
-            data.as_flat().iter().map(|&x| self.encode(x) as u16).collect(),
+            data.as_flat()
+                .iter()
+                .map(|&x| self.encode(x) as u16)
+                .collect(),
         )
     }
 
@@ -82,7 +87,10 @@ impl ScalarQuantizer {
     pub fn dequantize_u8(&self, data: &VecSet<u8>) -> VecSet<f32> {
         VecSet::from_flat(
             data.dim(),
-            data.as_flat().iter().map(|&q| self.decode(q as u32)).collect(),
+            data.as_flat()
+                .iter()
+                .map(|&q| self.decode(q as u32))
+                .collect(),
         )
     }
 

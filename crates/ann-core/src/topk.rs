@@ -108,11 +108,13 @@ impl BoundedMaxHeap {
         loop {
             let (l, r) = (2 * i + 1, 2 * i + 2);
             let mut largest = i;
-            if l < n && cmp_neighbor(&self.heap[l], &self.heap[largest]) == std::cmp::Ordering::Greater
+            if l < n
+                && cmp_neighbor(&self.heap[l], &self.heap[largest]) == std::cmp::Ordering::Greater
             {
                 largest = l;
             }
-            if r < n && cmp_neighbor(&self.heap[r], &self.heap[largest]) == std::cmp::Ordering::Greater
+            if r < n
+                && cmp_neighbor(&self.heap[r], &self.heap[largest]) == std::cmp::Ordering::Greater
             {
                 largest = r;
             }
@@ -158,7 +160,10 @@ pub fn merge_topk(lists: &[Vec<Neighbor>], k: usize) -> Vec<Neighbor> {
 /// data-independent: `(n/2) * log2(n) * (log2(n)+1) / 2`.
 pub fn bitonic_sort(xs: &mut [f32]) -> u64 {
     let n = xs.len();
-    assert!(n.is_power_of_two(), "bitonic sort needs a power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "bitonic sort needs a power-of-two length"
+    );
     let mut comparisons = 0u64;
     let mut k = 2;
     while k <= n {
@@ -274,7 +279,9 @@ mod tests {
         // deterministic LCG so the test is reproducible without rand
         let mut state = 0x12345678u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f32) / (u32::MAX as f32)
         };
         for k in [1usize, 5, 32] {

@@ -23,6 +23,12 @@ use rayon::prelude::*;
 
 /// A real multithreaded IVF-PQ searcher (the functional Faiss-CPU
 /// stand-in).
+///
+/// The per-query pipeline runs entirely on the blocked kernel layer
+/// (`ann_core::kernels`): cluster locating uses the fused
+/// norm-decomposition batch kernel with the index's cached centroid norms,
+/// and the list scans use the 8-wide blocked ADC kernel with top-k bound
+/// pruning — the same structure Faiss's `IndexIVFPQ` uses on AVX2.
 pub struct CpuIvfPq {
     /// The underlying index.
     pub index: IvfPqIndex,
@@ -244,7 +250,10 @@ mod tests {
         // so DEEP's LC leg is relatively slower than SIFT's
         let sift_lc = m.phase_times(&sift_shape(1 << 14, 96))[2] / 128.0;
         let deep_lc = m.phase_times(&deep_shape())[2] / 96.0;
-        assert!(deep_lc > sift_lc, "per-dim LC: deep {deep_lc} sift {sift_lc}");
+        assert!(
+            deep_lc > sift_lc,
+            "per-dim LC: deep {deep_lc} sift {sift_lc}"
+        );
     }
 
     #[test]

@@ -67,11 +67,7 @@ impl GpuModel {
         if !self.fits(raw_bytes) {
             return None;
         }
-        let ops = shape.c_cl()
-            + shape.c_rc()
-            + shape.c_lc()
-            + shape.c_dc()
-            + shape.c_ts();
+        let ops = shape.c_cl() + shape.c_rc() + shape.c_lc() + shape.c_dc() + shape.c_ts();
         let code_bytes = shape.q * shape.p * shape.c * shape.m * shape.bits.b_p;
         let bytes = shape.io_cl() * 0.25 + shape.io_rc() + code_bytes + shape.io_ts() * 0.05;
         Some(self.proc.time(ops, bytes) / self.achieved_fraction)
@@ -94,10 +90,15 @@ impl GpuModel {
 pub const PAPER_GPU_OVER_CPU: f64 = 12.33;
 
 /// Calibration check helper: the modelled GPU/CPU ratio at a configuration.
-pub fn gpu_over_cpu_ratio(shape_gpu: &WorkloadShape, shape_cpu: &WorkloadShape, raw_bytes: u64) -> Option<f64> {
+pub fn gpu_over_cpu_ratio(
+    shape_gpu: &WorkloadShape,
+    shape_cpu: &WorkloadShape,
+    raw_bytes: u64,
+) -> Option<f64> {
     let cpu = CpuModel::xeon_gold_5218();
     let gpu = GpuModel::a100();
-    gpu.qps(shape_gpu, raw_bytes).map(|g| g / cpu.qps(shape_cpu))
+    gpu.qps(shape_gpu, raw_bytes)
+        .map(|g| g / cpu.qps(shape_cpu))
 }
 
 #[cfg(test)]

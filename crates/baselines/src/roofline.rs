@@ -161,7 +161,11 @@ mod tests {
         let upmem = upmem_proc(&PimArch::upmem_dimms(24));
         let shape = fig2_shape(&datasets::catalog::sift100m());
         let ai = shape.arithmetic_intensity();
-        assert!(ai < cpu.ridge_point(), "CPU: AI {ai} ridge {}", cpu.ridge_point());
+        assert!(
+            ai < cpu.ridge_point(),
+            "CPU: AI {ai} ridge {}",
+            cpu.ridge_point()
+        );
         assert!(
             ai > upmem.ridge_point(),
             "UPMEM: AI {ai} ridge {}",

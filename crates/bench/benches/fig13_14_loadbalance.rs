@@ -44,12 +44,8 @@ fn bench_loadbalance(c: &mut Criterion) {
         b.iter(|| {
             let mut cfg = EngineConfig::drim(index);
             cfg.split_granularity = Some(20_000);
-            let mut runner = TraceRunner::build(
-                hot_spec(&scale),
-                cfg,
-                PimArch::upmem_sc25(),
-                scale.ndpus,
-            );
+            let mut runner =
+                TraceRunner::build(hot_spec(&scale), cfg, PimArch::upmem_sc25(), scale.ndpus);
             std::hint::black_box(runner.run_batch(1).timing.pim_s())
         })
     });

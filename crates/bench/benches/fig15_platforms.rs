@@ -14,12 +14,7 @@ fn bench_platforms(c: &mut Criterion) {
     for platform in Platform::ALL {
         g.bench_function(format!("trace_{}", platform.name()), |b| {
             b.iter(|| {
-                let qps = ex::drim_qps(
-                    &desc,
-                    EngineConfig::drim(index),
-                    platform.arch(),
-                    &scale,
-                );
+                let qps = ex::drim_qps(&desc, EngineConfig::drim(index), platform.arch(), &scale);
                 std::hint::black_box(qps)
             })
         });

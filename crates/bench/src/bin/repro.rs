@@ -25,8 +25,21 @@ fn main() {
     }
     if targets.is_empty() || targets.iter().any(|t| t == "all") {
         targets = vec![
-            "table1", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11a", "fig11b", "fig12a",
-            "fig12b", "fig13", "fig14", "fig15", "table3", "ablations",
+            "table1",
+            "fig2",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11a",
+            "fig11b",
+            "fig12a",
+            "fig12b",
+            "fig13",
+            "fig14",
+            "fig15",
+            "table3",
+            "ablations",
         ]
         .into_iter()
         .map(String::from)

@@ -162,7 +162,13 @@ pub fn table1() -> Table {
 pub fn fig2() -> Table {
     let mut t = Table::new(
         "Fig 2: Roofline analysis of ANNS (IVF-PQ, nlist=2^14, nprobe=96)",
-        &["Platform", "Dataset", "AI (ops/B)", "Attainable GOPS", "OOM"],
+        &[
+            "Platform",
+            "Dataset",
+            "AI (ops/B)",
+            "Attainable GOPS",
+            "OOM",
+        ],
     );
     for p in baselines::roofline::fig2_points() {
         t.row(vec![
@@ -189,7 +195,12 @@ pub fn fig7_8(desc: &DatasetDescriptor, scale: &PaperScale) -> Table {
     for &nprobe in &NPROBE_SWEEP {
         let index = paper_index(1 << 14, nprobe);
         let cpu = faiss_cpu_qps(desc, &index, scale.batch);
-        let drim = drim_qps(desc, EngineConfig::drim(index), PimArch::upmem_sc25(), scale);
+        let drim = drim_qps(
+            desc,
+            EngineConfig::drim(index),
+            PimArch::upmem_sc25(),
+            scale,
+        );
         speedups.push(drim / cpu);
         t.row(vec![
             "nprobe".into(),
@@ -202,7 +213,12 @@ pub fn fig7_8(desc: &DatasetDescriptor, scale: &PaperScale) -> Table {
     for &nlist in &NLIST_SWEEP {
         let index = paper_index(nlist, 96);
         let cpu = faiss_cpu_qps(desc, &index, scale.batch);
-        let drim = drim_qps(desc, EngineConfig::drim(index), PimArch::upmem_sc25(), scale);
+        let drim = drim_qps(
+            desc,
+            EngineConfig::drim(index),
+            PimArch::upmem_sc25(),
+            scale,
+        );
         speedups.push(drim / cpu);
         t.row(vec![
             "nlist".into(),
@@ -273,7 +289,12 @@ pub fn fig10(scale: &PaperScale) -> Table {
         // scale both sides to the paper's 10k-query batch for J readability
         let norm = 10_000.0 / scale.batch as f64;
         let cpu_j = cpu.energy_j(&shape) * norm;
-        let rep = drim_report(&desc, EngineConfig::drim(index), PimArch::upmem_sc25(), scale);
+        let rep = drim_report(
+            &desc,
+            EngineConfig::drim(index),
+            PimArch::upmem_sc25(),
+            scale,
+        );
         let drim_j = rep.energy_j * norm;
         ratios.push(cpu_j / drim_j);
         t.row(vec![
@@ -285,7 +306,12 @@ pub fn fig10(scale: &PaperScale) -> Table {
         ]);
     };
     for &nprobe in &NPROBE_SWEEP {
-        push("nprobe", nprobe.to_string(), paper_index(1 << 14, nprobe), &mut ratios);
+        push(
+            "nprobe",
+            nprobe.to_string(),
+            paper_index(1 << 14, nprobe),
+            &mut ratios,
+        );
     }
     for &nlist in &NLIST_SWEEP {
         push(
@@ -339,14 +365,25 @@ pub fn fig11b(scale: &PaperScale) -> Table {
     let host = upmem_sim::platform::procs::xeon_silver_4216();
     let mut t = Table::new(
         "Fig 11b: Actual vs predicted performance (trace sim / Eq.1-12 model)",
-        &["Dataset", "nlist", "Ideal QPS", "Actual QPS", "Actual/Ideal"],
+        &[
+            "Dataset",
+            "nlist",
+            "Ideal QPS",
+            "Actual QPS",
+            "Actual/Ideal",
+        ],
     );
     for desc in [catalog::sift100m(), catalog::deep100m()] {
         for &nlist in &NLIST_SWEEP {
             let index = paper_index(nlist, 96);
             let shape = comparison_shape(&desc, &index, scale.batch, BitWidths::u8_regime());
             let ideal = predict(&shape, &PimArch::upmem_sc25(), &host, true).qps;
-            let actual = drim_qps(&desc, EngineConfig::drim(index), PimArch::upmem_sc25(), scale);
+            let actual = drim_qps(
+                &desc,
+                EngineConfig::drim(index),
+                PimArch::upmem_sc25(),
+                scale,
+            );
             t.row(vec![
                 desc.name.to_string(),
                 format!("2^{}", nlist.trailing_zeros()),
@@ -366,7 +403,11 @@ pub fn fig12a(scale: &PaperScale) -> Table {
         "Fig 12a: Accuracy/performance trade-off (normalized throughput)",
         &["Dataset", "recall@10 floor", "Best QPS", "Normalized"],
     );
-    for desc in [catalog::sift100m(), catalog::deep100m(), catalog::spacev100m()] {
+    for desc in [
+        catalog::sift100m(),
+        catalog::deep100m(),
+        catalog::spacev100m(),
+    ] {
         // reference: the empirically-selected Fig. 7 configuration
         let ref_qps = drim_qps(
             &desc,
@@ -510,7 +551,10 @@ pub fn fig14a(scale: &PaperScale) -> Table {
         let tt = drim_report(&desc, cfg, PimArch::upmem_sc25(), scale)
             .timing
             .pim_s();
-        t.row(vec![f(gran as f64 / 1e4, 1), f(t_nosplit / tt.max(1e-12), 2)]);
+        t.row(vec![
+            f(gran as f64 / 1e4, 1),
+            f(t_nosplit / tt.max(1e-12), 2),
+        ]);
     }
     t
 }
@@ -589,7 +633,10 @@ pub fn ablations(scale: &PaperScale) -> Table {
 
     let mut lock_always = base.clone();
     lock_always.lock_policy = upmem_sim::tasklet::LockPolicy::LockAlways;
-    t.row(vec!["lock every TS candidate".into(), f(pim(lock_always) / t_base, 2)]);
+    t.row(vec![
+        "lock every TS candidate".into(),
+        f(pim(lock_always) / t_base, 2),
+    ]);
 
     for tasklets in [1usize, 8] {
         let mut cfg = base.clone();
@@ -609,11 +656,17 @@ pub fn ablations(scale: &PaperScale) -> Table {
 
     let mut rr = base.clone();
     rr.allocation = AllocPolicy::RoundRobin;
-    t.row(vec!["round-robin allocation".into(), f(pim(rr) / t_base, 2)]);
+    t.row(vec![
+        "round-robin allocation".into(),
+        f(pim(rr) / t_base, 2),
+    ]);
 
     let mut static_sched = base.clone();
     static_sched.scheduling = SchedPolicy::Static;
-    t.row(vec!["static scheduling".into(), f(pim(static_sched) / t_base, 2)]);
+    t.row(vec![
+        "static scheduling".into(),
+        f(pim(static_sched) / t_base, 2),
+    ]);
 
     t
 }
@@ -666,7 +719,12 @@ pub fn table3(scale: &PaperScale) -> Table {
         0.8,
         16,
     );
-    let with_dse = drim_qps(&desc, EngineConfig::drim(res.best), PimArch::upmem_sc25(), &s);
+    let with_dse = drim_qps(
+        &desc,
+        EngineConfig::drim(res.best),
+        PimArch::upmem_sc25(),
+        &s,
+    );
     t.row(vec![
         format!(
             "DRIM-ANN (DSE: P={} nlist=2^{} M={} CB={})",

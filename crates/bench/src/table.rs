@@ -62,7 +62,8 @@ impl Table {
     /// Write as CSV to `dir/<name>.csv`.
     pub fn write_csv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        let mut f = std::io::BufWriter::new(std::fs::File::create(dir.join(format!("{name}.csv")))?);
+        let mut f =
+            std::io::BufWriter::new(std::fs::File::create(dir.join(format!("{name}.csv")))?);
         writeln!(f, "{}", self.header.join(","))?;
         for row in &self.rows {
             writeln!(f, "{}", row.join(","))?;

@@ -64,7 +64,8 @@ impl AccuracyEval for ProxyAccuracy {
         // coverage term: diminishing returns in nprobe, sharper when the
         // index has fewer, larger clusters
         let frac = cfg.nprobe as f64 / cfg.nlist as f64;
-        let cluster_hit = 1.0 - (-self.alpha * (cfg.nprobe as f64).sqrt() * (1.0 + 20.0 * frac)).exp();
+        let cluster_hit =
+            1.0 - (-self.alpha * (cfg.nprobe as f64).sqrt() * (1.0 + 20.0 * frac)).exp();
         // quality term: bits per dimension of the PQ code
         let bits_per_dim = cfg.m as f64 * (cfg.cb as f64).log2() / self.dim;
         let quality = 1.0 - (-self.beta * bits_per_dim).exp();
@@ -127,11 +128,7 @@ pub fn hypervolume_2d(points: &[(f64, f64)]) -> f64 {
                 hv += best_recall * (pq - q).max(0.0);
             }
             // wait until the next qps step to account area; track corner
-            if prev_q.is_none() {
-                prev_q = Some(q);
-            } else {
-                prev_q = Some(q);
-            }
+            prev_q = Some(q);
             best_recall = r;
         }
         if prev_q.is_none() {
@@ -148,6 +145,7 @@ pub fn hypervolume_2d(points: &[(f64, f64)]) -> f64 {
 /// Run the DSE: returns the best configuration meeting
 /// `recall >= accuracy_constraint`, or the highest-recall one when nothing
 /// is feasible.
+#[allow(clippy::too_many_arguments)]
 pub fn optimize(
     space: &ParamSpace,
     n_points: u64,
@@ -232,7 +230,11 @@ pub fn optimize(
             // exploration bonus from the accuracy variance
             let (_, var) = gp.predict(&x);
             let improvement = (q - incumbent).max(0.0);
-            let z = if incumbent > 0.0 { improvement / incumbent } else { 1.0 };
+            let z = if incumbent > 0.0 {
+                improvement / incumbent
+            } else {
+                1.0
+            };
             let acq = p_feasible * (improvement + 0.01 * incumbent * normal_pdf(1.0 - z))
                 + 0.001 * var.sqrt() * q;
             if acq > best_next.as_ref().map(|(a, _)| *a).unwrap_or(f64::MIN) {

@@ -118,8 +118,9 @@ fn cholesky(a: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
     for i in 0..n {
         for j in 0..=i {
             let mut sum = a[i][j];
-            for k in 0..j {
-                sum -= l[i][k] * l[j][k];
+            let (li, lj) = (&l[i], &l[j]);
+            for (lik, ljk) in li.iter().zip(lj.iter()).take(j) {
+                sum -= lik * ljk;
             }
             if i == j {
                 if sum <= 0.0 {

@@ -146,7 +146,11 @@ impl DrimEngine {
         let sample_stride = (data.len() / 512).max(1);
         let mut rbuf = vec![0.0f32; dim];
         for i in (0..data.len()).step_by(sample_stride) {
-            let (c, _) = ann_core::kmeans::nearest_centroid(data.get(i), &ivf.coarse);
+            let (c, _) = ann_core::kmeans::nearest_centroid_with_norms(
+                data.get(i),
+                &ivf.coarse,
+                &ivf.coarse_norms,
+            );
             ann_core::ivf::residual_into(data.get(i), ivf.coarse.get(c as usize), &mut rbuf);
             for v in to_pq_space(&rbuf) {
                 extremes.push(&[v]);
@@ -182,7 +186,8 @@ impl DrimEngine {
 
         // Layout over the DPUs.
         let bytes_per_point = (cfg.index.m * pq.code_bytes() + 4) as u64;
-        let reserved = qcodebooks.len() as u64 + (dim as u64 * 4 * cfg.index.nlist as u64 / ndpus as u64);
+        let reserved =
+            qcodebooks.len() as u64 + (dim as u64 * 4 * cfg.index.nlist as u64 / ndpus as u64);
         let mram_budget = arch.mram_bytes.saturating_sub(reserved);
         let layout = LayoutPlan::build(&clusters, ndpus, &cfg, bytes_per_point, mram_budget);
         layout
@@ -388,9 +393,10 @@ impl DrimEngine {
     /// Execute one DPU's task list.
     fn run_dpu(&self, dpu: usize, tasks: &[Task], queries: &VecSet<f32>) -> DpuOutput {
         let mut meter = DpuMeter::new();
-        let mut sqt = self.cfg.sqt.then(|| {
-            Sqt::for_bits_resident(self.cfg.bits, self.placement.is_resident("sqt"))
-        });
+        let mut sqt = self
+            .cfg
+            .sqt
+            .then(|| Sqt::for_bits_resident(self.cfg.bits, self.placement.is_resident("sqt")));
         let costs = self.system.arch.costs.clone();
         let ctx = KernelCtx {
             costs: &costs,
@@ -546,8 +552,12 @@ mod tests {
     fn small_workload() -> (VecSet<f32>, VecSet<f32>) {
         let spec = datasets::SynthSpec::small("engine-test", 16, 3000, 11);
         let data = datasets::generate(&spec);
-        let queries =
-            datasets::queries::generate_queries(&spec, 24, datasets::queries::QuerySkew::InDistribution, 5);
+        let queries = datasets::queries::generate_queries(
+            &spec,
+            24,
+            datasets::queries::QuerySkew::InDistribution,
+            5,
+        );
         (data, queries)
     }
 
@@ -588,7 +598,11 @@ mod tests {
         let engine_recall = ann_core::recall::mean_recall(&results, &truth, 10);
 
         let host_results: Vec<Vec<Neighbor>> = (0..queries.len())
-            .map(|qi| engine.ivf.search(queries.get(qi), cfg.index.nprobe, cfg.index.k))
+            .map(|qi| {
+                engine
+                    .ivf
+                    .search(queries.get(qi), cfg.index.nprobe, cfg.index.k)
+            })
             .collect();
         let host_recall = ann_core::recall::mean_recall(&host_results, &truth, 10);
         // u8 quantization costs a little recall but must stay close
@@ -610,7 +624,9 @@ mod tests {
         let (r1, rep1) = e1.search_batch(&queries);
         let (r2, rep2) = e2.search_batch(&queries);
         let ids = |rs: &Vec<Vec<Neighbor>>| -> Vec<Vec<u64>> {
-            rs.iter().map(|l| l.iter().map(|n| n.id).collect()).collect()
+            rs.iter()
+                .map(|l| l.iter().map(|n| n.id).collect())
+                .collect()
         };
         assert_eq!(ids(&r1), ids(&r2), "SQT is lossless");
         // and it must be faster
@@ -654,7 +670,10 @@ mod tests {
         assert!(report.imbalance >= 1.0);
         let frac_sum: f64 = report.phase_fraction.iter().sum();
         assert!((frac_sum - 1.0).abs() < 1e-6 || frac_sum == 0.0);
-        assert!(report.sqt_wram_hit_rate > 0.99, "8-bit SQT always hits WRAM");
+        assert!(
+            report.sqt_wram_hit_rate > 0.99,
+            "8-bit SQT always hits WRAM"
+        );
     }
 
     #[test]

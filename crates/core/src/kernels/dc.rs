@@ -46,6 +46,13 @@ pub fn charge(ctx: &KernelCtx<'_>, meter: &mut PhaseMeter, n_points: u64, m: usi
 ///
 /// Returns the number of candidates whose distance is below `bound`
 /// (candidates the TS phase will actually consider).
+///
+/// The accumulation is register-blocked: eight points at a time with the
+/// subspace loop outermost, so one subspace-major LUT row serves eight
+/// gathers while it is hot and the eight accumulators carry no dependency
+/// on each other. Costs are booked through [`charge`] — the blocked
+/// restructuring changes how fast the host simulates the scan, never what
+/// the scan is charged.
 #[allow(clippy::too_many_arguments)]
 pub fn run(
     ctx: &KernelCtx<'_>,
@@ -59,33 +66,43 @@ pub fn run(
 ) -> u64 {
     debug_assert_eq!(codes.len() % m, 0);
     debug_assert_eq!(lut.len(), m * cb);
+    const BLOCK: usize = 8;
     let n = codes.len() / m;
-    let code_bytes = if cb <= 256 { 1u64 } else { 2u64 };
 
     out.clear();
     out.reserve(n);
     let mut below = 0u64;
-    for (slot, code) in codes.chunks_exact(m).enumerate() {
+    let mut slot = 0u32;
+    let mut blocks = codes.chunks_exact(BLOCK * m);
+    for block in &mut blocks {
+        let mut acc = [0u64; BLOCK];
+        for s in 0..m {
+            let lut_row = &lut[s * cb..(s + 1) * cb];
+            for (b, a) in acc.iter_mut().enumerate() {
+                *a += lut_row[block[b * m + s] as usize] as u64;
+            }
+        }
+        for &a in &acc {
+            if a < bound {
+                below += 1;
+            }
+            out.push((slot, a));
+            slot += 1;
+        }
+    }
+    for code in blocks.remainder().chunks_exact(m) {
         let mut acc = 0u64;
         for (s, &cidx) in code.iter().enumerate() {
             acc += lut[s * cb + cidx as usize] as u64;
-            // one LUT gather per subquantizer (random by nature) plus the
-            // code load / address / loop overhead of the scan
-            ctx.read(meter, "lut", 4, true);
-            meter.charge_alu(GATHER_OVERHEAD_ALU * ctx.costs.alu);
         }
-        // m-1 additions + bound comparison
-        meter.charge_add_c((m as u64).saturating_sub(1), ctx.costs);
-        meter.charge_cmp(ctx.costs.cmp);
         if acc < bound {
             below += 1;
         }
-        out.push((slot as u32, acc));
+        out.push((slot, acc));
+        slot += 1;
     }
-    // the codes themselves stream in from MRAM
-    if n > 0 {
-        ctx.read(meter, "codes", (n * m) as u64 * code_bytes, false);
-    }
+
+    charge(ctx, meter, n as u64, m, cb);
     below
 }
 

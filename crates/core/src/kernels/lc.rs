@@ -32,7 +32,6 @@ pub fn charge(
     dsub: usize,
     square: SquareCost,
 ) {
-    let b = ctx.bits.bytes();
     let entries = (m * cb) as u64;
     let elems = entries * dsub as u64;
 
@@ -51,6 +50,17 @@ pub fn charge(
             meter.mram_random_read(misses, 4, ctx.dma_burst);
         }
     }
+    charge_nonsquare(ctx, meter, m, cb, dsub);
+}
+
+/// Everything LC costs *besides* the squarings: subtract/accumulate ALU
+/// work, codebook + residual reads, and the LUT write. Shared verbatim by
+/// [`charge`] and [`run`], which is what keeps functional and closed-form
+/// totals identical by construction.
+fn charge_nonsquare(ctx: &KernelCtx<'_>, meter: &mut PhaseMeter, m: usize, cb: usize, dsub: usize) {
+    let b = ctx.bits.bytes();
+    let entries = (m * cb) as u64;
+    let elems = entries * dsub as u64;
     // subtract + accumulate per element
     meter.charge_add_c(2 * elems, ctx.costs);
     // codebook + residual reads per entry, LUT written once
@@ -73,6 +83,13 @@ pub fn charge(
 /// zero-padding); `codebooks` is `m * cb * dsub` quantized codewords.
 /// When `sqt` is `Some`, squarings go through the lookup table; otherwise
 /// they are charged as native multiplies.
+///
+/// The multiply path computes each LUT entry with the blocked
+/// multi-accumulator `l2_sq_u8` kernel (bit-identical to the scalar loop —
+/// integer adds are associative) and books the squarings in bulk; the SQT
+/// path stays per-element because every lookup updates the table's
+/// hit/spill counters and residency-dependent charges. Both paths share
+/// [`charge`]'s accounting, so functional and trace totals cannot drift.
 #[allow(clippy::too_many_arguments)]
 pub fn run(
     ctx: &KernelCtx<'_>,
@@ -82,40 +99,44 @@ pub fn run(
     m: usize,
     cb: usize,
     dsub: usize,
-    mut sqt: Option<&mut Sqt>,
+    sqt: Option<&mut Sqt>,
     lut: &mut Vec<u32>,
 ) {
     debug_assert_eq!(codebooks.len(), m * cb * dsub);
-    debug_assert!(residual.len() >= m * dsub || residual.len() == m * dsub);
-    let b = ctx.bits.bytes();
+    debug_assert!(residual.len() >= m * dsub);
 
     lut.clear();
     lut.reserve(m * cb);
-    for s in 0..m {
-        let r_sub = &residual[s * dsub..(s + 1) * dsub];
-        for j in 0..cb {
-            let cw = &codebooks[(s * cb + j) * dsub..(s * cb + j + 1) * dsub];
-            let mut acc = 0u64;
-            for (&r, &c) in r_sub.iter().zip(cw.iter()) {
-                let diff = r as i32 - c as i32;
-                let sq = match sqt.as_deref_mut() {
-                    Some(table) => table.square(diff, meter, ctx.costs, ctx.dma_burst),
-                    None => {
-                        meter.charge_mul(1, ctx.costs);
-                        (diff as i64 * diff as i64) as u64
-                    }
-                };
-                acc += sq;
+    match sqt {
+        None => {
+            // blocked build: one unrolled subvector distance per entry
+            for s in 0..m {
+                let r_sub = &residual[s * dsub..(s + 1) * dsub];
+                let cb_block = &codebooks[s * cb * dsub..(s + 1) * cb * dsub];
+                lut.extend(
+                    cb_block
+                        .chunks_exact(dsub)
+                        .map(|cw| ann_core::kernels::l2_sq_u8(r_sub, cw)),
+                );
             }
-            lut.push(acc as u32);
-            // subtract + accumulate per element (the square was charged above)
-            meter.charge_add_c(2 * dsub as u64, ctx.costs);
-            // codebook entry + residual reads, LUT entry write
-            ctx.read(meter, "codebook", dsub as u64 * b, false);
-            ctx.read(meter, "residual", dsub as u64 * b, false);
+            meter.charge_mul((m * cb * dsub) as u64, ctx.costs);
+        }
+        Some(table) => {
+            for s in 0..m {
+                let r_sub = &residual[s * dsub..(s + 1) * dsub];
+                for j in 0..cb {
+                    let cw = &codebooks[(s * cb + j) * dsub..(s * cb + j + 1) * dsub];
+                    let mut acc = 0u64;
+                    for (&r, &c) in r_sub.iter().zip(cw.iter()) {
+                        let diff = r as i32 - c as i32;
+                        acc += table.square(diff, meter, ctx.costs, ctx.dma_burst);
+                    }
+                    lut.push(acc as u32);
+                }
+            }
         }
     }
-    ctx.write(meter, "lut", (m * cb) as u64 * 4);
+    charge_nonsquare(ctx, meter, m, cb, dsub);
 }
 
 #[cfg(test)]
@@ -192,7 +213,17 @@ mod tests {
         run(&c, &mut with_mul, &r, &cbk, 2, 2, 2, None, &mut lut);
         let mut with_sqt = PhaseMeter::default();
         let mut sqt = Sqt::for_u8();
-        run(&c, &mut with_sqt, &r, &cbk, 2, 2, 2, Some(&mut sqt), &mut lut);
+        run(
+            &c,
+            &mut with_sqt,
+            &r,
+            &cbk,
+            2,
+            2,
+            2,
+            Some(&mut sqt),
+            &mut lut,
+        );
         assert!(
             with_sqt.cycles < with_mul.cycles,
             "sqt {} mul {}",

@@ -169,11 +169,27 @@ mod tests {
 
         let mut h1 = BoundedMaxHeap::new(5);
         let mut m1 = PhaseMeter::default();
-        run(&c, &mut m1, &cands, &ids, &mut h1, 5, LockPolicy::LockAlways);
+        run(
+            &c,
+            &mut m1,
+            &cands,
+            &ids,
+            &mut h1,
+            5,
+            LockPolicy::LockAlways,
+        );
 
         let mut h2 = BoundedMaxHeap::new(5);
         let mut m2 = PhaseMeter::default();
-        run(&c, &mut m2, &cands, &ids, &mut h2, 5, LockPolicy::Forwarding);
+        run(
+            &c,
+            &mut m2,
+            &cands,
+            &ids,
+            &mut h2,
+            5,
+            LockPolicy::Forwarding,
+        );
 
         let top1: Vec<u64> = h1.into_sorted().iter().map(|n| n.id).collect();
         let top2: Vec<u64> = h2.into_sorted().iter().map(|n| n.id).collect();
@@ -192,7 +208,15 @@ mod tests {
         let ids: Vec<u32> = (0..1000).collect();
         let mut heap = BoundedMaxHeap::new(10);
         let mut m = PhaseMeter::default();
-        let stats = run(&c, &mut m, &cands, &ids, &mut heap, 10, LockPolicy::Forwarding);
+        let stats = run(
+            &c,
+            &mut m,
+            &cands,
+            &ids,
+            &mut heap,
+            10,
+            LockPolicy::Forwarding,
+        );
         assert!(
             stats.prune_rate() > 0.8,
             "prune rate {}",
@@ -209,7 +233,15 @@ mod tests {
         let (cands, ids) = descending_candidates(100);
         let mut heap = BoundedMaxHeap::new(5);
         let mut m = PhaseMeter::default();
-        let stats = run(&c, &mut m, &cands, &ids, &mut heap, 5, LockPolicy::LockAlways);
+        let stats = run(
+            &c,
+            &mut m,
+            &cands,
+            &ids,
+            &mut heap,
+            5,
+            LockPolicy::LockAlways,
+        );
         assert_eq!(stats.locked_updates, 100);
         assert_eq!(m.lock_acquires, 100);
     }
@@ -224,11 +256,27 @@ mod tests {
 
         let mut m_fwd = PhaseMeter::default();
         let mut h = BoundedMaxHeap::new(4);
-        run(&c, &mut m_fwd, &cands, &ids, &mut h, 4, LockPolicy::Forwarding);
+        run(
+            &c,
+            &mut m_fwd,
+            &cands,
+            &ids,
+            &mut h,
+            4,
+            LockPolicy::Forwarding,
+        );
 
         let mut m_lock = PhaseMeter::default();
         let mut h2 = BoundedMaxHeap::new(4);
-        run(&c, &mut m_lock, &cands, &ids, &mut h2, 4, LockPolicy::LockAlways);
+        run(
+            &c,
+            &mut m_lock,
+            &cands,
+            &ids,
+            &mut h2,
+            4,
+            LockPolicy::LockAlways,
+        );
 
         let t_fwd = m_fwd.time(&upmem_sim::PimArch::upmem_sc25(), 16);
         let t_lock = m_lock.time(&upmem_sim::PimArch::upmem_sc25(), 16);
@@ -245,7 +293,15 @@ mod tests {
         let (cands, ids) = descending_candidates(500);
         let mut heap = BoundedMaxHeap::new(7);
         let mut m = PhaseMeter::default();
-        run(&c, &mut m, &cands, &ids, &mut heap, 7, LockPolicy::Forwarding);
+        run(
+            &c,
+            &mut m,
+            &cands,
+            &ids,
+            &mut heap,
+            7,
+            LockPolicy::Forwarding,
+        );
         let got: Vec<u64> = heap.into_sorted().iter().map(|n| n.dist as u64).collect();
         assert_eq!(got, vec![1, 2, 3, 4, 5, 6, 7]);
     }

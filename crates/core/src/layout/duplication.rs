@@ -98,7 +98,12 @@ pub fn plan_copies(
 }
 
 /// Extra duplicate bytes per DPU a copy plan implies (mean).
-pub fn extra_bytes_per_dpu(slices: &[Slice], copies: &[usize], ndpus: usize, bytes_per_point: u64) -> f64 {
+pub fn extra_bytes_per_dpu(
+    slices: &[Slice],
+    copies: &[usize],
+    ndpus: usize,
+    bytes_per_point: u64,
+) -> f64 {
     let extra: u64 = slices
         .iter()
         .zip(copies.iter())

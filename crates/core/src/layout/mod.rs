@@ -155,7 +155,11 @@ impl LayoutPlan {
             }
         };
 
-        let n_clusters = clusters.iter().map(|c| c.id as usize + 1).max().unwrap_or(0);
+        let n_clusters = clusters
+            .iter()
+            .map(|c| c.id as usize + 1)
+            .max()
+            .unwrap_or(0);
         let mut cluster_slices = vec![Vec::new(); n_clusters];
         for (i, s) in slices.iter().enumerate() {
             cluster_slices[s.cluster as usize].push(i);
@@ -256,7 +260,6 @@ mod tests {
             nlist: 32,
             m: 4,
             cb: 16,
-            ..IndexConfig::paper_default()
         })
     }
 

@@ -90,7 +90,13 @@ pub struct WorkloadShape {
 
 impl WorkloadShape {
     /// Shape from index parameters over a corpus of `n` points.
-    pub fn new(n: u64, q: usize, d: usize, cfg: &crate::config::IndexConfig, bits: BitWidths) -> Self {
+    pub fn new(
+        n: u64,
+        q: usize,
+        d: usize,
+        cfg: &crate::config::IndexConfig,
+        bits: BitWidths,
+    ) -> Self {
         WorkloadShape {
             n_points: n as f64,
             q: q as f64,
@@ -100,7 +106,7 @@ impl WorkloadShape {
             c: n as f64 / cfg.nlist as f64,
             m: cfg.m as f64,
             cb: cfg.cb as f64,
-            bits: bits,
+            bits,
         }
     }
 
@@ -114,7 +120,9 @@ impl WorkloadShape {
     /// Eq. 1: CL compute — query vs. every centroid (`N/C` of them) plus a
     /// `log P` priority-queue update.
     pub fn c_cl(&self) -> f64 {
-        self.q * (self.n_points / self.c) * (Self::dist_ops(self.d) + (self.p.log2() - 1.0).max(0.0))
+        self.q
+            * (self.n_points / self.c)
+            * (Self::dist_ops(self.d) + (self.p.log2() - 1.0).max(0.0))
     }
 
     /// Eq. 3: CL traffic — centroids + queries + the size-`log P + 1`
@@ -259,12 +267,7 @@ pub fn host_cl_time(q: f64, nlist: f64, shape: &WorkloadShape, host: &ProcModel)
 /// two ALU ops per TS candidate) so that the simulator's deviation from
 /// this model reflects *load imbalance and scheduling*, the effects the
 /// paper's Fig. 11b quantifies, rather than bookkeeping differences.
-pub fn predict(
-    shape: &WorkloadShape,
-    arch: &PimArch,
-    host: &ProcModel,
-    sqt: bool,
-) -> Prediction {
+pub fn predict(shape: &WorkloadShape, arch: &PimArch, host: &ProcModel, sqt: bool) -> Prediction {
     let host_s = host_cl_time(shape.q, shape.n_points / shape.c, shape, host);
 
     let ndpus = arch.num_dpus as f64;

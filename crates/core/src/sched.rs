@@ -111,8 +111,7 @@ fn schedule_greedy(
     order.sort_by(|&a, &b| tasks[b].cost.partial_cmp(&tasks[a].cost).unwrap());
 
     // mean heat if everything were perfectly spread — the th3 reference
-    let total_cost: f64 =
-        tasks.iter().map(|t| t.cost).sum::<f64>() + heat.iter().sum::<f64>();
+    let total_cost: f64 = tasks.iter().map(|t| t.cost).sum::<f64>() + heat.iter().sum::<f64>();
     let mean = total_cost / ndpus.max(1) as f64;
     let limit = if th3.is_finite() {
         mean * (1.0 + th3)
@@ -235,7 +234,6 @@ mod tests {
             nlist: 8,
             m: 4,
             cb: 16,
-            ..IndexConfig::paper_default()
         });
         cfg.duplication = dup;
         let plan = LayoutPlan::build(&clusters, ndpus, &cfg, 8, 1 << 20);
@@ -330,7 +328,7 @@ mod tests {
             + plan.cluster_slices[3].len()
             + plan.cluster_slices[5].len();
         assert_eq!(tasks.len(), expected);
-        assert!(tasks.iter().all(|t| t.cost == 100.0 || t.cost < 100.0));
+        assert!(tasks.iter().all(|t| t.cost <= 100.0));
     }
 
     #[test]

@@ -182,8 +182,8 @@ mod tests {
     #[test]
     fn u8_table_matches_squares() {
         let t = table_u8();
-        for i in 0..256usize {
-            assert_eq!(t[i], (i * i) as u32);
+        for (i, &v) in t.iter().enumerate() {
+            assert_eq!(v, (i * i) as u32);
         }
     }
 
@@ -226,7 +226,12 @@ mod tests {
         sqt.square(57, &mut m_lut, &costs, 8);
         let mut m_mul = meter();
         m_mul.charge_mul(1, &costs);
-        assert!(m_lut.cycles < m_mul.cycles / 2, "{} vs {}", m_lut.cycles, m_mul.cycles);
+        assert!(
+            m_lut.cycles < m_mul.cycles / 2,
+            "{} vs {}",
+            m_lut.cycles,
+            m_mul.cycles
+        );
     }
 
     #[test]

@@ -353,15 +353,8 @@ impl TraceRunner {
             .system
             .batch_timing(host_s, push_bytes / n, gather_bytes / n);
         let energy = self.system.energy_model().energy_j(timing.total_s());
-        let report = BatchReport::new(
-            self.spec.batch,
-            timing,
-            energy,
-            postponed_count,
-            lock,
-            1.0,
-        );
-        report
+
+        BatchReport::new(self.spec.batch, timing, energy, postponed_count, lock, 1.0)
     }
 
     /// Run `batches` batches and return the mean QPS (steady-state estimate).
@@ -442,8 +435,12 @@ mod tests {
     fn load_balance_optimizations_cut_makespan() {
         let mut hot = spec(1_000_000);
         hot.heat_zipf = 1.4;
-        let mut naive_runner =
-            TraceRunner::build(hot.clone(), EngineConfig::naive(cfg().index), PimArch::upmem_sc25(), 64);
+        let mut naive_runner = TraceRunner::build(
+            hot.clone(),
+            EngineConfig::naive(cfg().index),
+            PimArch::upmem_sc25(),
+            64,
+        );
         let mut drim_runner = TraceRunner::build(hot, cfg(), PimArch::upmem_sc25(), 64);
         let naive_rep = naive_runner.run_batch(1);
         let drim_rep = drim_runner.run_batch(1);

@@ -205,7 +205,7 @@ mod tests {
     fn standard_candidates_fit_typical_wram() {
         let cands = standard_candidates(&shape(), 1024, 64, 64);
         let p = plan(&cands, 48 << 10); // 64 KiB minus tasklet stacks
-        // the paper's hot set: SQT, LUT, residual and top-k all make it
+                                        // the paper's hot set: SQT, LUT, residual and top-k all make it
         for name in ["sqt", "lut", "residual", "topk"] {
             assert!(p.is_resident(name), "{name} should be WRAM-resident");
         }

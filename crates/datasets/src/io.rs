@@ -13,11 +13,8 @@ use std::io::{self, Read, Write};
 /// Read an `fvecs` stream into a vector set.
 pub fn read_fvecs<R: Read>(mut r: R) -> io::Result<VecSet<f32>> {
     let mut out: Option<VecSet<f32>> = None;
-    loop {
-        let dim = match read_u32_opt(&mut r)? {
-            Some(d) => d as usize,
-            None => break,
-        };
+    while let Some(d) = read_u32_opt(&mut r)? {
+        let dim = d as usize;
         validate_dim(dim, &out.as_ref().map(|s| s.dim()))?;
         let mut buf = vec![0u8; dim * 4];
         r.read_exact(&mut buf)?;
@@ -44,11 +41,8 @@ pub fn write_fvecs<W: Write>(mut w: W, set: &VecSet<f32>) -> io::Result<()> {
 /// Read a `bvecs` stream into a u8 vector set.
 pub fn read_bvecs<R: Read>(mut r: R) -> io::Result<VecSet<u8>> {
     let mut out: Option<VecSet<u8>> = None;
-    loop {
-        let dim = match read_u32_opt(&mut r)? {
-            Some(d) => d as usize,
-            None => break,
-        };
+    while let Some(d) = read_u32_opt(&mut r)? {
+        let dim = d as usize;
         validate_dim(dim, &out.as_ref().map(|s| s.dim()))?;
         let mut buf = vec![0u8; dim];
         r.read_exact(&mut buf)?;
@@ -69,11 +63,8 @@ pub fn write_bvecs<W: Write>(mut w: W, set: &VecSet<u8>) -> io::Result<()> {
 /// Read an `ivecs` stream (ground-truth lists) as rows of u32 ids.
 pub fn read_ivecs<R: Read>(mut r: R) -> io::Result<Vec<Vec<u32>>> {
     let mut out = Vec::new();
-    loop {
-        let dim = match read_u32_opt(&mut r)? {
-            Some(d) => d as usize,
-            None => break,
-        };
+    while let Some(d) = read_u32_opt(&mut r)? {
+        let dim = d as usize;
         let mut buf = vec![0u8; dim * 4];
         r.read_exact(&mut buf)?;
         out.push(

@@ -32,7 +32,12 @@ pub enum QuerySkew {
 ///
 /// Queries are points near component centers with the same jitter scale as
 /// the corpus, so they have in-distribution nearest neighbors.
-pub fn generate_queries(spec: &SynthSpec, n_queries: usize, skew: QuerySkew, seed: u64) -> VecSet<f32> {
+pub fn generate_queries(
+    spec: &SynthSpec,
+    n_queries: usize,
+    skew: QuerySkew,
+    seed: u64,
+) -> VecSet<f32> {
     // Re-derive the corpus component centers from the corpus seed.
     let mut corpus_rng = StdRng::seed_from_u64(spec.seed);
     let centers = component_centers(spec, &mut corpus_rng);

@@ -69,7 +69,23 @@ pub fn generate(spec: &SynthSpec) -> VecSet<f32> {
             out.push(&v);
         }
     }
-    out
+
+    // Interleave the components with a seeded in-place Fisher–Yates row
+    // shuffle: emitted component-by-component the corpus would be sorted by
+    // latent cluster, so any prefix (e.g. the "initial corpus" of a
+    // dynamic-ingest test) would cover only a few components — an artifact
+    // no real ingest stream has. Shuffling keeps generation deterministic
+    // while making every prefix distribution-representative.
+    let dim = spec.dim;
+    let mut flat = out.into_flat();
+    for i in (1..spec.n).rev() {
+        let j = rng.gen_range(0..=i);
+        if i != j {
+            let (head, tail) = flat.split_at_mut(i * dim);
+            head[j * dim..(j + 1) * dim].swap_with_slice(&mut tail[..dim]);
+        }
+    }
+    VecSet::from_flat(dim, flat)
 }
 
 /// The mixture component centers for `spec` (also used by the query
@@ -160,8 +176,11 @@ mod tests {
         let n = 50_000;
         let samples: Vec<f32> = (0..n).map(|_| gaussian(&mut rng)).collect();
         let mean: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
-        let var: f64 =
-            samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var: f64 = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }

@@ -178,8 +178,8 @@ mod tests {
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for i in 0..5 {
-            let emp = counts[i] as f64 / n as f64;
+        for (i, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / n as f64;
             assert!(
                 (emp - z.pmf(i)).abs() < 0.01,
                 "rank {i}: empirical {emp} vs pmf {}",
@@ -190,7 +190,11 @@ mod tests {
 
     #[test]
     fn partition_sums_exactly() {
-        for (total, n, s) in [(1000usize, 7usize, 1.0f64), (100, 100, 0.8), (5000, 64, 1.5)] {
+        for (total, n, s) in [
+            (1000usize, 7usize, 1.0f64),
+            (100, 100, 0.8),
+            (5000, 64, 1.5),
+        ] {
             let sizes = zipf_partition(total, n, s);
             assert_eq!(sizes.len(), n);
             assert_eq!(sizes.iter().sum::<usize>(), total, "total={total} n={n}");

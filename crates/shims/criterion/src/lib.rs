@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro/type surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, [`Criterion`],
+//! `benchmark_group`, `bench_function`, `sample_size`, `finish`) with a
+//! simple wall-clock measurement loop: a short warm-up, then `samples`
+//! timed batches whose median per-iteration time is reported.
+//!
+//! No statistics engine, no HTML reports — just stable, parseable
+//! `bench <group>/<name> ... <time>` lines, which is what the repo's
+//! `BENCH_*.json` emitters and CI logs consume.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box under criterion's name.
+pub use std::hint::black_box;
+
+/// One benchmark measurement result.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Median per-iteration wall time, nanoseconds.
+    pub median_ns: f64,
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    samples: usize,
+    results: Vec<Sample>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: 10,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Parity with criterion's CLI hook; accepts and ignores arguments.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            samples: None,
+        }
+    }
+
+    /// Run a benchmark outside any group.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        f: F,
+    ) -> &mut Self {
+        let samples = self.samples;
+        self.run_one(name.into(), samples, f);
+        self
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[Sample] {
+        &self.results
+    }
+
+    /// Print a final summary (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        eprintln!("benchmarked {} function(s)", self.results.len());
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, samples: usize, mut f: F) {
+        let mut b = Bencher {
+            samples: samples.max(3),
+            median_ns: 0.0,
+        };
+        f(&mut b);
+        eprintln!("bench {id:<48} {:>12.1} ns/iter", b.median_ns);
+        self.results.push(Sample {
+            id,
+            median_ns: b.median_ns,
+        });
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n);
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: S,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, name.into());
+        let samples = self.samples.unwrap_or(self.parent.samples);
+        self.parent.run_one(id, samples, f);
+        self
+    }
+
+    /// End the group (report-flush hook in real criterion; no-op here).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the workload.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call, nanoseconds.
+    pub median_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, storing the median per-iteration nanoseconds.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: find an iteration count that runs for
+        // at least ~2 ms so cheap kernels aren't pure timer noise.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(2) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 4;
+        }
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            per_iter.push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median_ns = per_iter[per_iter.len() / 2];
+    }
+}
+
+/// Collect benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+/// Generate `main` for a bench binary (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_positive_time() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3).bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..1000u64 {
+                    acc = acc.wrapping_add(i * i);
+                }
+                acc
+            })
+        });
+        g.finish();
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].median_ns > 0.0);
+        assert_eq!(c.results()[0].id, "t/spin");
+    }
+}

@@ -1,0 +1,147 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access. This shim keeps the
+//! rayon *surface syntax* (`into_par_iter`, `par_iter`, `par_iter_mut`,
+//! `flat_map_iter`) but executes sequentially: every `par_*` entry point
+//! returns the corresponding standard-library iterator, so all adapters
+//! (`map`, `enumerate`, `for_each`, `collect`, ...) come from
+//! [`std::iter::Iterator`] unchanged.
+//!
+//! Results are therefore bit-identical to a rayon run (the workspace only
+//! uses order-independent reductions) and the code keeps compiling against
+//! the real rayon if the dependency is ever swapped back in.
+
+pub mod prelude {
+    /// `into_par_iter()` for any owned iterable (ranges, `Vec`, ...).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in for rayon's `into_par_iter`.
+        #[inline]
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `par_iter()` by shared reference.
+    pub trait IntoParallelRefIterator {
+        /// Item yielded by reference.
+        type RefItem;
+        /// Sequential stand-in for rayon's `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, Self::RefItem>;
+    }
+
+    impl<T> IntoParallelRefIterator for Vec<T> {
+        type RefItem = T;
+        #[inline]
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    impl<T> IntoParallelRefIterator for [T] {
+        type RefItem = T;
+        #[inline]
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    /// `par_iter_mut()` by exclusive reference.
+    pub trait IntoParallelRefMutIterator {
+        /// Item yielded by mutable reference.
+        type RefItem;
+        /// Sequential stand-in for rayon's `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, Self::RefItem>;
+    }
+
+    impl<T> IntoParallelRefMutIterator for Vec<T> {
+        type RefItem = T;
+        #[inline]
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+
+    impl<T> IntoParallelRefMutIterator for [T] {
+        type RefItem = T;
+        #[inline]
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+
+    /// Rayon-only iterator adapters that have no std equivalent by name.
+    pub trait ParallelIteratorExt: Iterator + Sized {
+        /// rayon's `flat_map_iter` == sequential `flat_map`.
+        #[inline]
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+
+        /// Chunk-size hint; a no-op sequentially.
+        #[inline]
+        fn with_min_len(self, _len: usize) -> Self {
+            self
+        }
+    }
+
+    impl<I: Iterator> ParallelIteratorExt for I {}
+}
+
+/// rayon's `join`: run both closures (sequentially here).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The number of "threads" the sequential shim simulates.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_over_range() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn par_iter_and_mut() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let mut w = vec![1, 2, 3];
+        w.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x += i as i32);
+        assert_eq!(w, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens() {
+        let out: Vec<u32> = (0..3u32)
+            .into_par_iter()
+            .flat_map_iter(|i| vec![i, i])
+            .collect();
+        assert_eq!(out, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+}

@@ -287,7 +287,10 @@ mod tests {
             .meter
             .phase_mut(Phase::Lc)
             .charge_add(350_000_000);
-        sys.dpus[2].meter.phase_mut(Phase::Dc).charge_add(35_000_000);
+        sys.dpus[2]
+            .meter
+            .phase_mut(Phase::Dc)
+            .charge_add(35_000_000);
         let t = sys.batch_timing(0.0, 0, 0);
         // DPU 1 is critical; its breakdown is all LC.
         assert!(t.phase_s[Phase::Lc.idx()] > 0.9);

@@ -64,10 +64,7 @@ mod tests {
     #[test]
     fn period_is_bottleneck_stage() {
         assert!((B.period() - 0.055).abs() < 1e-12);
-        let host_bound = BatchStages {
-            host_s: 0.1,
-            ..B
-        };
+        let host_bound = BatchStages { host_s: 0.1, ..B };
         assert!((host_bound.period() - 0.1).abs() < 1e-12);
     }
 
@@ -89,7 +86,7 @@ mod tests {
             pim_s: 0.03,
             xfer_s: 0.0,
         };
-        let t = pipelined_makespan(&vec![hb; 5]);
+        let t = pipelined_makespan(&[hb; 5]);
         // 5 host stages + the last PIM stage
         assert!((t - (0.5 + 0.03)).abs() < 1e-9, "t {t}");
     }

@@ -27,7 +27,8 @@ fn main() {
 
     // Measured-accuracy oracle: build (and cache) an index per distinct
     // (nlist, m, cb) and measure recall@10 of the host reference search.
-    let mut cache: std::collections::HashMap<(usize, usize, usize), IvfPqIndex> = Default::default();
+    let mut cache: std::collections::HashMap<(usize, usize, usize), IvfPqIndex> =
+        Default::default();
     let mut evals = 0usize;
     let data_ref = &data;
     let queries_ref = &queries;
@@ -36,10 +37,7 @@ fn main() {
         evals += 1;
         let key = (cfg.nlist, cfg.m, cfg.cb);
         let index = cache.entry(key).or_insert_with(|| {
-            IvfPqIndex::build(
-                data_ref,
-                &IvfPqParams::new(cfg.nlist).m(cfg.m).cb(cfg.cb),
-            )
+            IvfPqIndex::build(data_ref, &IvfPqParams::new(cfg.nlist).m(cfg.m).cb(cfg.cb))
         });
         let results: Vec<_> = (0..queries_ref.len())
             .map(|qi| index.search(queries_ref.get(qi), cfg.nprobe, 10))

@@ -21,17 +21,25 @@ fn main() {
         datasets::queries::QuerySkew::InDistribution,
         7,
     );
-    println!("corpus: {} x {}d, {} queries", data.len(), data.dim(), queries.len());
+    println!(
+        "corpus: {} x {}d, {} queries",
+        data.len(),
+        data.dim(),
+        queries.len()
+    );
 
     // 2. An engine: IVF-PQ index parameters plus the full DRIM-ANN
     //    optimization stack (SQT, WRAM buffers, partition/duplication/
     //    balanced allocation, greedy scheduling, lock pruning).
+    // m = 16 / cb = 256 is the paper's end-to-end PQ configuration; at
+    // 32 dims anything much coarser leaves ADC quantization error (not
+    // cluster pruning) as the recall limiter.
     let index = IndexConfig {
         k: 10,
         nprobe: 16,
         nlist: 128,
-        m: 8,
-        cb: 64,
+        m: 16,
+        cb: 256,
     };
     let cfg = EngineConfig::drim(index);
     let mut engine = DrimEngine::build(&data, cfg, PimArch::upmem_sc25(), 64, Some(&queries))
@@ -61,7 +69,10 @@ fn main() {
     let q0 = &results[0];
     println!(
         "query 0 top-3: {:?}",
-        q0.iter().take(3).map(|n| (n.id, n.dist)).collect::<Vec<_>>()
+        q0.iter()
+            .take(3)
+            .map(|n| (n.id, n.dist))
+            .collect::<Vec<_>>()
     );
     assert!(recall > 0.5, "unexpectedly poor recall");
 }

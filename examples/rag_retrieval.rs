@@ -54,9 +54,8 @@ fn main() {
         ("naive PIM port ", EngineConfig::naive(index)),
         ("DRIM-ANN       ", EngineConfig::drim(index)),
     ] {
-        let mut engine =
-            DrimEngine::build(&docs, cfg, PimArch::upmem_sc25(), 64, Some(&profile))
-                .expect("engine build");
+        let mut engine = DrimEngine::build(&docs, cfg, PimArch::upmem_sc25(), 64, Some(&profile))
+            .expect("engine build");
         let (results, report) = engine.search_batch(&prompts);
         let recall = ann_core::recall::mean_recall(&results, &truth, 5);
         println!(

@@ -35,7 +35,7 @@ fn main() {
     let gpu = procs::a100_80gb();
     for n_items in [100e6 as u64, 300e6 as u64, 1000e6 as u64] {
         let payload = n_items * (16 + 4); // codes + ids
-        // a DIMM is 128 DPUs x 64 MiB; keep 25 % headroom for duplication
+                                          // a DIMM is 128 DPUs x 64 MiB; keep 25 % headroom for duplication
         let dimms = ((payload as f64 * 1.25) / (128.0 * 64.0 * 1024.0 * 1024.0)).ceil() as usize;
         let arch = PimArch::upmem_dimms(dimms.max(8));
         let shape = WorkloadShape::new(n_items, 10_000, 96, &index, BitWidths::u8_regime());

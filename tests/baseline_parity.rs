@@ -23,9 +23,9 @@ fn cpu_reference_equals_index_search_exactly() {
     let cpu = CpuIvfPq::build(&data, &params);
     let direct = ann_core::ivf::IvfPqIndex::build(&data, &params);
     let batch = cpu.search_batch(&queries, 8, 10);
-    for qi in 0..queries.len() {
+    for (qi, batch_result) in batch.iter().enumerate() {
         let single = direct.search(queries.get(qi), 8, 10);
-        let a: Vec<u64> = batch[qi].iter().map(|n| n.id).collect();
+        let a: Vec<u64> = batch_result.iter().map(|n| n.id).collect();
         let b: Vec<u64> = single.iter().map(|n| n.id).collect();
         assert_eq!(a, b, "query {qi}");
     }
@@ -49,7 +49,9 @@ fn engine_recall_close_to_cpu_baseline_recall() {
         m: 8,
         cb: 64,
     };
-    let params = ann_core::ivf::IvfPqParams::new(index.nlist).m(index.m).cb(index.cb);
+    let params = ann_core::ivf::IvfPqParams::new(index.nlist)
+        .m(index.m)
+        .cb(index.cb);
     let cpu = CpuIvfPq::build(&data, &params);
     let cpu_recall = ann_core::recall::mean_recall(
         &cpu.search_batch(&queries, index.nprobe, index.k),
@@ -86,9 +88,7 @@ fn platform_ordering_matches_the_paper() {
     };
     let shape_f32 = WorkloadShape::new(100_000_000, 2000, 128, &index, BitWidths::f32_regime());
     let cpu_qps = CpuModel::xeon_gold_5218().qps(&shape_f32);
-    let gpu_qps = GpuModel::a100()
-        .qps(&shape_f32, 100_000_000 * 128)
-        .unwrap();
+    let gpu_qps = GpuModel::a100().qps(&shape_f32, 100_000_000 * 128).unwrap();
     assert!(
         gpu_qps > 8.0 * cpu_qps,
         "GPU {gpu_qps} should dwarf CPU {cpu_qps}"

@@ -103,7 +103,17 @@ fn lc_charge_matches_run_with_multiply() {
 
     let mut functional = PhaseMeter::default();
     let mut lut = Vec::new();
-    lc::run(&c, &mut functional, &residual, &codebooks, m, cb, dsub, None, &mut lut);
+    lc::run(
+        &c,
+        &mut functional,
+        &residual,
+        &codebooks,
+        m,
+        cb,
+        dsub,
+        None,
+        &mut lut,
+    );
 
     let mut bulk = PhaseMeter::default();
     lc::charge(&c, &mut bulk, m, cb, dsub, lc::SquareCost::Multiply);

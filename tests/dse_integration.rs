@@ -30,12 +30,14 @@ fn fixture() -> Fixture {
     }
 }
 
-fn measured_recall(fx: &Fixture, cfg: &IndexConfig, cache: &mut std::collections::HashMap<(usize, usize, usize), IvfPqIndex>) -> f64 {
-    let index = cache
-        .entry((cfg.nlist, cfg.m, cfg.cb))
-        .or_insert_with(|| {
-            IvfPqIndex::build(&fx.data, &IvfPqParams::new(cfg.nlist).m(cfg.m).cb(cfg.cb))
-        });
+fn measured_recall(
+    fx: &Fixture,
+    cfg: &IndexConfig,
+    cache: &mut std::collections::HashMap<(usize, usize, usize), IvfPqIndex>,
+) -> f64 {
+    let index = cache.entry((cfg.nlist, cfg.m, cfg.cb)).or_insert_with(|| {
+        IvfPqIndex::build(&fx.data, &IvfPqParams::new(cfg.nlist).m(cfg.m).cb(cfg.cb))
+    });
     let results: Vec<_> = (0..fx.queries.len())
         .map(|qi| index.search(fx.queries.get(qi), cfg.nprobe, 10))
         .collect();
@@ -141,7 +143,13 @@ fn dse_beats_the_default_config_on_throughput() {
         cb: 256,
     };
     let default_qps = predict(
-        &WorkloadShape::new(1_000_000_000, 2000, 128, &default_cfg, BitWidths::u8_regime()),
+        &WorkloadShape::new(
+            1_000_000_000,
+            2000,
+            128,
+            &default_cfg,
+            BitWidths::u8_regime(),
+        ),
         &PimArch::upmem_sc25(),
         &procs::xeon_silver_4216(),
         true,

@@ -162,10 +162,7 @@ fn more_dpus_reduce_batch_latency() {
 #[test]
 fn opq_and_dpq_variants_run_through_the_engine() {
     let (data, queries, truth) = workload(4_000, 16, 16, 13);
-    for variant in [
-        ann_core::ivf::PqVariant::Opq,
-        ann_core::ivf::PqVariant::Dpq,
-    ] {
+    for variant in [ann_core::ivf::PqVariant::Opq, ann_core::ivf::PqVariant::Dpq] {
         let ivf = ann_core::ivf::IvfPqIndex::build(
             &data,
             &ann_core::ivf::IvfPqParams::new(64)

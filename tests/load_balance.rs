@@ -50,7 +50,10 @@ fn each_optimization_layer_helps() {
     let (t_full, imb_full) = pim_time(alloc_part_dup);
 
     assert!(t_alloc < t_naive, "allocation: {t_alloc} !< {t_naive}");
-    assert!(t_part <= t_alloc * 1.02, "partition: {t_part} !<= {t_alloc}");
+    assert!(
+        t_part <= t_alloc * 1.02,
+        "partition: {t_part} !<= {t_alloc}"
+    );
     assert!(t_full <= t_part * 1.02, "dup+sched: {t_full} !<= {t_part}");
     // overall speedup should be substantial under this skew
     assert!(
@@ -80,7 +83,10 @@ fn duplication_budget_saturates() {
     let s_small = speedup_at(4);
     let s_big = speedup_at(4096);
     let s_huge = speedup_at(16384);
-    assert!(s_big >= s_small * 0.98, "more budget should help: {s_small} -> {s_big}");
+    assert!(
+        s_big >= s_small * 0.98,
+        "more budget should help: {s_small} -> {s_big}"
+    );
     // saturation: quadrupling the budget again changes little
     assert!(
         (s_huge / s_big) < 1.3,

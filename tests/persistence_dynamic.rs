@@ -59,7 +59,9 @@ fn engine_from_reloaded_index_matches_original() {
     let (r1, _) = e1.search_batch(&queries);
     let (r2, _) = e2.search_batch(&queries);
     let ids = |rs: &[Vec<ann_core::Neighbor>]| -> Vec<Vec<u64>> {
-        rs.iter().map(|l| l.iter().map(|n| n.id).collect()).collect()
+        rs.iter()
+            .map(|l| l.iter().map(|n| n.id).collect())
+            .collect()
     };
     assert_eq!(ids(&r1), ids(&r2));
 }

@@ -158,6 +158,60 @@ proptest! {
         }
     }
 
+    /// Blocked u8 distance is bit-exact against the scalar reference for
+    /// any length (including odd lengths and non-multiple-of-16 tails).
+    #[test]
+    fn blocked_u8_kernel_is_exact(a in prop::collection::vec(0u16..256, 0..200)) {
+        let a: Vec<u8> = a.into_iter().map(|x| x as u8).collect();
+        let b: Vec<u8> = a.iter().rev().cloned().collect();
+        prop_assert_eq!(
+            ann_core::kernels::l2_sq_u8(&a, &b),
+            ann_core::distance::l2_sq_u8(&a, &b)
+        );
+    }
+
+    /// Blocked f32 distance and dot agree with the scalar references to
+    /// 1e-4 relative error for any length.
+    #[test]
+    fn blocked_f32_kernels_match_scalar(v in prop::collection::vec((-100.0f32..100.0, -100.0f32..100.0), 0..200)) {
+        let (a, b): (Vec<f32>, Vec<f32>) = v.into_iter().unzip();
+        let (d_blk, d_ref) = (
+            ann_core::kernels::l2_sq_f32(&a, &b),
+            ann_core::distance::l2_sq_f32(&a, &b),
+        );
+        let denom = d_ref.abs().max(1.0);
+        prop_assert!((d_blk - d_ref).abs() / denom <= 1e-4, "{d_blk} vs {d_ref}");
+        let (p_blk, p_ref) = (
+            ann_core::kernels::dot_f32(&a, &b),
+            ann_core::distance::dot_f32(&a, &b),
+        );
+        let denom = p_ref.abs().max(1.0);
+        prop_assert!((p_blk - p_ref).abs() / denom <= 1e-4, "{p_blk} vs {p_ref}");
+    }
+
+    /// The fused norm-decomposition batch kernel matches per-pair scalar
+    /// distances for any (dim, rows) shape, relative to the operand scale.
+    #[test]
+    fn fused_batch_matches_scalar(dim in 1usize..40, nrows in 0usize..30, seed in 0u64..1000) {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / u32::MAX as f32) * 20.0 - 10.0
+        };
+        let q: Vec<f32> = (0..dim).map(|_| next()).collect();
+        let rows: Vec<f32> = (0..dim * nrows).map(|_| next()).collect();
+        let norms = ann_core::kernels::row_norms_f32(&rows, dim);
+        let mut fused = Vec::new();
+        ann_core::kernels::l2_sq_batch(&q, &rows, dim, &norms, &mut fused);
+        prop_assert_eq!(fused.len(), nrows);
+        for (i, row) in rows.chunks_exact(dim).enumerate() {
+            let exact = ann_core::distance::l2_sq_f32(&q, row);
+            let scale = (norms[i] + exact).max(1.0);
+            prop_assert!((fused[i] - exact).abs() / scale <= 1e-4,
+                "dim {} row {}: {} vs {}", dim, i, fused[i], exact);
+        }
+    }
+
     /// The perf model is monotone: more probed clusters never cost less.
     #[test]
     fn perf_model_monotone_in_nprobe(nprobe in 1usize..128, extra in 1usize..64) {
