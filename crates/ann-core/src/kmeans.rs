@@ -106,29 +106,33 @@ pub fn kmeans(data: &VecSet<f32>, params: &KMeansParams) -> KMeansResult {
     let mut inertia = f64::INFINITY;
 
     for _ in 0..params.iters {
-        // assignment step (parallel over points), through the fused
-        // norm-decomposition kernel: centroid norms are computed once per
-        // iteration and shared by every point
+        // fused assignment + update accumulation, parallel over point
+        // chunks: each chunk assigns its points through the
+        // norm-decomposition kernel (centroid norms computed once per
+        // iteration) and accumulates its own partial centroid sums /
+        // counts / inertia. Chunk partials are then combined in ascending
+        // chunk order — the chunk count is fixed (never a function of the
+        // thread count), so the f64 sums are bit-identical at any pool
+        // width. `tests/parallel_parity.rs` relies on exactly this.
         let cnorms = kernels::row_norms_f32(centroids.as_flat(), dim);
-        let dists: Vec<(u32, f32)> = (0..train.len())
-            .into_par_iter()
-            .map(|i| nearest_centroid_with_norms(train.get(i), &centroids, &cnorms))
-            .collect();
-        inertia = dists.iter().map(|&(_, d)| d as f64).sum();
-        for (i, &(a, _)) in dists.iter().enumerate() {
-            assignments[i] = a;
-        }
+        let partials = assign_partials(&train, &centroids, &cnorms, params.k);
 
-        // update step
+        let mut dists: Vec<(u32, f32)> = Vec::with_capacity(train.len());
         let mut sums = vec![0.0f64; params.k * dim];
         let mut counts = vec![0usize; params.k];
-        for (i, &a) in assignments.iter().enumerate() {
-            let v = train.get(i);
-            let row = &mut sums[a as usize * dim..(a as usize + 1) * dim];
-            for (s, &x) in row.iter_mut().zip(v.iter()) {
-                *s += x as f64;
+        inertia = 0.0;
+        for p in partials {
+            dists.extend(p.assign);
+            for (dst, s) in sums.iter_mut().zip(p.sums) {
+                *dst += s;
             }
-            counts[a as usize] += 1;
+            for (dst, c) in counts.iter_mut().zip(p.counts) {
+                *dst += c;
+            }
+            inertia += p.inertia;
+        }
+        for (i, &(a, _)) in dists.iter().enumerate() {
+            assignments[i] = a;
         }
 
         // empty-cluster repair: steal the point farthest from its centroid
@@ -179,6 +183,60 @@ pub fn kmeans(data: &VecSet<f32>, params: &KMeansParams) -> KMeansResult {
         sizes,
         inertia,
     }
+}
+
+/// Per-chunk output of one fused assignment pass: the chunk's assignments
+/// (with distances, for empty-cluster repair) plus its partial centroid
+/// sums, counts and inertia.
+struct AssignPartial {
+    assign: Vec<(u32, f32)>,
+    sums: Vec<f64>,
+    counts: Vec<usize>,
+    inertia: f64,
+}
+
+/// Fixed number of chunk partials per Lloyd pass. Fixed — not derived from
+/// the thread count — so the chunk-ordered f64 combine is deterministic;
+/// small enough that the per-chunk `k * dim` sum buffers stay cheap even
+/// for large coarse codebooks.
+const LLOYD_CHUNKS: usize = 16;
+
+/// One fused assignment-plus-accumulation pass over `data`, parallel over
+/// [`LLOYD_CHUNKS`] contiguous point chunks. Returned in chunk order.
+fn assign_partials(
+    data: &VecSet<f32>,
+    centroids: &VecSet<f32>,
+    cnorms: &[f32],
+    k: usize,
+) -> Vec<AssignPartial> {
+    let dim = data.dim();
+    let chunk = data.len().div_ceil(LLOYD_CHUNKS).max(1);
+    let nchunks = data.len().div_ceil(chunk);
+    (0..nchunks)
+        .into_par_iter()
+        .map(|ci| {
+            let s = ci * chunk;
+            let e = (s + chunk).min(data.len());
+            let mut part = AssignPartial {
+                assign: Vec::with_capacity(e - s),
+                sums: vec![0.0f64; k * dim],
+                counts: vec![0usize; k],
+                inertia: 0.0,
+            };
+            for i in s..e {
+                let v = data.get(i);
+                let (a, d) = nearest_centroid_with_norms(v, centroids, cnorms);
+                part.assign.push((a, d));
+                part.inertia += d as f64;
+                part.counts[a as usize] += 1;
+                let row = &mut part.sums[a as usize * dim..(a as usize + 1) * dim];
+                for (sm, &x) in row.iter_mut().zip(v.iter()) {
+                    *sm += x as f64;
+                }
+            }
+            part
+        })
+        .collect()
 }
 
 /// Assign every vector of `data` to its nearest centroid (parallel),

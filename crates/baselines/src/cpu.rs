@@ -2,10 +2,11 @@
 //!
 //! Two faces, as laid out in DESIGN.md:
 //!
-//! * [`CpuIvfPq`] — a real, runnable multithreaded IVF-PQ scan (rayon over
-//!   queries, exactly Faiss's `IndexIVFPQ` search structure). Used for
-//!   recall parity with the engine and for wall-clock measurements on the
-//!   machine running the tests.
+//! * [`CpuIvfPq`] — a real, runnable multithreaded IVF-PQ scan (the
+//!   workspace thread pool over queries, exactly Faiss's `IndexIVFPQ`
+//!   search structure; `DRIM_ANN_THREADS` sizes the pool). Used for recall
+//!   parity with the engine and for wall-clock measurements on the machine
+//!   running the tests.
 //! * [`CpuModel`] — a roofline timing model of the paper's baseline host
 //!   (Xeon Gold 5218, 16C/32T, AVX2, 6-channel DDR4-2666), used when the
 //!   comparison target is the *paper's* hardware. Per-phase compute and

@@ -1,0 +1,130 @@
+//! Sequential-vs-parallel wall-clock trajectory for the thread-pool PR.
+//!
+//! Measures the three hot paths the pool feeds — `CpuIvfPq::search_batch`,
+//! the engine's per-DPU dispatch loop, and k-means assignment — plus flat
+//! ground truth, each at 1, 2 and 4 host threads via
+//! `rayon::with_num_threads`, and writes `BENCH_parallel.json` at the
+//! workspace root with the medians, the 4-thread speedups and the host's
+//! physical core count.
+//!
+//! The speedup a given machine can show is bounded by
+//! `available_parallelism` — a 1-core CI container records ~1.0x by
+//! construction (the JSON's `host_cores` field says which regime the
+//! numbers came from), while any multi-core host shows the real scaling.
+//! Result *bits* are identical at every thread count either way; that is
+//! enforced by `tests/parallel_parity.rs`, not here.
+
+use ann_core::ivf::IvfPqParams;
+use baselines::cpu::CpuIvfPq;
+use criterion::Criterion;
+use drim_ann::config::{EngineConfig, IndexConfig};
+use drim_ann::engine::DrimEngine;
+use rayon::with_num_threads;
+use upmem_sim::PimArch;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+const N_POINTS: usize = 20_000;
+const N_QUERIES: usize = 256;
+const NDPUS: usize = 16;
+
+fn workload() -> (ann_core::VecSet<f32>, ann_core::VecSet<f32>) {
+    let spec = datasets::SynthSpec::small("bench-parallel", 32, N_POINTS, 41);
+    let data = datasets::generate(&spec);
+    let queries = datasets::queries::generate_queries(
+        &spec,
+        N_QUERIES,
+        datasets::queries::QuerySkew::InDistribution,
+        8,
+    );
+    (data, queries)
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let (data, queries) = workload();
+    let cpu = CpuIvfPq::build(&data, &IvfPqParams::new(64).m(8).cb(32));
+    let mut engine = DrimEngine::build(
+        &data,
+        EngineConfig::drim(IndexConfig {
+            k: 10,
+            nprobe: 12,
+            nlist: 64,
+            m: 8,
+            cb: 32,
+        }),
+        PimArch::upmem_sc25(),
+        NDPUS,
+        None,
+    )
+    .unwrap();
+    let centroids = engine.ivf.coarse.clone();
+
+    let mut g = c.benchmark_group("parallel");
+    g.sample_size(5);
+    for t in THREADS {
+        g.bench_function(format!("cpu_search_batch/t{t}"), |b| {
+            b.iter(|| with_num_threads(t, || cpu.search_batch(&queries, 12, 10)))
+        });
+        g.bench_function(format!("engine_dpu_loop/t{t}"), |b| {
+            b.iter(|| with_num_threads(t, || engine.search_batch(&queries)))
+        });
+        g.bench_function(format!("kmeans_assign/t{t}"), |b| {
+            b.iter(|| with_num_threads(t, || ann_core::kmeans::assign(&data, &centroids)))
+        });
+        g.bench_function(format!("flat_ground_truth/t{t}"), |b| {
+            b.iter(|| with_num_threads(t, || ann_core::flat::ground_truth(&queries, &data, 10)))
+        });
+    }
+    g.finish();
+}
+
+fn median(c: &Criterion, id: &str) -> Option<f64> {
+    c.results().iter().find(|s| s.id == id).map(|s| s.median_ns)
+}
+
+fn write_json(c: &Criterion) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let regions = [
+        "cpu_search_batch",
+        "engine_dpu_loop",
+        "kmeans_assign",
+        "flat_ground_truth",
+    ];
+    let fmt = |v: Option<f64>| {
+        v.map(|x| format!("{x:.1}"))
+            .unwrap_or_else(|| "null".into())
+    };
+    let mut blocks = String::new();
+    for (i, r) in regions.iter().enumerate() {
+        if i > 0 {
+            blocks.push_str(",\n");
+        }
+        let t = |n: usize| median(c, &format!("parallel/{r}/t{n}"));
+        let speedup = match (t(1), t(4)) {
+            (Some(a), Some(b)) if b > 0.0 => format!("{:.2}", a / b),
+            _ => "null".into(),
+        };
+        blocks.push_str(&format!(
+            "    \"{r}\": {{\"t1_ns\": {}, \"t2_ns\": {}, \"t4_ns\": {}, \"speedup_4t\": {speedup}}}",
+            fmt(t(1)),
+            fmt(t(2)),
+            fmt(t(4)),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"parallel\",\n  \"host_cores\": {host_cores},\n  \"note\": \"speedup_4t is bounded by host_cores; parity across thread counts is enforced bit-exactly by tests/parallel_parity.rs\",\n  \"shape\": {{\"n_points\": {N_POINTS}, \"n_queries\": {N_QUERIES}, \"dim\": 32, \"ndpus\": {NDPUS}}},\n  \"regions\": {{\n{blocks}\n  }}\n}}\n"
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_parallel(&mut c);
+    c.final_summary();
+    write_json(&c);
+}

@@ -2,8 +2,9 @@
 //! and execute query batches through the five-phase pipeline (paper Fig. 4).
 //!
 //! Execution per batch: the host runs cluster locating and the greedy
-//! scheduler; every DPU then (conceptually in parallel, simulated with
-//! rayon) runs RC -> LC -> DC -> TS over its assigned (query, slice) tasks,
+//! scheduler; every DPU then (in parallel on the host thread pool, one
+//! work item per DPU) runs RC -> LC -> DC -> TS over its assigned (query,
+//! slice) tasks,
 //! reusing the residual and LUT across slices of the same cluster when they
 //! were co-located; finally the per-DPU top-k lists are gathered and merged
 //! on the host. The returned [`BatchReport`] carries the simulated wall
@@ -320,7 +321,9 @@ impl DrimEngine {
             plan.postponed = extra.postponed;
         }
 
-        // --- DPU execution (parallel over DPUs) ---
+        // --- DPU execution (parallel over DPUs; each DPU fills its own
+        // output buffer and the ordered collect makes the merge below
+        // deterministic at any host thread count) ---
         // For OPQ the host rotates the query batch once (folded into CL);
         // DPUs then work entirely in rotated space.
         let dpu_queries: VecSet<f32> = match &self.ivf.quant {

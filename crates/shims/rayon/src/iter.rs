@@ -1,0 +1,484 @@
+//! The parallel-iterator surface: indexed producers plus the adapter set
+//! the workspace uses (`map`, `enumerate`, `flat_map_iter`, `for_each`,
+//! `collect`, `reduce`, `sum`, `with_min_len`), executed on
+//! [`crate::pool`].
+//!
+//! Everything is *indexed*: a pipeline is a [`Producer`] (length + pure
+//! `produce(i)`) wrapped by zero or more adapter producers. The pool splits
+//! `[0, len)` into thread-count-independent chunks and the terminal
+//! operations recombine chunk results in chunk order, which is what makes
+//! outputs bit-identical at every pool width.
+
+use crate::pool;
+
+/// An indexed, thread-safe item source: the pipeline element the pool
+/// splits.
+pub trait Producer: Sync {
+    /// The produced item type.
+    type Item: Send;
+    /// Number of items.
+    fn len(&self) -> usize;
+    /// Whether the source has no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Produce item `i` (must be pure: called once per index, any thread).
+    fn produce(&self, i: usize) -> Self::Item;
+}
+
+/// A lazy parallel pipeline over a [`Producer`].
+pub struct ParIter<P> {
+    producer: P,
+    min_len: usize,
+}
+
+impl<P: Producer> ParIter<P> {
+    fn new(producer: P) -> Self {
+        ParIter {
+            producer,
+            min_len: 1,
+        }
+    }
+
+    /// Number of items the pipeline will yield.
+    pub fn len(&self) -> usize {
+        self.producer.len()
+    }
+
+    /// Whether the pipeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Minimum items per chunk (rayon's splitting hint). Part of the chunk
+    /// geometry, so it *does* affect reduction grouping — but never as a
+    /// function of the thread count.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    /// Transform every item.
+    pub fn map<U, F>(self, f: F) -> ParIter<Map<P, F>>
+    where
+        U: Send,
+        F: Fn(P::Item) -> U + Sync,
+    {
+        ParIter {
+            producer: Map {
+                base: self.producer,
+                f,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> ParIter<Enumerate<P>> {
+        ParIter {
+            producer: Enumerate {
+                base: self.producer,
+            },
+            min_len: self.min_len,
+        }
+    }
+
+    /// rayon's `flat_map_iter`: map each item to a serial iterator and
+    /// flatten, preserving item order.
+    pub fn flat_map_iter<I, F>(self, f: F) -> ParFlatMap<P, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(P::Item) -> I + Sync,
+    {
+        ParFlatMap {
+            base: self.producer,
+            f,
+            min_len: self.min_len,
+        }
+    }
+
+    /// Consume every item (no ordering guarantee on side effects).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Item) + Sync,
+    {
+        let p = &self.producer;
+        pool::run_chunked(p.len(), self.min_len, &|s, e| {
+            for i in s..e {
+                f(p.produce(i));
+            }
+        });
+    }
+
+    /// Ordered collect: output order matches input order exactly.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<P::Item>,
+    {
+        let p = &self.producer;
+        let items = pool::collect_chunks(p.len(), self.min_len, &|s, e| {
+            let mut part = Vec::with_capacity(e - s);
+            for i in s..e {
+                part.push(p.produce(i));
+            }
+            part
+        });
+        items.into_iter().collect()
+    }
+
+    /// Reduce with an identity and a combining op. `op` should be
+    /// associative; chunk partials are folded in ascending chunk order, so
+    /// the result is identical at every thread count (even for float ops
+    /// that are only approximately associative).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> P::Item
+    where
+        ID: Fn() -> P::Item + Sync,
+        OP: Fn(P::Item, P::Item) -> P::Item + Sync,
+    {
+        let p = &self.producer;
+        let partials = pool::collect_chunks(p.len(), self.min_len, &|s, e| {
+            let mut acc = identity();
+            for i in s..e {
+                acc = op(acc, p.produce(i));
+            }
+            vec![acc]
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
+
+    /// Sum the items; chunk partials are combined in chunk order.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<P::Item> + std::iter::Sum<S> + Send,
+    {
+        let p = &self.producer;
+        let partials: Vec<S> = pool::collect_chunks(p.len(), self.min_len, &|s, e| {
+            vec![(s..e).map(|i| p.produce(i)).sum::<S>()]
+        });
+        partials.into_iter().sum()
+    }
+}
+
+/// `map` adapter producer.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<U, P, F> Producer for Map<P, F>
+where
+    U: Send,
+    P: Producer,
+    F: Fn(P::Item) -> U + Sync,
+{
+    type Item = U;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn produce(&self, i: usize) -> U {
+        (self.f)(self.base.produce(i))
+    }
+}
+
+/// `enumerate` adapter producer.
+pub struct Enumerate<P> {
+    base: P,
+}
+
+impl<P: Producer> Producer for Enumerate<P> {
+    type Item = (usize, P::Item);
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn produce(&self, i: usize) -> (usize, P::Item) {
+        (i, self.base.produce(i))
+    }
+}
+
+/// Pipeline produced by [`ParIter::flat_map_iter`].
+pub struct ParFlatMap<P, F> {
+    base: P,
+    f: F,
+    min_len: usize,
+}
+
+impl<P, I, F> ParFlatMap<P, F>
+where
+    P: Producer,
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(P::Item) -> I + Sync,
+{
+    /// Ordered, flattened collect.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        let (p, f) = (&self.base, &self.f);
+        let items = pool::collect_chunks(p.len(), self.min_len, &|s, e| {
+            let mut part = Vec::new();
+            for i in s..e {
+                part.extend(f(p.produce(i)));
+            }
+            part
+        });
+        items.into_iter().collect()
+    }
+}
+
+/// Producer over `Range<usize>`.
+pub struct UsizeRange {
+    start: usize,
+    len: usize,
+}
+
+impl Producer for UsizeRange {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn produce(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+/// Producer over `Range<u32>`.
+pub struct U32Range {
+    start: u32,
+    len: usize,
+}
+
+impl Producer for U32Range {
+    type Item = u32;
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn produce(&self, i: usize) -> u32 {
+        self.start + i as u32
+    }
+}
+
+/// Producer yielding `&T` over a slice.
+pub struct SliceProducer<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn produce(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Producer yielding `size`-long sub-slices (last may be shorter).
+pub struct ChunksProducer<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn produce(&self, i: usize) -> &'a [T] {
+        let s = i * self.size;
+        let e = (s + self.size).min(self.slice.len());
+        &self.slice[s..e]
+    }
+}
+
+/// `into_par_iter()` for owned indexable sources (ranges).
+pub trait IntoParallelIterator {
+    /// The producer the source turns into.
+    type Producer: Producer;
+    /// Convert into a parallel pipeline.
+    fn into_par_iter(self) -> ParIter<Self::Producer>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Producer = UsizeRange;
+    fn into_par_iter(self) -> ParIter<UsizeRange> {
+        ParIter::new(UsizeRange {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        })
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u32> {
+    type Producer = U32Range;
+    fn into_par_iter(self) -> ParIter<U32Range> {
+        ParIter::new(U32Range {
+            start: self.start,
+            len: self.end.saturating_sub(self.start) as usize,
+        })
+    }
+}
+
+/// `par_iter()` by shared reference.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type behind the reference.
+    type Item: Sync + 'a;
+    /// Parallel iterator of `&Item`.
+    fn par_iter(&'a self) -> ParIter<SliceProducer<'a, Self::Item>>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<SliceProducer<'a, T>> {
+        ParIter::new(SliceProducer { slice: self })
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<SliceProducer<'a, T>> {
+        ParIter::new(SliceProducer { slice: self })
+    }
+}
+
+/// `par_chunks()` over shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator of `size`-long sub-slices.
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksProducer<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksProducer<'_, T>> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter::new(ChunksProducer { slice: self, size })
+    }
+}
+
+/// `par_iter_mut()` by exclusive reference.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type behind the reference.
+    type Item: Send + 'a;
+    /// Parallel iterator of `&mut Item`.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut {
+            slice: self,
+            min_len: 1,
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut {
+            slice: self,
+            min_len: 1,
+        }
+    }
+}
+
+/// Parallel iterator of `&mut T` (supports `for_each`, optionally after
+/// `enumerate`).
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+    min_len: usize,
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Minimum items per chunk.
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    /// Pair every element with its index.
+    pub fn enumerate(self) -> ParIterMutEnumerate<'a, T> {
+        ParIterMutEnumerate {
+            slice: self.slice,
+            min_len: self.min_len,
+        }
+    }
+
+    /// Mutate every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        pool::for_each_mut(self.slice, self.min_len, &|_, x| f(x));
+    }
+}
+
+/// Enumerated variant of [`ParIterMut`].
+pub struct ParIterMutEnumerate<'a, T> {
+    slice: &'a mut [T],
+    min_len: usize,
+}
+
+impl<T: Send> ParIterMutEnumerate<'_, T> {
+    /// Mutate every `(index, element)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync,
+    {
+        pool::for_each_mut(self.slice, self.min_len, &|i, x| f((i, x)));
+    }
+}
+
+/// `par_chunks_mut()` over exclusive slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator of `size`-long exclusive sub-slices.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, size }
+    }
+}
+
+/// Parallel iterator of `&mut [T]` chunks.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair every chunk with its chunk index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            slice: self.slice,
+            size: self.size,
+        }
+    }
+
+    /// Mutate every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        pool::for_each_chunk_mut(self.slice, self.size, &|_, ch| f(ch));
+    }
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct ParChunksMutEnumerate<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    /// Mutate every `(chunk_index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        pool::for_each_chunk_mut(self.slice, self.size, &|c, ch| f((c, ch)));
+    }
+}

@@ -1,120 +1,62 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate — now a real thread pool.
 //!
 //! The build environment has no crates.io access. This shim keeps the
 //! rayon *surface syntax* (`into_par_iter`, `par_iter`, `par_iter_mut`,
-//! `flat_map_iter`) but executes sequentially: every `par_*` entry point
-//! returns the corresponding standard-library iterator, so all adapters
-//! (`map`, `enumerate`, `for_each`, `collect`, ...) come from
-//! [`std::iter::Iterator`] unchanged.
+//! `par_chunks`, `par_chunks_mut`, `flat_map_iter`, `join`) so every call
+//! site keeps compiling against the real rayon if the dependency is ever
+//! swapped back in — but since PR 2 the `par_*` entry points execute on a
+//! scoped thread pool ([`pool`]) built on [`std::thread::scope`], sized
+//! from [`std::thread::available_parallelism`] and overridable via the
+//! `DRIM_ANN_THREADS` (or `RAYON_NUM_THREADS`) env var and
+//! [`with_num_threads`].
 //!
-//! Results are therefore bit-identical to a rayon run (the workspace only
-//! uses order-independent reductions) and the code keeps compiling against
-//! the real rayon if the dependency is ever swapped back in.
+//! **Determinism.** Results are bit-identical across thread counts — *not*
+//! because execution is sequential (it no longer is), but because chunk
+//! boundaries are a pure function of the input length and every ordered
+//! operation (`collect`, `reduce`, `sum`) recombines chunk results in
+//! ascending chunk order. See [`pool`] for the invariants and
+//! `tests/parallel_parity.rs` at the workspace root for the end-to-end
+//! proof against the search/k-means pipelines.
+//!
+//! Nested parallel regions run inline on the worker that encounters them
+//! (no thread explosion, trivially deadlock-free), and a panic in any
+//! worker propagates to the thread that dispatched the region.
 
+pub mod iter;
+pub mod pool;
+
+pub use pool::{current_num_threads, join, with_num_threads};
+
+/// The adapter traits and types, for `use rayon::prelude::*`.
 pub mod prelude {
-    /// `into_par_iter()` for any owned iterable (ranges, `Vec`, ...).
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Sequential stand-in for rayon's `into_par_iter`.
-        #[inline]
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
-        }
-    }
-
-    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
-
-    /// `par_iter()` by shared reference.
-    pub trait IntoParallelRefIterator {
-        /// Item yielded by reference.
-        type RefItem;
-        /// Sequential stand-in for rayon's `par_iter`.
-        fn par_iter(&self) -> std::slice::Iter<'_, Self::RefItem>;
-    }
-
-    impl<T> IntoParallelRefIterator for Vec<T> {
-        type RefItem = T;
-        #[inline]
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
-        }
-    }
-
-    impl<T> IntoParallelRefIterator for [T] {
-        type RefItem = T;
-        #[inline]
-        fn par_iter(&self) -> std::slice::Iter<'_, T> {
-            self.iter()
-        }
-    }
-
-    /// `par_iter_mut()` by exclusive reference.
-    pub trait IntoParallelRefMutIterator {
-        /// Item yielded by mutable reference.
-        type RefItem;
-        /// Sequential stand-in for rayon's `par_iter_mut`.
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, Self::RefItem>;
-    }
-
-    impl<T> IntoParallelRefMutIterator for Vec<T> {
-        type RefItem = T;
-        #[inline]
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
-        }
-    }
-
-    impl<T> IntoParallelRefMutIterator for [T] {
-        type RefItem = T;
-        #[inline]
-        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-            self.iter_mut()
-        }
-    }
-
-    /// Rayon-only iterator adapters that have no std equivalent by name.
-    pub trait ParallelIteratorExt: Iterator + Sized {
-        /// rayon's `flat_map_iter` == sequential `flat_map`.
-        #[inline]
-        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
-        where
-            U: IntoIterator,
-            F: FnMut(Self::Item) -> U,
-        {
-            self.flat_map(f)
-        }
-
-        /// Chunk-size hint; a no-op sequentially.
-        #[inline]
-        fn with_min_len(self, _len: usize) -> Self {
-            self
-        }
-    }
-
-    impl<I: Iterator> ParallelIteratorExt for I {}
-}
-
-/// rayon's `join`: run both closures (sequentially here).
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
-}
-
-/// The number of "threads" the sequential shim simulates.
-pub fn current_num_threads() -> usize {
-    1
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{current_num_threads, join, with_num_threads};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn into_par_iter_over_range() {
         let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
         assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn into_par_iter_over_u32_range() {
+        let out: Vec<u32> = (3..7u32).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, vec![6, 8, 10, 12]);
+    }
+
+    #[test]
+    fn empty_range_collects_empty() {
+        let out: Vec<usize> = (5..5usize).into_par_iter().map(|i| i).collect();
+        assert!(out.is_empty());
     }
 
     #[test]
@@ -130,18 +72,206 @@ mod tests {
     }
 
     #[test]
-    fn flat_map_iter_flattens() {
+    fn par_iter_mut_covers_every_element_in_parallel() {
+        let mut v = vec![0usize; 10_000];
+        with_num_threads(4, || {
+            v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * 3);
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
         let out: Vec<u32> = (0..3u32)
             .into_par_iter()
             .flat_map_iter(|i| vec![i, i])
             .collect();
         assert_eq!(out, vec![0, 0, 1, 1, 2, 2]);
+        let wide: Vec<usize> = with_num_threads(8, || {
+            (0..500usize)
+                .into_par_iter()
+                .flat_map_iter(|i| (0..i % 4).map(move |j| i * 10 + j))
+                .collect()
+        });
+        let seq: Vec<usize> = (0..500usize)
+            .flat_map(|i| (0..i % 4).map(move |j| i * 10 + j))
+            .collect();
+        assert_eq!(wide, seq);
+    }
+
+    #[test]
+    fn par_chunks_sees_every_chunk() {
+        let v: Vec<usize> = (0..103).collect();
+        let lens: Vec<usize> = v.par_chunks(10).map(|c| c.len()).collect();
+        assert_eq!(lens.len(), 11);
+        assert_eq!(lens.iter().sum::<usize>(), 103);
+        assert_eq!(*lens.last().unwrap(), 3);
+    }
+
+    #[test]
+    fn par_chunks_mut_fills_disjointly() {
+        let mut v = vec![0usize; 97];
+        with_num_threads(4, || {
+            v.par_chunks_mut(8)
+                .enumerate()
+                .for_each(|(c, ch)| ch.iter_mut().for_each(|x| *x = c));
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, i / 8);
+        }
     }
 
     #[test]
     fn join_runs_both() {
-        let (a, b) = super::join(|| 1 + 1, || "x".to_string() + "y");
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
         assert_eq!(a, 2);
         assert_eq!(b, "xy");
+        let (a, b) = with_num_threads(2, || join(|| 40 + 2, || 6 * 7));
+        assert_eq!((a, b), (42, 42));
+    }
+
+    // --- thread-pool behaviour ---------------------------------------
+
+    #[test]
+    fn collect_is_ordered_at_every_thread_count() {
+        let baseline: Vec<usize> = with_num_threads(1, || {
+            (0..1000usize).into_par_iter().map(|i| i * 7).collect()
+        });
+        for threads in [2, 3, 4, 8] {
+            let out: Vec<usize> = with_num_threads(threads, || {
+                (0..1000usize).into_par_iter().map(|i| i * 7).collect()
+            });
+            assert_eq!(out, baseline, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn float_reduce_is_bit_identical_across_thread_counts() {
+        // 1/(i+1) sums are order-sensitive in f32: identical results across
+        // thread counts prove the chunk geometry is thread-count-independent
+        // and the combine is ordered.
+        let sum_with = |threads: usize| -> f32 {
+            with_num_threads(threads, || {
+                (0..10_000usize)
+                    .into_par_iter()
+                    .map(|i| 1.0f32 / (i as f32 + 1.0))
+                    .reduce(|| 0.0f32, |a, b| a + b)
+            })
+        };
+        let one = sum_with(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(sum_with(threads).to_bits(), one.to_bits());
+        }
+        let sum: f32 = with_num_threads(4, || {
+            (0..10_000usize)
+                .into_par_iter()
+                .map(|i| 1.0f32 / (i as f32 + 1.0))
+                .sum()
+        });
+        let sum1: f32 = with_num_threads(1, || {
+            (0..10_000usize)
+                .into_par_iter()
+                .map(|i| 1.0f32 / (i as f32 + 1.0))
+                .sum()
+        });
+        assert_eq!(sum.to_bits(), sum1.to_bits());
+    }
+
+    #[test]
+    fn work_actually_lands_on_multiple_threads() {
+        // collect distinct worker thread ids; with enough chunks and a
+        // blocking-free workload, a 4-thread pool should use >1 thread —
+        // unless the host genuinely has 1 core, where preemption timing can
+        // serialize everything, so only assert the inverse at threads = 1.
+        let ids = std::sync::Mutex::new(std::collections::HashSet::new());
+        with_num_threads(1, || {
+            (0..64usize).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        assert_eq!(ids.lock().unwrap().len(), 1, "1-thread pool must not spawn");
+    }
+
+    #[test]
+    fn nested_par_iter_inside_worker_does_not_deadlock() {
+        let total: usize = with_num_threads(4, || {
+            (0..16usize)
+                .into_par_iter()
+                .map(|i| {
+                    // nested region: runs inline on the worker
+                    assert_eq!(current_num_threads(), 1, "nested regions are inline");
+                    (0..100usize).into_par_iter().map(|j| i + j).sum::<usize>()
+                })
+                .sum()
+        });
+        let seq: usize = (0..16)
+            .map(|i| (0..100).map(|j| i + j).sum::<usize>())
+            .sum();
+        assert_eq!(total, seq);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let caught = std::panic::catch_unwind(|| {
+            with_num_threads(4, || {
+                (0..1000usize).into_par_iter().for_each(|i| {
+                    if i == 613 {
+                        panic!("worker boom");
+                    }
+                });
+            });
+        });
+        assert!(caught.is_err(), "panic must cross the pool boundary");
+        // pool stays usable afterwards
+        let v: Vec<usize> = (0..10usize).into_par_iter().map(|i| i).collect();
+        assert_eq!(v.len(), 10);
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            with_num_threads(2, || join(|| 1, || panic!("join boom")));
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn with_num_threads_overrides_and_restores() {
+        let outer = current_num_threads();
+        with_num_threads(3, || {
+            assert_eq!(current_num_threads(), 3);
+            with_num_threads(7, || assert_eq!(current_num_threads(), 7));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_eq!(current_num_threads(), outer);
+        // restored even when the body panics
+        let _ = std::panic::catch_unwind(|| with_num_threads(5, || panic!("x")));
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn pool_honors_env_thread_override() {
+        // No other test in this binary asserts an *absolute* default thread
+        // count, so mutating the env here is safe even under the parallel
+        // test harness; the local override must still win over the env.
+        std::env::set_var(super::pool::THREADS_ENV, "3");
+        assert_eq!(current_num_threads(), 3);
+        with_num_threads(6, || assert_eq!(current_num_threads(), 6));
+        std::env::set_var(super::pool::THREADS_ENV, "not-a-number");
+        // unparseable values fall through (to RAYON_NUM_THREADS or the
+        // hardware default) instead of panicking
+        assert!(current_num_threads() >= 1);
+        std::env::remove_var(super::pool::THREADS_ENV);
+    }
+
+    #[test]
+    fn every_index_produced_exactly_once() {
+        let counts: Vec<AtomicUsize> = (0..997).map(|_| AtomicUsize::new(0)).collect();
+        with_num_threads(8, || {
+            (0..997usize).into_par_iter().for_each(|i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
     }
 }

@@ -1,0 +1,312 @@
+//! The scoped thread pool behind every `par_*` driver.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Determinism across thread counts.** Chunk boundaries are a pure
+//!    function of `(len, min_len)` — never of the thread count — and every
+//!    ordered operation (collect, reduce, sum) combines chunk results in
+//!    ascending chunk order. Running with 1 thread or 64 therefore produces
+//!    bit-identical outputs, including float reductions; only the
+//!    *assignment of chunks to workers* varies. `tests/parallel_parity.rs`
+//!    at the workspace root pins this down end to end.
+//! 2. **No 'static gymnastics.** Workers are spawned per parallel region
+//!    with [`std::thread::scope`], so closures borrow freely from the
+//!    caller's stack. A region costs a few thread spawns — irrelevant next
+//!    to the millisecond-scale regions the workspace runs.
+//! 3. **Work-stealing-lite.** Chunks are handed out through an atomic
+//!    cursor (or a popped queue for `&mut` chunks); a worker that finishes
+//!    early simply grabs the next unclaimed chunk, which is all the load
+//!    balancing the workspace's regular-shaped loops need.
+//!
+//! Sizing: [`current_num_threads`] reads, in order, a thread-local override
+//! (see [`with_num_threads`]), the `DRIM_ANN_THREADS` env var, rayon's own
+//! `RAYON_NUM_THREADS`, and finally [`std::thread::available_parallelism`].
+//! Inside a pool worker it reports 1: nested parallel regions run inline on
+//! the worker, which both avoids thread explosion and makes nesting
+//! trivially deadlock-free (no worker ever waits on another's queue).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Primary env knob for the pool width (`DRIM_ANN_THREADS=4 cargo test`).
+pub const THREADS_ENV: &str = "DRIM_ANN_THREADS";
+
+/// Fallback env knob, honored for parity with real rayon.
+pub const RAYON_THREADS_ENV: &str = "RAYON_NUM_THREADS";
+
+/// Hard cap on pool width (spawn cost sanity, not a scheduling limit).
+const MAX_THREADS: usize = 512;
+
+/// Upper bound on chunks per region. Chunk size is
+/// `max(min_len, ceil(len / MAX_CHUNKS))`: enough chunks that an early
+/// finisher can steal more work, few enough that per-chunk bookkeeping
+/// stays invisible. Must stay independent of the thread count (see module
+/// docs).
+const MAX_CHUNKS: usize = 64;
+
+thread_local! {
+    /// Set while this thread executes inside a parallel region (workers and
+    /// the participating caller alike).
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+    /// Thread-count override installed by [`with_num_threads`]; 0 = none.
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Effective pool width for a region dispatched from this thread.
+pub fn current_num_threads() -> usize {
+    if IN_POOL.with(|c| c.get()) {
+        return 1; // nested regions run inline on the worker
+    }
+    let ov = THREAD_OVERRIDE.with(|c| c.get());
+    if ov != 0 {
+        return ov.min(MAX_THREADS);
+    }
+    for key in [THREADS_ENV, RAYON_THREADS_ENV] {
+        if let Ok(raw) = std::env::var(key) {
+            if let Ok(n) = raw.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n.min(MAX_THREADS);
+                }
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` with the pool width pinned to `threads` on this thread
+/// (overrides the env vars; does not propagate into spawned workers, where
+/// nested regions are sequential anyway). Restores the previous override
+/// even if `f` panics. The parity tests use this to compare 1-thread and
+/// N-thread runs inside one process.
+pub fn with_num_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    assert!(threads >= 1, "thread count must be at least 1");
+    let prev = THREAD_OVERRIDE.with(|c| c.replace(threads));
+    let _restore = Restore(&THREAD_OVERRIDE, prev);
+    return f();
+
+    struct Restore(&'static std::thread::LocalKey<Cell<usize>>, usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.1;
+            self.0.with(|c| c.set(prev));
+        }
+    }
+}
+
+/// Mark this thread as a pool worker for the duration of `f`.
+fn enter_pool<R>(f: impl FnOnce() -> R) -> R {
+    let prev = IN_POOL.with(|c| c.replace(true));
+    let _restore = Restore(prev);
+    return f();
+
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            IN_POOL.with(|c| c.set(prev));
+        }
+    }
+}
+
+/// Chunk size for a region: a pure function of `(len, min_len)` so that
+/// chunk boundaries — and therefore all ordered combines — are identical at
+/// every thread count.
+pub(crate) fn chunk_size(len: usize, min_len: usize) -> usize {
+    len.div_ceil(MAX_CHUNKS).max(min_len).max(1)
+}
+
+/// Core driver: run `work(start, end)` over every chunk of `[0, len)`.
+///
+/// Chunks are claimed through an atomic cursor; the caller participates as
+/// worker 0. Panics in any worker propagate to the caller (the scope
+/// resumes the payload after joining).
+pub(crate) fn run_chunked<F>(len: usize, min_len: usize, work: &F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    let chunk = chunk_size(len, min_len);
+    let nchunks = len.div_ceil(chunk);
+    let threads = current_num_threads().min(nchunks);
+    if threads <= 1 {
+        // same chunk walk as the parallel path, on the caller's thread
+        enter_pool(|| {
+            let mut s = 0;
+            while s < len {
+                let e = (s + chunk).min(len);
+                work(s, e);
+                s = e;
+            }
+        });
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 1..threads {
+            scope.spawn(|| enter_pool(|| drain(&cursor, chunk, len, work)));
+        }
+        enter_pool(|| drain(&cursor, chunk, len, work));
+    });
+}
+
+/// Claim chunks off the shared cursor until the range is exhausted.
+fn drain<F: Fn(usize, usize)>(cursor: &AtomicUsize, chunk: usize, len: usize, work: &F) {
+    loop {
+        let s = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if s >= len {
+            break;
+        }
+        work(s, (s + chunk).min(len));
+    }
+}
+
+/// Lock a mutex, riding through poisoning (a panicking sibling worker
+/// should surface *its* payload, not a `PoisonError`).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Run `make(start, end) -> Vec<T>` over every chunk and concatenate the
+/// chunk outputs in ascending chunk order — the ordered-collect primitive.
+pub(crate) fn collect_chunks<T, F>(len: usize, min_len: usize, make: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> Vec<T> + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::new());
+    run_chunked(len, min_len, &|s, e| {
+        let part = make(s, e);
+        lock_unpoisoned(&parts).push((s, part));
+    });
+    let mut parts = parts.into_inner().unwrap_or_else(|p| p.into_inner());
+    parts.sort_unstable_by_key(|&(s, _)| s);
+    let total: usize = parts.iter().map(|(_, p)| p.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    for (_, p) in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Exclusive per-element driver: `f(index, &mut element)` over a mutable
+/// slice, chunks handed to workers as disjoint sub-slices.
+pub(crate) fn for_each_mut<T, F>(slice: &mut [T], min_len: usize, f: &F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let len = slice.len();
+    if len == 0 {
+        return;
+    }
+    let chunk = chunk_size(len, min_len);
+    let threads = current_num_threads().min(len.div_ceil(chunk));
+    if threads <= 1 {
+        enter_pool(|| {
+            for (i, x) in slice.iter_mut().enumerate() {
+                f(i, x);
+            }
+        });
+        return;
+    }
+    let queue: Mutex<Vec<(usize, &mut [T])>> = Mutex::new(
+        slice
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(c, ch)| (c * chunk, ch))
+            .collect(),
+    );
+    std::thread::scope(|scope| {
+        for _ in 1..threads {
+            scope.spawn(|| enter_pool(|| drain_mut(&queue, f)));
+        }
+        enter_pool(|| drain_mut(&queue, f));
+    });
+}
+
+/// Pop `(base_index, chunk)` pairs until the queue is empty.
+fn drain_mut<T, F: Fn(usize, &mut T)>(queue: &Mutex<Vec<(usize, &mut [T])>>, f: &F) {
+    loop {
+        let item = lock_unpoisoned(queue).pop();
+        match item {
+            Some((base, ch)) => {
+                for (o, x) in ch.iter_mut().enumerate() {
+                    f(base + o, x);
+                }
+            }
+            None => break,
+        }
+    }
+}
+
+/// Exclusive per-chunk driver for `par_chunks_mut`: `f(chunk_index,
+/// chunk_slice)` with the *user's* chunk size (not the pool's).
+pub(crate) fn for_each_chunk_mut<T, F>(slice: &mut [T], size: usize, f: &F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = slice.len();
+    if len == 0 {
+        return;
+    }
+    let nchunks = len.div_ceil(size);
+    let threads = current_num_threads().min(nchunks);
+    if threads <= 1 {
+        enter_pool(|| {
+            for (c, ch) in slice.chunks_mut(size).enumerate() {
+                f(c, ch);
+            }
+        });
+        return;
+    }
+    let queue: Mutex<Vec<(usize, &mut [T])>> =
+        Mutex::new(slice.chunks_mut(size).enumerate().collect());
+    std::thread::scope(|scope| {
+        for _ in 1..threads {
+            scope.spawn(|| enter_pool(|| drain_chunks_mut(&queue, f)));
+        }
+        enter_pool(|| drain_chunks_mut(&queue, f));
+    });
+}
+
+/// Pop `(chunk_index, chunk)` pairs until the queue is empty.
+fn drain_chunks_mut<T, F: Fn(usize, &mut [T])>(queue: &Mutex<Vec<(usize, &mut [T])>>, f: &F) {
+    loop {
+        let item = lock_unpoisoned(queue).pop();
+        match item {
+            Some((c, ch)) => f(c, ch),
+            None => break,
+        }
+    }
+}
+
+/// rayon's `join`: run both closures, potentially in parallel; both results
+/// returned, panics propagated.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(|| enter_pool(b));
+        let ra = enter_pool(a);
+        let rb = hb
+            .join()
+            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        (ra, rb)
+    })
+}

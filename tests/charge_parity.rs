@@ -230,6 +230,46 @@ fn ts_charge_matches_run_forwarding_with_observed_stats() {
 }
 
 #[test]
+fn simulator_costs_invariant_to_host_thread_count() {
+    // Costs are booked per work item (per DPU, per task) and folded back
+    // into the system in DPU order, so the *simulated* wall clock, energy
+    // and lock statistics must not depend on how many host threads execute
+    // the per-DPU loop. Bit-compare the whole report via its Debug
+    // rendering (f64 Debug round-trips, so any bit drift shows).
+    use drim_ann::config::{EngineConfig, IndexConfig};
+    use drim_ann::engine::DrimEngine;
+
+    let spec = datasets::SynthSpec::small("charge-threads", 16, 2000, 31);
+    let data = datasets::generate(&spec);
+    let queries = datasets::queries::generate_queries(
+        &spec,
+        24,
+        datasets::queries::QuerySkew::InDistribution,
+        6,
+    );
+    let cfg = EngineConfig::drim(IndexConfig {
+        k: 10,
+        nprobe: 10,
+        nlist: 48,
+        m: 8,
+        cb: 32,
+    });
+    let mut engine = rayon::with_num_threads(1, || {
+        DrimEngine::build(&data, cfg, upmem_sim::PimArch::upmem_sc25(), 8, None).unwrap()
+    });
+    let (_, baseline) = rayon::with_num_threads(1, || engine.search_batch(&queries));
+    let baseline = format!("{baseline:?}");
+    for threads in [2usize, 4, 8] {
+        let (_, report) = rayon::with_num_threads(threads, || engine.search_batch(&queries));
+        assert_eq!(
+            format!("{report:?}"),
+            baseline,
+            "simulated cost report drifted at {threads} host threads"
+        );
+    }
+}
+
+#[test]
 fn expected_updates_matches_random_stream_order_of_magnitude() {
     // harmonic estimate vs an actual random stream
     let n = 10_000u64;

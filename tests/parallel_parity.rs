@@ -1,0 +1,192 @@
+//! Bit-identical results at every host thread count.
+//!
+//! The rayon shim executes on a real scoped thread pool since PR 2; its
+//! determinism contract is that chunk geometry is a pure function of input
+//! length and all ordered combines run in chunk order, so the thread count
+//! can never change a result. These tests pin that contract down on the
+//! actual hot paths: CPU-baseline batch search, the engine's per-DPU
+//! dispatch loop, cluster locating, flat ground truth, and k-means — at
+//! 1/2/4/8 threads, including batch sizes that don't divide evenly into
+//! chunks, and empty batches.
+
+use ann_core::ivf::IvfPqParams;
+use ann_core::topk::Neighbor;
+use ann_core::vector::VecSet;
+use baselines::cpu::CpuIvfPq;
+use drim_ann::config::{EngineConfig, IndexConfig};
+use drim_ann::engine::DrimEngine;
+use drim_ann::kernels::cl;
+use drim_ann::perf_model::{BitWidths, WorkloadShape};
+use rayon::with_num_threads;
+use upmem_sim::PimArch;
+
+const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn workload(n: usize, nq: usize) -> (VecSet<f32>, VecSet<f32>) {
+    let spec = datasets::SynthSpec::small("parallel-parity", 16, n, 23);
+    let data = datasets::generate(&spec);
+    let queries = datasets::queries::generate_queries(
+        &spec,
+        nq,
+        datasets::queries::QuerySkew::InDistribution,
+        4,
+    );
+    (data, queries)
+}
+
+/// Bit-exact key for a result set: ids plus raw f32 distance bits.
+fn result_bits(rs: &[Vec<Neighbor>]) -> Vec<Vec<(u64, u32)>> {
+    rs.iter()
+        .map(|l| l.iter().map(|n| (n.id, n.dist.to_bits())).collect())
+        .collect()
+}
+
+fn subset(queries: &VecSet<f32>, n: usize) -> VecSet<f32> {
+    queries.select(&(0..n).collect::<Vec<_>>())
+}
+
+#[test]
+fn cpu_search_batch_bit_identical_across_thread_counts() {
+    let (data, queries) = workload(2000, 64);
+    let cpu = with_num_threads(1, || {
+        CpuIvfPq::build(&data, &IvfPqParams::new(48).m(8).cb(32))
+    });
+    // batch sizes chosen to not divide evenly into pool chunks, plus a
+    // single-query batch
+    for nq in [1usize, 7, 33, 64] {
+        let qs = subset(&queries, nq);
+        let baseline = result_bits(&with_num_threads(1, || cpu.search_batch(&qs, 8, 10)));
+        for threads in THREAD_COUNTS {
+            let got = result_bits(&with_num_threads(threads, || cpu.search_batch(&qs, 8, 10)));
+            assert_eq!(got, baseline, "nq = {nq}, threads = {threads}");
+        }
+    }
+}
+
+#[test]
+fn cpu_search_batch_handles_empty_batch() {
+    let (data, _) = workload(600, 4);
+    let cpu = CpuIvfPq::build(&data, &IvfPqParams::new(16).m(4).cb(16));
+    let empty = VecSet::new(data.dim());
+    for threads in [1, 4] {
+        let out = with_num_threads(threads, || cpu.search_batch(&empty, 4, 5));
+        assert!(out.is_empty(), "threads = {threads}");
+    }
+}
+
+#[test]
+fn flat_ground_truth_bit_identical_across_thread_counts() {
+    let (data, queries) = workload(1500, 33);
+    let baseline = result_bits(&with_num_threads(1, || {
+        ann_core::flat::exact_search_batch(&queries, &data, 10)
+    }));
+    for threads in THREAD_COUNTS {
+        let got = result_bits(&with_num_threads(threads, || {
+            ann_core::flat::exact_search_batch(&queries, &data, 10)
+        }));
+        assert_eq!(got, baseline, "threads = {threads}");
+    }
+    // empty query set
+    let empty = VecSet::new(data.dim());
+    assert!(
+        with_num_threads(4, || ann_core::flat::exact_search_batch(&empty, &data, 10)).is_empty()
+    );
+}
+
+#[test]
+fn cluster_locating_probes_bit_identical_across_thread_counts() {
+    let (data, queries) = workload(1200, 37);
+    let params = IvfPqParams::new(32).m(8).cb(32);
+    let idx = with_num_threads(1, || ann_core::ivf::IvfPqIndex::build(&data, &params));
+    let shape = WorkloadShape::new(
+        data.len() as u64,
+        queries.len(),
+        data.dim(),
+        &IndexConfig {
+            k: 10,
+            nprobe: 6,
+            nlist: 32,
+            m: 8,
+            cb: 32,
+        },
+        BitWidths::u8_regime(),
+    );
+    let host = upmem_sim::platform::procs::xeon_silver_4216();
+    let baseline = with_num_threads(1, || cl::run(&queries, &idx.coarse, 6, &shape, &host));
+    for threads in THREAD_COUNTS {
+        let got = with_num_threads(threads, || cl::run(&queries, &idx.coarse, 6, &shape, &host));
+        // probed cluster ids, their order, and the per-query probe counts
+        assert_eq!(got.probes, baseline.probes, "threads = {threads}");
+        assert_eq!(got.host_s.to_bits(), baseline.host_s.to_bits());
+    }
+}
+
+#[test]
+fn kmeans_bit_identical_across_thread_counts() {
+    let (data, _) = workload(3000, 1);
+    let params = ann_core::kmeans::KMeansParams::new(24).iters(8).seed(7);
+    let baseline = with_num_threads(1, || ann_core::kmeans::kmeans(&data, &params));
+    for threads in THREAD_COUNTS {
+        let got = with_num_threads(threads, || ann_core::kmeans::kmeans(&data, &params));
+        assert_eq!(got.centroids, baseline.centroids, "threads = {threads}");
+        assert_eq!(got.assignments, baseline.assignments);
+        assert_eq!(got.sizes, baseline.sizes);
+        assert_eq!(got.inertia.to_bits(), baseline.inertia.to_bits());
+    }
+    // standalone assignment entry point too
+    let base_assign = with_num_threads(1, || ann_core::kmeans::assign(&data, &baseline.centroids));
+    for threads in THREAD_COUNTS {
+        let got = with_num_threads(threads, || {
+            ann_core::kmeans::assign(&data, &baseline.centroids)
+        });
+        assert_eq!(got, base_assign, "threads = {threads}");
+    }
+}
+
+#[test]
+fn engine_batch_bit_identical_across_thread_counts() {
+    let (data, queries) = workload(2500, 24);
+    let cfg = EngineConfig::drim(IndexConfig {
+        k: 10,
+        nprobe: 12,
+        nlist: 48,
+        m: 8,
+        cb: 32,
+    });
+    let mut engine = with_num_threads(1, || {
+        DrimEngine::build(&data, cfg, PimArch::upmem_sc25(), 8, None).unwrap()
+    });
+    let (r0, rep0) = with_num_threads(1, || engine.search_batch(&queries));
+    let baseline = result_bits(&r0);
+    for threads in THREAD_COUNTS {
+        let (r, rep) = with_num_threads(threads, || engine.search_batch(&queries));
+        assert_eq!(result_bits(&r), baseline, "threads = {threads}");
+        assert_eq!(rep.postponed, rep0.postponed, "threads = {threads}");
+        assert_eq!(rep.queries, rep0.queries);
+    }
+}
+
+#[test]
+fn engine_built_under_different_thread_counts_is_identical() {
+    // index construction itself (k-means, PQ encode, layout) must be
+    // thread-count-invariant, not just the search path
+    let (data, queries) = workload(1500, 16);
+    let cfg = || {
+        EngineConfig::drim(IndexConfig {
+            k: 10,
+            nprobe: 8,
+            nlist: 32,
+            m: 8,
+            cb: 32,
+        })
+    };
+    let mut e1 = with_num_threads(1, || {
+        DrimEngine::build(&data, cfg(), PimArch::upmem_sc25(), 4, None).unwrap()
+    });
+    let mut e4 = with_num_threads(4, || {
+        DrimEngine::build(&data, cfg(), PimArch::upmem_sc25(), 4, None).unwrap()
+    });
+    let (r1, _) = with_num_threads(1, || e1.search_batch(&queries));
+    let (r4, _) = with_num_threads(4, || e4.search_batch(&queries));
+    assert_eq!(result_bits(&r1), result_bits(&r4));
+}
