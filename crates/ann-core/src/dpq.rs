@@ -105,14 +105,15 @@ impl Dpq {
                         }
                     }
                 }
-                let out = pq.codebook_mut(s);
-                for j in 0..cb {
-                    if den[j] > 1e-6 {
-                        for d in 0..dsub {
-                            out[j * dsub + d] = (num[j * dsub + d] / den[j]) as f32;
+                pq.update_codebook(s, |out| {
+                    for j in 0..cb {
+                        if den[j] > 1e-6 {
+                            for d in 0..dsub {
+                                out[j * dsub + d] = (num[j * dsub + d] / den[j]) as f32;
+                            }
                         }
                     }
-                }
+                });
             }
             temp *= params.anneal;
         }

@@ -125,6 +125,17 @@ impl PqModel {
         }
     }
 
+    /// Batched ADC lookup tables for a residual block: one `m * cb` row
+    /// per residual, built with one per-subspace GEMM against the codebook
+    /// (rows bit-identical to per-residual [`Self::lut`] calls).
+    pub fn lut_batch(&self, rs: &VecSet<f32>) -> Vec<f32> {
+        match self {
+            PqModel::Plain(p) => p.lut_batch(rs),
+            PqModel::Rotated(o) => o.lut_batch(rs),
+            PqModel::Refined(d) => d.pq.lut_batch(rs),
+        }
+    }
+
     /// ADC distance from a prebuilt LUT.
     #[inline]
     pub fn adc(&self, lut: &[f32], code: &[u16]) -> f32 {
@@ -287,28 +298,93 @@ impl IvfPqIndex {
             .collect()
     }
 
+    /// Batched cluster locating: the `nprobe` nearest coarse centroids for
+    /// every query of a block, ascending by distance.
+    ///
+    /// The cross terms for [`Self::LOCATE_BLOCK`]-query blocks come from
+    /// one tiled `Q · Cᵀ` GEMM over the borrowed centroid table (the same
+    /// formulation the engine's host-side CL phase uses), corrected by the
+    /// cached centroid norms — the centroid table streams once per block
+    /// instead of once per query. Block geometry is a pure function of the
+    /// query count, and the GEMM's arithmetic is batch-width-invariant, so
+    /// results are deterministic at any thread count and batch split.
+    pub fn locate_batch(&self, queries: &VecSet<f32>, nprobe: usize) -> Vec<Vec<(u32, f32)>> {
+        assert_eq!(queries.dim(), self.dim);
+        let nprobe = nprobe.min(self.params.nlist).max(1);
+        let nlist = self.coarse.len();
+        let cmat = crate::linalg::MatrixView::new(nlist, self.dim, self.coarse.as_flat());
+        let mut out = Vec::with_capacity(queries.len());
+        // dots scratch reused across blocks (matmul_t_into accumulates, so
+        // the touched region is re-zeroed per block)
+        let mut dots = vec![0.0f32; Self::LOCATE_BLOCK.min(queries.len().max(1)) * nlist];
+        for lo in (0..queries.len()).step_by(Self::LOCATE_BLOCK) {
+            let hi = (lo + Self::LOCATE_BLOCK).min(queries.len());
+            let rows = hi - lo;
+            let qv = crate::linalg::MatrixView::new(
+                rows,
+                self.dim,
+                &queries.as_flat()[lo * self.dim..hi * self.dim],
+            );
+            dots[..rows * nlist].fill(0.0);
+            qv.matmul_t_into(&cmat, &mut dots[..rows * nlist], nlist); // rows x nlist
+            for r in 0..rows {
+                let qn = crate::kernels::norm_sq_f32(queries.get(lo + r));
+                let drow = &dots[r * nlist..(r + 1) * nlist];
+                let mut heap = BoundedMaxHeap::new(nprobe);
+                for (c, (&cn, &dp)) in self.coarse_norms.iter().zip(drow).enumerate() {
+                    let d = (qn + cn - 2.0 * dp).max(0.0);
+                    heap.push(Neighbor::new(c as u64, d));
+                }
+                out.push(
+                    heap.into_sorted()
+                        .into_iter()
+                        .map(|n| (n.id as u32, n.dist))
+                        .collect(),
+                );
+            }
+        }
+        out
+    }
+
+    /// Queries per [`Self::locate_batch`] GEMM block (matches the engine's
+    /// CL query block).
+    pub const LOCATE_BLOCK: usize = 32;
+
     /// Full search: returns the `k` nearest neighbors by ADC distance.
     ///
-    /// The per-list scan is the blocked 8-wide ADC kernel; candidates are
-    /// pruned against the running top-k bound before touching the heap
-    /// (the host-side analogue of the paper's forwarded-record pruning).
+    /// LUTs for all probed (non-empty) clusters of the query are built in
+    /// one batched, GEMM-formulated pass over the codebook
+    /// ([`PqModel::lut_batch`]); the per-list scan is the blocked 8-wide
+    /// ADC kernel, and candidates are pruned against the running top-k
+    /// bound before touching the heap (the host-side analogue of the
+    /// paper's forwarded-record pruning).
     pub fn search(&self, query: &[f32], nprobe: usize, k: usize) -> Vec<Neighbor> {
         // one scratch buffer serves both the CL distances and the per-list
         // ADC distances
         let mut dists = Vec::new();
         let probes = self.locate_with_scratch(query, nprobe, &mut dists);
-        let mut heap = BoundedMaxHeap::new(k);
-        let mut residual = vec![0.0f32; self.dim];
         let m = self.params.m;
         let cb = self.params.cb;
-        for (c, _) in probes {
-            let list = &self.lists[c as usize];
-            if list.is_empty() {
+        // residuals of every probed non-empty cluster, in probe order —
+        // their LUTs amortize one codebook stream across the whole probe set
+        let mut residuals = VecSet::with_capacity(self.dim, probes.len());
+        let mut scanned: Vec<u32> = Vec::with_capacity(probes.len());
+        let mut residual = vec![0.0f32; self.dim];
+        for &(c, _) in &probes {
+            if self.lists[c as usize].is_empty() {
                 continue;
             }
             residual_into(query, self.coarse.get(c as usize), &mut residual);
-            let lut = self.quant.lut(&residual);
-            crate::kernels::adc_scan_f32(&list.codes, m, cb, &lut, &mut dists);
+            residuals.push(&residual);
+            scanned.push(c);
+        }
+        let luts = self.quant.lut_batch(&residuals);
+        let lut_w = m * cb;
+        let mut heap = BoundedMaxHeap::new(k);
+        for (pi, &c) in scanned.iter().enumerate() {
+            let list = &self.lists[c as usize];
+            let lut = &luts[pi * lut_w..(pi + 1) * lut_w];
+            crate::kernels::adc_scan_f32(&list.codes, m, cb, lut, &mut dists);
             // `<=` so candidates tying the k-th distance still reach the
             // heap, which breaks ties by id exactly like the unpruned
             // scalar path; only strictly-worse candidates are skipped

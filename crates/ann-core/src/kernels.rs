@@ -30,10 +30,12 @@
 //! reference (integer arithmetic is associative); the `f32` kernels agree
 //! with the scalar reference to within a few ULPs of reassociation error
 //! (tested at 1e-4 relative). [`l2_sq_batch`] additionally carries the
-//! cancellation error of the decomposition, which is why callers that need
-//! *exact* per-pair distances (PQ encoding's nearest-codeword argmin, LUT
-//! entries that must equal decoded distances) use [`l2_sq_rows`] — exact
-//! blocked distances without the decomposition.
+//! cancellation error of the decomposition (clamped at zero), which is why
+//! PQ encoding's nearest-codeword argmin uses [`l2_sq_rows`] — exact
+//! blocked distances without the decomposition. The ADC LUT build uses the
+//! decomposition too (GEMM-formulated in `pq`'s `lut_batch` against cached
+//! codeword norms), trading a few ULPs of cancellation for a
+//! reduction-free, batch-amortized construction.
 
 /// Unroll width of the f32 kernels: 8 lanes = one AVX register or two
 /// SSE/NEON registers of `f32`.

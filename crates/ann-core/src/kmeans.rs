@@ -107,8 +107,9 @@ pub fn kmeans(data: &VecSet<f32>, params: &KMeansParams) -> KMeansResult {
 
     for _ in 0..params.iters {
         // fused assignment + update accumulation, parallel over point
-        // chunks: each chunk assigns its points through the
-        // norm-decomposition kernel (centroid norms computed once per
+        // chunks: each chunk assigns its points through the blocked
+        // `X · Cᵀ` GEMM with the norm decomposition (centroid norms
+        // computed once per
         // iteration) and accumulates its own partial centroid sums /
         // counts / inertia. Chunk partials are then combined in ascending
         // chunk order — the chunk count is fixed (never a function of the
@@ -223,10 +224,9 @@ fn assign_partials(
                 counts: vec![0usize; k],
                 inertia: 0.0,
             };
-            for i in s..e {
-                let v = data.get(i);
-                let (a, d) = nearest_centroid_with_norms(v, centroids, cnorms);
-                part.assign.push((a, d));
+            assign_range_gemm(data, s, e, centroids, cnorms, &mut part.assign);
+            for (off, &(a, d)) in part.assign.iter().enumerate() {
+                let v = data.get(s + off);
                 part.inertia += d as f64;
                 part.counts[a as usize] += 1;
                 let row = &mut part.sums[a as usize * dim..(a as usize + 1) * dim];
@@ -239,13 +239,76 @@ fn assign_partials(
         .collect()
 }
 
-/// Assign every vector of `data` to its nearest centroid (parallel),
-/// through the fused batch kernel with centroid norms computed once.
+/// Points per GEMM block of the blocked assignment path.
+const ASSIGN_BLOCK: usize = 32;
+
+/// GEMM-formulated assignment of points `[lo, hi)`: the cross terms for
+/// each [`ASSIGN_BLOCK`]-point block are one tiled `X_blk · Cᵀ` product
+/// over the borrowed centroid table (the table streams once per block, not
+/// once per point), corrected by the cached centroid norms. Pushes one
+/// `(assignment, squared distance)` pair per point onto `out`.
+///
+/// The tiled GEMM's per-element arithmetic is invariant to the block
+/// geometry (see `linalg` docs), so assignments are identical no matter
+/// how the caller chunks the range — which keeps Lloyd chunks, the
+/// standalone [`assign`] entry point, and every thread count bit-consistent.
+fn assign_range_gemm(
+    data: &VecSet<f32>,
+    lo: usize,
+    hi: usize,
+    centroids: &VecSet<f32>,
+    cnorms: &[f32],
+    out: &mut Vec<(u32, f32)>,
+) {
+    let dim = data.dim();
+    let k = centroids.len();
+    let cview = crate::linalg::MatrixView::new(k, dim, centroids.as_flat());
+    // dots scratch reused across blocks (matmul_t_into accumulates, so the
+    // touched region is re-zeroed per block)
+    let mut dots = vec![0.0f32; ASSIGN_BLOCK.min((hi - lo).max(1)) * k];
+    for blo in (lo..hi).step_by(ASSIGN_BLOCK) {
+        let bhi = (blo + ASSIGN_BLOCK).min(hi);
+        let rows = bhi - blo;
+        let xv = crate::linalg::MatrixView::new(rows, dim, &data.as_flat()[blo * dim..bhi * dim]);
+        dots[..rows * k].fill(0.0);
+        xv.matmul_t_into(&cview, &mut dots[..rows * k], k); // rows x k
+        for r in 0..rows {
+            // same argmin semantics as `kernels::nearest_row`: the ‖x‖²
+            // term is constant per point, so the argmin runs on
+            // `‖c‖² − 2·x·c` and the winner gets the norm added back
+            let mut best = (0usize, f32::INFINITY);
+            for (j, (&cn, &dp)) in cnorms.iter().zip(&dots[r * k..(r + 1) * k]).enumerate() {
+                let score = cn - 2.0 * dp;
+                if score < best.1 {
+                    best = (j, score);
+                }
+            }
+            let qn = kernels::norm_sq_f32(data.get(blo + r));
+            out.push((best.0 as u32, (best.1 + qn).max(0.0)));
+        }
+    }
+}
+
+/// Assign every vector of `data` to its nearest centroid (parallel), through
+/// the GEMM-formulated blocked assignment with centroid norms computed once.
+///
+/// Each parallel task covers a 32-block range so the dots scratch inside
+/// [`assign_range_gemm`] amortizes across blocks; per-point results are
+/// invariant to the range split (GEMM geometry purity), so any task
+/// granularity yields bit-identical assignments.
 pub fn assign(data: &VecSet<f32>, centroids: &VecSet<f32>) -> Vec<u32> {
     let cnorms = kernels::row_norms_f32(centroids.as_flat(), centroids.dim());
-    (0..data.len())
+    let task_points = 32 * ASSIGN_BLOCK;
+    let ntasks = data.len().div_ceil(task_points);
+    (0..ntasks)
         .into_par_iter()
-        .map(|i| nearest_centroid_with_norms(data.get(i), centroids, &cnorms).0)
+        .flat_map_iter(|t| {
+            let lo = t * task_points;
+            let hi = (lo + task_points).min(data.len());
+            let mut out = Vec::with_capacity(hi - lo);
+            assign_range_gemm(data, lo, hi, centroids, &cnorms, &mut out);
+            out.into_iter().map(|(a, _)| a)
+        })
         .collect()
 }
 

@@ -1,9 +1,42 @@
-//! Minimal dense linear algebra: just enough to learn an OPQ rotation.
+//! Dense linear algebra for the host-side hot path: a tiled micro-kernel
+//! GEMM plus the small-matrix machinery OPQ training needs (modified
+//! Gram–Schmidt, one-sided Jacobi SVD, Procrustes).
 //!
-//! Implemented from scratch (no external LA crate): row-major matrices,
-//! multiplication, modified Gram–Schmidt QR (for random orthonormal
-//! initialisation), and a one-sided Jacobi SVD, from which the orthogonal
-//! Procrustes problem `max_R tr(Rᵀ M)` is solved as `R = U Vᵀ`.
+//! # The tiled GEMM
+//!
+//! [`Matrix::matmul`] (and the borrowed [`MatrixView`] entry points) run a
+//! real blocked GEMM rather than a naive triple loop:
+//!
+//! * **Packing** — A is repacked into [`GEMM_MR`]-row panels (k-major,
+//!   row-interleaved) and B into [`GEMM_NR`]-column panels (k-major,
+//!   column-interleaved), so the micro-kernel reads both operands as
+//!   contiguous streams regardless of the original layouts. Packing is
+//!   also where `A·Bᵀ` ([`MatrixView::matmul_t`]) is absorbed: the
+//!   transposed operand is packed straight from its row-major storage, so
+//!   callers never materialize a transposed copy.
+//! * **Micro-kernel** — an `MR x NR` ([`GEMM_MR`] x [`GEMM_NR`] = 4 x 16, exactly one 16-register SIMD file of accumulators) register tile of C
+//!   accumulates over the packed panels: `MR * NR` independent
+//!   multiply-add chains that LLVM maps onto SIMD registers (the same
+//!   multi-accumulator discipline as `kernels::l2_sq_batch`), with zero
+//!   loads/stores of C inside the k loop.
+//! * **Cache tiling** — `KC`/`MC`/`NC` blocking keeps the packed A block
+//!   L2-resident and each packed B panel L1-resident while C streams.
+//!
+//! **Determinism contract:** every output element is accumulated strictly
+//! in ascending-`k` order (sequentially within each `KC` block, blocks in
+//! order), and tile edges are handled by zero-padding panels rather than
+//! by switching kernels. An element's value is therefore a pure function
+//! of its A row, its B column and `K` — independent of where the element
+//! falls in the tiling and of how many other rows/columns are computed
+//! alongside it. Batched products are bit-identical to one-column
+//! products, which is what lets `ProductQuantizer::lut_batch` promise
+//! bit-parity with per-query `lut()` and keeps every GEMM consumer
+//! bit-identical at any thread count (chunk geometry never feeds back
+//! into the arithmetic).
+//!
+//! The pre-existing i-k-j loop is kept as [`Matrix::matmul_naive`]: it is
+//! the parity reference for tests and the baseline the `gemm` bench
+//! measures speedups against.
 
 /// Dense row-major `f32` matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,8 +103,25 @@ impl Matrix {
         t
     }
 
-    /// Matrix product `self * other`.
+    /// Borrowed view of this matrix (no copy).
+    #[inline]
+    pub fn view(&self) -> MatrixView<'_> {
+        MatrixView {
+            rows: self.rows,
+            cols: self.cols,
+            data: &self.data,
+        }
+    }
+
+    /// Matrix product `self * other` through the tiled micro-kernel GEMM.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        self.view().matmul(&other.view())
+    }
+
+    /// Reference i-k-j product (the pre-tiling implementation). Kept as the
+    /// parity baseline for tests and the `gemm` bench; use [`Self::matmul`]
+    /// everywhere else.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "inner dimensions must agree");
         let mut out = Matrix::zeros(self.rows, other.cols);
         // i-k-j loop order keeps the inner loop streaming over contiguous rows.
@@ -126,6 +176,269 @@ impl Matrix {
             }
         }
         worst
+    }
+}
+
+/// Borrowed row-major `f32` matrix view: lets hot paths run the tiled GEMM
+/// over slabs they already own (centroid tables, query blocks, codebooks)
+/// without cloning into a [`Matrix`] first.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixView<'a> {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row-major storage, `rows * cols` long.
+    pub data: &'a [f32],
+}
+
+impl<'a> MatrixView<'a> {
+    /// Wrap a row-major slice.
+    #[inline]
+    pub fn new(rows: usize, cols: usize, data: &'a [f32]) -> Self {
+        assert_eq!(data.len(), rows * cols, "view shape mismatch");
+        MatrixView { rows, cols, data }
+    }
+
+    /// Row slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &'a [f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Tiled product `self * other` (`other` is `k x n` row-major).
+    pub fn matmul(&self, other: &MatrixView<'_>) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        self.matmul_into(other, &mut out.data, other.cols);
+        out
+    }
+
+    /// Tiled product `self * otherᵀ` (`other` is `n x k` row-major). The
+    /// transpose is absorbed into the packing pass — no transposed copy of
+    /// `other` is ever materialized.
+    pub fn matmul_t(&self, other: &MatrixView<'_>) -> Matrix {
+        assert_eq!(self.cols, other.cols, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_t_into(other, &mut out.data, other.rows);
+        out
+    }
+
+    /// `out[i * ldc + j] += (self * other)[i][j]` — accumulate the tiled
+    /// product into a caller-owned strided buffer (`out` must cover row
+    /// `self.rows - 1` up to column `other.cols`, and the touched slots
+    /// must start zeroed for a plain product).
+    pub fn matmul_into(&self, other: &MatrixView<'_>, out: &mut [f32], ldc: usize) {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        gemm(
+            self.rows,
+            other.cols,
+            self.cols,
+            self.data,
+            self.cols,
+            &BNormal {
+                data: other.data,
+                ld: other.cols,
+            },
+            out,
+            ldc,
+        );
+    }
+
+    /// `out[i * ldc + j] += (self * otherᵀ)[i][j]` — the strided-output
+    /// form of [`Self::matmul_t`] (same zero-init expectation as
+    /// [`Self::matmul_into`]).
+    pub fn matmul_t_into(&self, other: &MatrixView<'_>, out: &mut [f32], ldc: usize) {
+        assert_eq!(self.cols, other.cols, "inner dimensions must agree");
+        gemm(
+            self.rows,
+            other.rows,
+            self.cols,
+            self.data,
+            self.cols,
+            &BTrans {
+                data: other.data,
+                ld: other.cols,
+            },
+            out,
+            ldc,
+        );
+    }
+}
+
+/// Micro-kernel tile height (rows of A per register tile).
+pub const GEMM_MR: usize = 4;
+/// Micro-kernel tile width (columns of B per register tile; two 8-lane
+/// vectors of `f32`).
+pub const GEMM_NR: usize = 16;
+/// K-dimension cache block: one packed `KC x NR` B panel (~16 KiB) stays
+/// L1-resident across a whole column sweep.
+const GEMM_KC: usize = 256;
+/// M-dimension cache block: the packed `MC x KC` A block (~128 KiB) stays
+/// L2-resident across all B panels of the current column block.
+const GEMM_MC: usize = 128;
+/// N-dimension cache block.
+const GEMM_NC: usize = 512;
+
+/// Element source for the B operand during packing: abstracts normal vs
+/// transposed access so `A·B` and `A·Bᵀ` share one GEMM body.
+trait BSrc {
+    /// Element at inner-dimension index `k`, output column `j`.
+    fn at(&self, k: usize, j: usize) -> f32;
+}
+
+/// `B` stored `k x n` row-major.
+struct BNormal<'a> {
+    data: &'a [f32],
+    ld: usize,
+}
+
+impl BSrc for BNormal<'_> {
+    #[inline(always)]
+    fn at(&self, k: usize, j: usize) -> f32 {
+        self.data[k * self.ld + j]
+    }
+}
+
+/// `B` logically transposed: stored `n x k` row-major.
+struct BTrans<'a> {
+    data: &'a [f32],
+    ld: usize,
+}
+
+impl BSrc for BTrans<'_> {
+    #[inline(always)]
+    fn at(&self, k: usize, j: usize) -> f32 {
+        self.data[j * self.ld + k]
+    }
+}
+
+thread_local! {
+    /// Per-thread pack-buffer scratch reused across [`gemm`] calls: the
+    /// packing pass overwrites every slot the micro-kernel reads (padding
+    /// lanes included), so stale contents from a previous product are
+    /// harmless and hot callers (per-block CL / assignment, per-subspace
+    /// LUT GEMMs) pay no per-call allocation or zero-fill.
+    static PACK_SCRATCH: std::cell::RefCell<(Vec<f32>, Vec<f32>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// The packed, register-blocked GEMM body: `out[i*ldc + j] += Σ_k a[i][k]
+/// b[k][j]`. See the module docs for the tiling scheme and the determinism
+/// contract (ascending-`k` accumulation, zero-padded tile edges).
+#[allow(clippy::too_many_arguments)]
+fn gemm<B: BSrc>(
+    m: usize,
+    n: usize,
+    kk: usize,
+    a: &[f32],
+    lda: usize,
+    b: &B,
+    out: &mut [f32],
+    ldc: usize,
+) {
+    if m == 0 || n == 0 || kk == 0 {
+        return;
+    }
+    debug_assert!(a.len() >= (m - 1) * lda + kk);
+    debug_assert!(out.len() >= (m - 1) * ldc + n);
+
+    let kc_max = kk.min(GEMM_KC);
+    let a_need = m.min(GEMM_MC).div_ceil(GEMM_MR) * GEMM_MR * kc_max;
+    let b_need = n.min(GEMM_NC).div_ceil(GEMM_NR) * GEMM_NR * kc_max;
+    PACK_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        let (apack, bpack) = (&mut scratch.0, &mut scratch.1);
+        if apack.len() < a_need {
+            apack.resize(a_need, 0.0);
+        }
+        if bpack.len() < b_need {
+            bpack.resize(b_need, 0.0);
+        }
+        gemm_body(m, n, kk, a, lda, b, out, ldc, apack, bpack);
+    });
+}
+
+/// [`gemm`] with caller-provided (already sized) pack buffers.
+#[allow(clippy::too_many_arguments)]
+fn gemm_body<B: BSrc>(
+    m: usize,
+    n: usize,
+    kk: usize,
+    a: &[f32],
+    lda: usize,
+    b: &B,
+    out: &mut [f32],
+    ldc: usize,
+    apack: &mut [f32],
+    bpack: &mut [f32],
+) {
+    for jc in (0..n).step_by(GEMM_NC) {
+        let nc = (n - jc).min(GEMM_NC);
+        let nc_panels = nc.div_ceil(GEMM_NR);
+        for pc in (0..kk).step_by(GEMM_KC) {
+            let kc = (kk - pc).min(GEMM_KC);
+            // pack B: NR-column panels, k-major, zero-padded at the edge
+            for (p, dstp) in bpack.chunks_mut(kc * GEMM_NR).take(nc_panels).enumerate() {
+                let j0 = jc + p * GEMM_NR;
+                let jw = (n - j0).min(GEMM_NR);
+                for (k, dstk) in dstp.chunks_exact_mut(GEMM_NR).enumerate() {
+                    for (jj, dst) in dstk.iter_mut().enumerate() {
+                        *dst = if jj < jw { b.at(pc + k, j0 + jj) } else { 0.0 };
+                    }
+                }
+            }
+            for ic in (0..m).step_by(GEMM_MC) {
+                let mc = (m - ic).min(GEMM_MC);
+                let mc_panels = mc.div_ceil(GEMM_MR);
+                // pack A: MR-row panels, k-major, zero-padded at the edge
+                for (q, dstp) in apack.chunks_mut(kc * GEMM_MR).take(mc_panels).enumerate() {
+                    let i0 = ic + q * GEMM_MR;
+                    let iw = (m - i0).min(GEMM_MR);
+                    for (k, dstk) in dstp.chunks_exact_mut(GEMM_MR).enumerate() {
+                        for (ii, dst) in dstk.iter_mut().enumerate() {
+                            *dst = if ii < iw {
+                                a[(i0 + ii) * lda + pc + k]
+                            } else {
+                                0.0
+                            };
+                        }
+                    }
+                }
+                for (p, bp) in bpack.chunks(kc * GEMM_NR).take(nc_panels).enumerate() {
+                    let j0 = jc + p * GEMM_NR;
+                    let jw = (n - j0).min(GEMM_NR);
+                    for (q, ap) in apack.chunks(kc * GEMM_MR).take(mc_panels).enumerate() {
+                        let i0 = ic + q * GEMM_MR;
+                        let iw = (m - i0).min(GEMM_MR);
+                        microkernel(ap, bp, &mut out[i0 * ldc + j0..], ldc, iw, jw);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `MR x NR` register-tile update: `c[i*ldc + j] += Σ_k ap[k][i] bp[k][j]`
+/// over one packed panel pair; only the `iw x jw` valid corner is written
+/// back (padded lanes accumulate zeros and are discarded).
+#[inline]
+fn microkernel(ap: &[f32], bp: &[f32], c: &mut [f32], ldc: usize, iw: usize, jw: usize) {
+    let mut acc = [[0.0f32; GEMM_NR]; GEMM_MR];
+    for (a, b) in ap.chunks_exact(GEMM_MR).zip(bp.chunks_exact(GEMM_NR)) {
+        let a: &[f32; GEMM_MR] = a.try_into().unwrap();
+        let b: &[f32; GEMM_NR] = b.try_into().unwrap();
+        for (acc_row, &ai) in acc.iter_mut().zip(a.iter()) {
+            for (dst, &bj) in acc_row.iter_mut().zip(b.iter()) {
+                *dst += ai * bj;
+            }
+        }
+    }
+    for (i, acc_row) in acc.iter().enumerate().take(iw) {
+        let base = i * ldc;
+        for (dst, &v) in c[base..base + jw].iter_mut().zip(acc_row.iter()) {
+            *dst += v;
+        }
     }
 }
 
@@ -327,6 +640,152 @@ mod tests {
         let b = Matrix::from_rows(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
         let c = a.matmul(&b);
         assert_eq!(c.data, vec![19.0, 22.0, 43.0, 50.0]);
+        assert_eq!(a.matmul_naive(&b).data, c.data);
+    }
+
+    /// Deterministic pseudo-random matrix.
+    fn prand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f32 / u32::MAX as f32) * 2.0 - 1.0
+            })
+            .collect();
+        Matrix::from_rows(rows, cols, data)
+    }
+
+    /// Element-wise closeness against a cancellation-aware scale: the
+    /// tiled and naive products associate sums differently, so compare
+    /// relative to `Σ_k |a||b|`, not the (possibly cancelled) result.
+    fn assert_products_close(a: &Matrix, b: &Matrix, got: &Matrix, want: &Matrix) {
+        assert_eq!(got.rows, want.rows);
+        assert_eq!(got.cols, want.cols);
+        let abs = |m: &Matrix| {
+            Matrix::from_rows(m.rows, m.cols, m.data.iter().map(|x| x.abs()).collect())
+        };
+        let scale = abs(a).matmul_naive(&abs(b));
+        for i in 0..got.data.len() {
+            let s = scale.data[i].max(1.0);
+            assert!(
+                (got.data[i] - want.data[i]).abs() / s <= 1e-5,
+                "elem {i}: {} vs {}",
+                got.data[i],
+                want.data[i]
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_matches_naive_on_ragged_shapes() {
+        // 1xN, Nx1, non-multiple-of-tile dims, and shapes crossing the
+        // MC (128), KC (256) and NR (16) block boundaries
+        let shapes = [
+            (1usize, 7usize, 1usize),
+            (5, 1, 9),
+            (1, 1, 1),
+            (3, 5, 4),
+            (17, 33, 9),
+            (130, 300, 18),
+            (129, 257, 31),
+            (64, 96, 32),
+        ];
+        for (si, &(m, k, n)) in shapes.iter().enumerate() {
+            let a = prand_matrix(m, k, 11 + si as u64);
+            let b = prand_matrix(k, n, 97 + si as u64);
+            let tiled = a.matmul(&b);
+            let naive = a.matmul_naive(&b);
+            assert_products_close(&a, &b, &tiled, &naive);
+        }
+    }
+
+    #[test]
+    fn tiled_handles_empty_shapes() {
+        let a = prand_matrix(3, 4, 1);
+        let b = Matrix::zeros(4, 0);
+        let c = a.matmul(&b);
+        assert_eq!((c.rows, c.cols), (3, 0));
+        let a0 = Matrix::zeros(0, 4);
+        let b4 = prand_matrix(4, 5, 2);
+        let c0 = a0.matmul(&b4);
+        assert_eq!((c0.rows, c0.cols), (0, 5));
+        assert!(c0.data.is_empty());
+        // zero inner dimension: well-defined all-zeros product
+        let az = Matrix::zeros(3, 0);
+        let bz = Matrix::zeros(0, 2);
+        assert_eq!(az.matmul(&bz).data, vec![0.0; 6]);
+    }
+
+    #[test]
+    fn matmul_t_bit_identical_to_explicit_transpose() {
+        // A·Bᵀ through the packing-absorbed path must equal A·(Bᵀ) through
+        // the normal path bit-for-bit: identical accumulation order
+        for &(m, k, n) in &[(37usize, 96usize, 32usize), (5, 3, 7), (130, 300, 18)] {
+            let a = prand_matrix(m, k, 3);
+            let b = prand_matrix(n, k, 5); // n x k, transposed operand
+            let fused = a.view().matmul_t(&b.view());
+            let explicit = a.matmul(&b.transpose());
+            assert_eq!(fused.rows, explicit.rows);
+            assert_eq!(fused.cols, explicit.cols);
+            for i in 0..fused.data.len() {
+                assert_eq!(
+                    fused.data[i].to_bits(),
+                    explicit.data[i].to_bits(),
+                    "elem {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_results_are_independent_of_batch_width() {
+        // the determinism contract: an output column's bits are a pure
+        // function of (A, that column of B, K) — computing it alone, in a
+        // 7-wide batch, or in the full product gives identical bits
+        let (m, k, n) = (67usize, 131usize, 33usize);
+        let a = prand_matrix(m, k, 21);
+        let b = prand_matrix(n, k, 23); // columns of Bᵀ = rows of b
+        let full = a.view().matmul_t(&b.view());
+        for lo in [0usize, 1, 7, 16, 32] {
+            for width in [1usize, 7] {
+                let hi = (lo + width).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                let sub = MatrixView::new(hi - lo, k, &b.data[lo * k..hi * k]);
+                let part = a.view().matmul_t(&sub);
+                for i in 0..m {
+                    for j in lo..hi {
+                        assert_eq!(
+                            part.get(i, j - lo).to_bits(),
+                            full.get(i, j).to_bits(),
+                            "row {i} col {j} lo {lo} width {width}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_into_accumulates_with_stride() {
+        let a = prand_matrix(3, 4, 31);
+        let b = prand_matrix(4, 2, 33);
+        let want = a.matmul(&b);
+        // strided output buffer with untouched gutter columns
+        let ldc = 5;
+        let mut out = vec![0.0f32; 3 * ldc];
+        a.view().matmul_into(&b.view(), &mut out, ldc);
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(out[i * ldc + j].to_bits(), want.get(i, j).to_bits());
+            }
+            for j in 2..ldc {
+                assert_eq!(out[i * ldc + j], 0.0, "gutter touched at {i},{j}");
+            }
+        }
     }
 
     #[test]

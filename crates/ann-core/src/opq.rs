@@ -97,6 +97,14 @@ impl Opq {
         self.pq.lut(&self.rotate(q))
     }
 
+    /// Batched LUT construction for a block of raw-space queries: rotate
+    /// the block once, then one per-subspace GEMM against the codebook
+    /// (see [`ProductQuantizer::lut_batch`]). Rows are bit-identical to
+    /// per-query [`Self::lut`] calls.
+    pub fn lut_batch(&self, queries: &VecSet<f32>) -> Vec<f32> {
+        self.pq.lut_batch(&rotate_set(&self.rotation, queries))
+    }
+
     /// Mean squared reconstruction error in raw space.
     pub fn quantization_error(&self, data: &VecSet<f32>) -> f64 {
         let mut total = 0.0f64;

@@ -54,6 +54,12 @@ pub struct ProductQuantizer {
     pub dsub: usize,
     /// Codebooks, `m * cb * dsub` flat (subspace-major).
     codebooks: Vec<f32>,
+    /// Cached squared norms of every codeword (`m * cb`, subspace-major) —
+    /// the `‖c‖²` terms of the GEMM-formulated LUT build. Kept in sync
+    /// with `codebooks` automatically: construction computes it and
+    /// [`ProductQuantizer::update_codebook`] re-syncs the mutated
+    /// subspace on exit.
+    cb_norms: Vec<f32>,
 }
 
 impl ProductQuantizer {
@@ -83,12 +89,14 @@ impl ProductQuantizer {
             dst.copy_from_slice(km.centroids.as_flat());
         }
 
+        let cb_norms = crate::kernels::row_norms_f32(&codebooks, dsub);
         ProductQuantizer {
             dim,
             m: params.m,
             cb: params.cb,
             dsub,
             codebooks,
+            cb_norms,
         }
     }
 
@@ -96,13 +104,25 @@ impl ProductQuantizer {
     pub fn from_codebooks(dim: usize, m: usize, cb: usize, codebooks: Vec<f32>) -> Self {
         let dsub = dim.div_ceil(m);
         assert_eq!(codebooks.len(), m * cb * dsub);
+        let cb_norms = crate::kernels::row_norms_f32(&codebooks, dsub);
         ProductQuantizer {
             dim,
             m,
             cb,
             dsub,
             codebooks,
+            cb_norms,
         }
+    }
+
+    /// Recompute the cached codeword norms of every subspace.
+    pub fn refresh_codebook_norms(&mut self) {
+        self.cb_norms = crate::kernels::row_norms_f32(&self.codebooks, self.dsub);
+    }
+
+    /// Cached squared codeword norms, `m * cb` flat (subspace-major).
+    pub fn codebook_norms(&self) -> &[f32] {
+        &self.cb_norms
     }
 
     /// Codebook of subspace `s`: `cb * dsub` flat.
@@ -111,9 +131,17 @@ impl ProductQuantizer {
         &self.codebooks[s * self.cb * self.dsub..(s + 1) * self.cb * self.dsub]
     }
 
-    /// Mutable codebook of subspace `s` (DPQ refinement hooks in here).
-    pub fn codebook_mut(&mut self, s: usize) -> &mut [f32] {
-        &mut self.codebooks[s * self.cb * self.dsub..(s + 1) * self.cb * self.dsub]
+    /// Mutate the codebook of subspace `s` through a closure (DPQ
+    /// refinement hooks in here). Scoping the mutation lets the quantizer
+    /// re-sync that subspace's cached codeword norms on exit, so the
+    /// GEMM-formulated LUT build can never observe a stale `‖c‖²` cache.
+    pub fn update_codebook<R>(&mut self, s: usize, f: impl FnOnce(&mut [f32]) -> R) -> R {
+        let span = self.cb * self.dsub;
+        let r = f(&mut self.codebooks[s * span..(s + 1) * span]);
+        let norms =
+            crate::kernels::row_norms_f32(&self.codebooks[s * span..(s + 1) * span], self.dsub);
+        self.cb_norms[s * self.cb..(s + 1) * self.cb].copy_from_slice(&norms);
+        r
     }
 
     /// All codebooks flat (`m * cb * dsub`).
@@ -139,9 +167,9 @@ impl ProductQuantizer {
     /// Encode one vector into `m` codeword indices.
     ///
     /// Nearest-codeword distances use the blocked *exact* row kernel
-    /// (`kernels::l2_sq_rows`), not the norm decomposition: codebooks are
-    /// mutated in place by the DPQ refinement, so cached norms could go
-    /// stale, and the argmin must match the scalar reference exactly.
+    /// (`kernels::l2_sq_rows`), not the norm decomposition: the argmin
+    /// must match the scalar reference exactly, and cancellation under the
+    /// decomposition could flip it on near-ties.
     pub fn encode(&self, v: &[f32]) -> Vec<u16> {
         assert_eq!(v.len(), self.dim);
         let mut code = Vec::with_capacity(self.m);
@@ -187,20 +215,75 @@ impl ProductQuantizer {
     }
 
     /// Build the ADC lookup table for a query (or residual): `m * cb`
-    /// partial squared distances. This is the LC phase, blocked per
-    /// subspace: one call of the exact row kernel fills a whole
-    /// subspace-major LUT row sequentially.
+    /// partial squared distances. This is the LC phase.
+    ///
+    /// Delegates to the same GEMM-formulated core as [`Self::lut_batch`]
+    /// with a one-query block, so a `lut()` row is bit-identical to the
+    /// corresponding `lut_batch` row by construction.
     pub fn lut(&self, q: &[f32]) -> Vec<f32> {
         assert_eq!(q.len(), self.dim);
-        let mut lut = Vec::with_capacity(self.m * self.cb);
-        let mut buf = vec![0.0f32; self.dsub];
-        let mut row = Vec::with_capacity(self.cb);
-        for s in 0..self.m {
-            extract_sub(q, s, self.dsub, &mut buf);
-            crate::kernels::l2_sq_rows(&buf, self.codebook(s), self.dsub, &mut row);
-            lut.extend_from_slice(&row);
+        let mut out = Vec::new();
+        self.lut_batch_into(q, 1, &mut out);
+        out
+    }
+
+    /// Batched LUT construction: one `m * cb` row per query, `nq * m * cb`
+    /// flat. The paper's LC phase for a whole query (or residual) block.
+    ///
+    /// Formulated as per-subspace GEMMs against the codebook: for subspace
+    /// `s`, the cross terms for all queries are one `Q_s · C_sᵀ` product
+    /// (tiled `linalg` micro-kernel over the borrowed codebook), corrected
+    /// by the cached codeword norms and the per-query subvector norms —
+    /// `‖q_s − c_j‖² = ‖q_s‖² − 2·q_s·c_j + ‖c_j‖²`. The codebook streams
+    /// once per *block* instead of once per query, amortizing exactly like
+    /// cluster locating amortizes the centroid table.
+    ///
+    /// Because the tiled GEMM's per-element accumulation order is
+    /// independent of the batch width (see `linalg` docs), every row is
+    /// bit-identical to a per-query [`Self::lut`] call.
+    pub fn lut_batch(&self, queries: &VecSet<f32>) -> Vec<f32> {
+        assert_eq!(queries.dim(), self.dim);
+        let mut out = Vec::new();
+        self.lut_batch_into(queries.as_flat(), queries.len(), &mut out);
+        out
+    }
+
+    /// Shared core of [`Self::lut`] / [`Self::lut_batch`]: `nq` queries in
+    /// a flat `nq * dim` slab, LUT rows written to `out` (`nq * m * cb`).
+    fn lut_batch_into(&self, qs_flat: &[f32], nq: usize, out: &mut Vec<f32>) {
+        debug_assert_eq!(qs_flat.len(), nq * self.dim);
+        let (m, cb, dsub) = (self.m, self.cb, self.dsub);
+        let lut_w = m * cb;
+        out.clear();
+        out.resize(nq * lut_w, 0.0);
+        if nq == 0 {
+            return;
         }
-        lut
+        let mut qsub = vec![0.0f32; nq * dsub];
+        let mut qnorm = vec![0.0f32; nq];
+        for s in 0..m {
+            // subvector slab of this subspace (zero-padded) + its norms
+            for (qi, q) in qs_flat.chunks_exact(self.dim).enumerate() {
+                extract_sub(q, s, dsub, &mut qsub[qi * dsub..(qi + 1) * dsub]);
+            }
+            for (n, sub) in qnorm.iter_mut().zip(qsub.chunks_exact(dsub)) {
+                *n = crate::kernels::norm_sq_f32(sub);
+            }
+            // cross terms: Q_s (nq x dsub) · C_sᵀ (dsub x cb) straight into
+            // the LUT slots of subspace s (row stride = whole LUT row)
+            let qv = crate::linalg::MatrixView::new(nq, dsub, &qsub);
+            let cv = crate::linalg::MatrixView::new(cb, dsub, self.codebook(s));
+            qv.matmul_t_into(&cv, &mut out[s * cb..], lut_w);
+            // norm corrections, clamped at zero (cancellation can produce
+            // tiny negatives for codewords nearly equal to the subvector)
+            let cn = &self.cb_norms[s * cb..(s + 1) * cb];
+            for (qi, &qn) in qnorm.iter().enumerate() {
+                let row = &mut out[qi * lut_w + s * cb..qi * lut_w + (s + 1) * cb];
+                for (slot, &cnj) in row.iter_mut().zip(cn.iter()) {
+                    *slot = (qn + cnj - 2.0 * *slot).max(0.0);
+                }
+            }
+        }
     }
 
     /// ADC distance: sum of `m` gathered LUT entries. This is the DC phase.

@@ -26,10 +26,15 @@ use rayon::prelude::*;
 /// stand-in).
 ///
 /// The per-query pipeline runs entirely on the blocked kernel layer
-/// (`ann_core::kernels`): cluster locating uses the fused
-/// norm-decomposition batch kernel with the index's cached centroid norms,
-/// and the list scans use the 8-wide blocked ADC kernel with top-k bound
-/// pruning — the same structure Faiss's `IndexIVFPQ` uses on AVX2.
+/// (`ann_core::kernels` + the tiled GEMM in `ann_core::linalg`): cluster
+/// locating uses the fused norm-decomposition batch kernel with the
+/// index's cached centroid norms, ADC lookup tables for all probed
+/// clusters of a query are built in one GEMM-formulated `lut_batch` pass
+/// over the codebook, and the list scans use the 8-wide blocked ADC kernel
+/// with top-k bound pruning — the same structure Faiss's `IndexIVFPQ` uses
+/// on AVX2. Batch search stays per-query-parallel (OpenMP-style) so its
+/// results are bit-identical to single-query `IvfPqIndex::search` calls,
+/// which `tests/baseline_parity.rs` pins down.
 pub struct CpuIvfPq {
     /// The underlying index.
     pub index: IvfPqIndex,

@@ -1,0 +1,179 @@
+//! Host-side GEMM + batched-LUT micro-benchmarks.
+//!
+//! Two comparisons, at paper-like shapes:
+//!
+//! * **naive vs tiled matmul** — the cluster-locating product
+//!   `C (nlist x dim) · Q_blkᵀ (dim x 32)` through the old i-k-j loop
+//!   (`Matrix::matmul_naive`, operands pre-built so the number measures
+//!   the matmul alone) against the packed, register-blocked micro-kernel
+//!   GEMM over borrowed views (`MatrixView::matmul_t`). nlist = 1024/4096,
+//!   dim = 96/128 — the paper's SIFT/DEEP coarse-codebook range.
+//! * **per-query vs batched LUT** — `ProductQuantizer::lut` called once
+//!   per query against one `lut_batch` call over the block, at m = 16/32,
+//!   cb = 256, block = 32/64. Both run the same GEMM-formulated core (the
+//!   rows are bit-identical); the batched form amortizes the codebook
+//!   stream and runs the GEMM at full micro-kernel width instead of one
+//!   column at a time.
+//!
+//! Running this bench (`cargo bench --bench gemm`) writes
+//! `BENCH_gemm.json` at the workspace root with the medians, the speedups
+//! and the measuring host's core count, so successive PRs accumulate a
+//! perf trajectory.
+
+use ann_core::linalg::{Matrix, MatrixView};
+use ann_core::pq::ProductQuantizer;
+use ann_core::vector::VecSet;
+use criterion::Criterion;
+
+/// Queries per CL GEMM block (matches `drim_ann::kernels::cl::QUERY_BLOCK`).
+const QUERY_BLOCK: usize = 32;
+
+/// Codebook entries per subspace in the LUT comparison (the paper's Faiss
+/// default).
+const CB: usize = 256;
+
+fn pseudo_f32(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / u32::MAX as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// The CL-shaped matmul pairs: (nlist, dim).
+const GEMM_SHAPES: [(usize, usize); 4] = [(1024, 96), (1024, 128), (4096, 96), (4096, 128)];
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    for &(nlist, dim) in &GEMM_SHAPES {
+        let cent = pseudo_f32(nlist * dim, 3 + nlist as u64);
+        let q = pseudo_f32(QUERY_BLOCK * dim, 5 + dim as u64);
+
+        // old path: the i-k-j loop over owned matrices. Operands are
+        // pre-built outside the timed loop (cl::run also paid a clone +
+        // transpose per block, but the reported speedup should measure the
+        // matmul alone, not removed copy overhead)
+        let cmat = Matrix::from_rows(nlist, dim, cent.clone());
+        let qt = Matrix::from_rows(QUERY_BLOCK, dim, q.clone()).transpose();
+        g.bench_function(format!("naive_{nlist}x{dim}x{QUERY_BLOCK}"), |b| {
+            b.iter(|| std::hint::black_box(cmat.matmul_naive(&qt).data[0]))
+        });
+
+        // new path: borrowed views, transpose absorbed into packing
+        g.bench_function(format!("tiled_{nlist}x{dim}x{QUERY_BLOCK}"), |b| {
+            b.iter(|| {
+                let cv = MatrixView::new(nlist, dim, &cent);
+                let qv = MatrixView::new(QUERY_BLOCK, dim, &q);
+                std::hint::black_box(cv.matmul_t(&qv).data[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The LUT comparison points: (m, block).
+const LUT_SHAPES: [(usize, usize); 3] = [(16, 32), (16, 64), (32, 32)];
+
+fn bench_lut(c: &mut Criterion) {
+    let dim = 128usize;
+    let mut g = c.benchmark_group("lut");
+    for &(m, block) in &LUT_SHAPES {
+        let dsub = dim.div_ceil(m);
+        // random codebooks are representative: the LUT build's cost is
+        // shape-driven, not value-driven
+        let pq = ProductQuantizer::from_codebooks(dim, m, CB, pseudo_f32(m * CB * dsub, 11));
+        let queries = VecSet::from_flat(dim, pseudo_f32(block * dim, 13 + m as u64));
+
+        g.bench_function(format!("per_query_m{m}_b{block}"), |b| {
+            b.iter(|| {
+                let mut last = 0.0f32;
+                for qi in 0..queries.len() {
+                    last = *pq.lut(queries.get(qi)).last().unwrap();
+                }
+                std::hint::black_box(last)
+            })
+        });
+        g.bench_function(format!("batched_m{m}_b{block}"), |b| {
+            b.iter(|| std::hint::black_box(*pq.lut_batch(&queries).last().unwrap()))
+        });
+    }
+    g.finish();
+}
+
+/// Median time of `id`, if measured.
+fn median(c: &Criterion, id: &str) -> Option<f64> {
+    c.results().iter().find(|s| s.id == id).map(|s| s.median_ns)
+}
+
+/// Speedup of `fast` over `slow` (slow median / fast median).
+fn speedup(c: &Criterion, slow: &str, fast: &str) -> Option<f64> {
+    Some(median(c, slow)? / median(c, fast)?)
+}
+
+fn write_json(c: &Criterion) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json");
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let fmt = |v: Option<f64>| {
+        v.map(|x| format!("{x:.2}"))
+            .unwrap_or_else(|| "null".into())
+    };
+
+    let mut gemm_rows = String::new();
+    for (i, &(nlist, dim)) in GEMM_SHAPES.iter().enumerate() {
+        if i > 0 {
+            gemm_rows.push_str(",\n");
+        }
+        let s = speedup(
+            c,
+            &format!("gemm/naive_{nlist}x{dim}x{QUERY_BLOCK}"),
+            &format!("gemm/tiled_{nlist}x{dim}x{QUERY_BLOCK}"),
+        );
+        gemm_rows.push_str(&format!("    \"{nlist}x{dim}x{QUERY_BLOCK}\": {}", fmt(s)));
+    }
+
+    let mut lut_rows = String::new();
+    for (i, &(m, block)) in LUT_SHAPES.iter().enumerate() {
+        if i > 0 {
+            lut_rows.push_str(",\n");
+        }
+        let s = speedup(
+            c,
+            &format!("lut/per_query_m{m}_b{block}"),
+            &format!("lut/batched_m{m}_b{block}"),
+        );
+        lut_rows.push_str(&format!("    \"m{m}_b{block}\": {}", fmt(s)));
+    }
+
+    let mut rows = String::new();
+    for (i, s) in c.results().iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}}}",
+            s.id, s.median_ns
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"gemm\",\n  \"host_cores\": {host_cores},\n  \"shapes\": {{\"query_block\": {QUERY_BLOCK}, \"lut_cb\": {CB}, \"lut_dim\": 128}},\n  \"speedup_tiled_over_naive_matmul\": {{\n{gemm_rows}\n  }},\n  \"speedup_batched_over_per_query_lut\": {{\n{lut_rows}\n  }},\n  \"results\": [\n{rows}\n  ]\n}}\n"
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_gemm(&mut c);
+    bench_lut(&mut c);
+    c.final_summary();
+    write_json(&c);
+}

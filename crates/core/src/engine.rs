@@ -29,6 +29,12 @@ use upmem_sim::system::PimSystem;
 use upmem_sim::tasklet::LockStats;
 use upmem_sim::PimArch;
 
+/// (query, cluster) groups per bulk-LC wave in the per-DPU loop: one
+/// [`lc::run_bulk`] call builds this many LUTs back-to-back, so the
+/// quantized codebook streams once per wave instead of once per group.
+/// Bounds the wave's LUT slab to `LC_GROUP_BLOCK * m * cb` entries.
+const LC_GROUP_BLOCK: usize = 8;
+
 /// Per-slice PIM-resident payload: ids + codes, sliced out of the IVF lists
 /// according to the layout plan.
 #[derive(Debug, Clone, Default)]
@@ -165,15 +171,12 @@ impl DrimEngine {
             .map(|&v| rquant.encode(v) as u8)
             .collect();
 
-        // Heat profile from sample traffic.
+        // Heat profile from sample traffic (one GEMM-batched CL pass over
+        // the whole profile set instead of a per-query scan).
         let profile = profile_queries.map(|qs| {
             let mut p = HeatProfile::default();
-            for qi in 0..qs.len() {
-                let probed: Vec<u32> = ivf
-                    .locate(qs.get(qi), cfg.index.nprobe)
-                    .into_iter()
-                    .map(|(c, _)| c)
-                    .collect();
+            for probes in ivf.locate_batch(qs, cfg.index.nprobe) {
+                let probed: Vec<u32> = probes.into_iter().map(|(c, _)| c).collect();
                 p.record(&probed);
             }
             p.probes.resize(cfg.index.nlist, 0);
@@ -286,10 +289,12 @@ impl DrimEngine {
         let ndpus = self.system.len();
         self.system.reset_meters();
 
-        // --- CL (host) ---
+        // --- CL (host): borrowed centroid table + the index's cached
+        // norms — no per-batch norm recompute or table clone ---
         let cl_out = cl::run(
             queries,
             &self.ivf.coarse,
+            &self.ivf.coarse_norms,
             self.cfg.index.nprobe,
             &self.shape,
             &self.host,
@@ -416,86 +421,104 @@ impl DrimEngine {
 
         // group tasks by (query, cluster) so RC + LC run once per group —
         // the data reuse the allocation exchange pass enables
-        let mut groups: std::collections::BTreeMap<(u32, u32), Vec<usize>> = Default::default();
+        let mut group_map: std::collections::BTreeMap<(u32, u32), Vec<usize>> = Default::default();
         for t in tasks {
             let cluster = self.layout.slices[t.slice].cluster;
-            groups.entry((t.query, cluster)).or_default().push(t.slice);
+            group_map
+                .entry((t.query, cluster))
+                .or_default()
+                .push(t.slice);
         }
+        let groups: Vec<((u32, u32), Vec<usize>)> = group_map.into_iter().collect();
 
         let mut heaps: std::collections::BTreeMap<u32, BoundedMaxHeap> = Default::default();
         let mut lock = LockStats::default();
         let mut residual_q = Vec::new();
-        let mut lut = Vec::new();
+        let mut residuals = Vec::new();
+        let mut luts = Vec::new();
         let mut scanned = Vec::new();
         let mut push_bytes = 0u64;
         let mut gather_bytes = 0u64;
 
-        for ((q, cluster), slices) in groups {
-            let query = queries.get(q as usize);
-            let centroid = self.dpu_centroids.get(cluster as usize);
-            push_bytes += (query.len() * 4 + 8 * slices.len()) as u64;
+        // Groups run in LC_GROUP_BLOCK-sized waves: RC fills a residual
+        // slab, one bulk LC builds every LUT of the wave (the codebook
+        // streams once per wave instead of once per group), then DC + TS
+        // consume the LUTs group by group. Charges are identical to the
+        // per-group loop — only the build order is blocked.
+        for wave in groups.chunks(LC_GROUP_BLOCK) {
+            residuals.clear();
+            for ((q, cluster), slices) in wave {
+                let query = queries.get(*q as usize);
+                let centroid = self.dpu_centroids.get(*cluster as usize);
+                push_bytes += (query.len() * 4 + 8 * slices.len()) as u64;
 
-            // RC
-            rc::run(
-                &ctx,
-                meter.phase_mut(Phase::Rc),
-                query,
-                centroid,
-                &self.rquant,
-                &mut residual_q,
-            );
-            // zero-pad residual to m * dsub (PQ pads internally too)
-            residual_q.resize(m * dsub, self.rquant.encode(0.0) as u8);
+                // RC
+                rc::run(
+                    &ctx,
+                    meter.phase_mut(Phase::Rc),
+                    query,
+                    centroid,
+                    &self.rquant,
+                    &mut residual_q,
+                );
+                // zero-pad residual to m * dsub (PQ pads internally too)
+                residual_q.resize(m * dsub, self.rquant.encode(0.0) as u8);
+                residuals.extend_from_slice(&residual_q);
+            }
 
-            // LC
-            lc::run(
+            // LC (bulk over the wave)
+            lc::run_bulk(
                 &ctx,
                 meter.phase_mut(Phase::Lc),
-                &residual_q,
+                &residuals,
+                wave.len(),
                 &self.qcodebooks,
                 m,
                 cb,
                 dsub,
                 sqt.as_mut(),
-                &mut lut,
+                &mut luts,
             );
 
             // DC + TS per slice
-            let heap = heaps.entry(q).or_insert_with(|| BoundedMaxHeap::new(k));
-            for &si in &slices {
-                let data = &self.slice_data[si];
-                let bound = match self.cfg.lock_policy {
-                    upmem_sim::tasklet::LockPolicy::Forwarding => {
-                        let b = heap.bound();
-                        if b.is_finite() {
-                            b as u64
-                        } else {
-                            u64::MAX
+            for (gi, ((q, _cluster), slices)) in wave.iter().enumerate() {
+                let lut = &luts[gi * m * cb..(gi + 1) * m * cb];
+                let heap = heaps.entry(*q).or_insert_with(|| BoundedMaxHeap::new(k));
+                for &si in slices {
+                    let data = &self.slice_data[si];
+                    let bound = match self.cfg.lock_policy {
+                        upmem_sim::tasklet::LockPolicy::Forwarding => {
+                            let b = heap.bound();
+                            if b.is_finite() {
+                                b as u64
+                            } else {
+                                u64::MAX
+                            }
                         }
-                    }
-                    upmem_sim::tasklet::LockPolicy::LockAlways => u64::MAX,
-                };
-                dc::run(
-                    &ctx,
-                    meter.phase_mut(Phase::Dc),
-                    &data.codes,
-                    m,
-                    cb,
-                    &lut,
-                    bound,
-                    &mut scanned,
-                );
-                let s = ts::run(
-                    &ctx,
-                    meter.phase_mut(Phase::Ts),
-                    &scanned,
-                    &data.ids,
-                    heap,
-                    k,
-                    self.cfg.lock_policy,
-                );
-                lock.locked_updates += s.locked_updates;
-                lock.pruned += s.pruned;
+                        upmem_sim::tasklet::LockPolicy::LockAlways => u64::MAX,
+                    };
+                    dc::run(
+                        &ctx,
+                        meter.phase_mut(Phase::Dc),
+                        &data.codes,
+                        m,
+                        cb,
+                        lut,
+                        bound,
+                        &mut scanned,
+                    );
+                    let s = ts::run(
+                        &ctx,
+                        meter.phase_mut(Phase::Ts),
+                        &scanned,
+                        &data.ids,
+                        heap,
+                        k,
+                        self.cfg.lock_policy,
+                    );
+                    lock.locked_updates += s.locked_updates;
+                    lock.pruned += s.pruned;
+                }
             }
         }
 

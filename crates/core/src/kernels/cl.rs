@@ -9,17 +9,25 @@
 //! The compute is formulated exactly the way the cost model charges it: a
 //! *blocked GEMM*. Query-vs-centroid squared distances decompose as
 //! `‖q‖² − 2·q·c + ‖c‖²`; the cross terms for a block of [`QUERY_BLOCK`]
-//! queries are one matrix product `C · Q_blkᵀ` (workspace `linalg` matmul),
-//! and the norms are rank-1 corrections cached once per batch. Orienting
-//! the product with the *centroid table as the left operand* matters: the
-//! matmul's i-k-j loop then streams the `nlist x dim` table exactly once
-//! per block while the `dim x QUERY_BLOCK` transposed query slab stays
-//! cache-resident — the amortization the cost model's blocked-GEMM charge
-//! assumes. Measured host work therefore matches what the model books.
+//! queries are one tiled matrix product `C · Q_blkᵀ` (the packed,
+//! register-blocked micro-kernel GEMM in `ann_core::linalg` — see its
+//! module docs for the MR x NR / KC-MC-NC tiling scheme), and the norms
+//! are rank-1 corrections. Both operands are *borrowed*
+//! (`linalg::MatrixView` over the caller's flat slabs): the centroid table
+//! is never cloned, its norms arrive precomputed from the index's
+//! `coarse_norms` cache, and the query-slab transpose is absorbed into the
+//! GEMM's packing pass. Orienting the product with the centroid table as
+//! the left operand still matters: the packed table streams through the
+//! micro-kernel exactly once per block while the `QUERY_BLOCK x dim` query
+//! panel stays cache-resident — the amortization the cost model's
+//! blocked-GEMM charge assumes. The tiling only raises the achieved
+//! FLOP rate (register-resident accumulator tiles instead of a streaming
+//! i-k-j loop); the work and traffic the model books per Eq. 1 are
+//! unchanged, so measured host work still matches the charge.
 
 use crate::perf_model::WorkloadShape;
 use ann_core::kernels;
-use ann_core::linalg::Matrix;
+use ann_core::linalg::MatrixView;
 use ann_core::topk::{BoundedMaxHeap, Neighbor};
 use ann_core::vector::VecSet;
 use rayon::prelude::*;
@@ -41,20 +49,30 @@ pub struct ClOutput {
 }
 
 /// Locate the `nprobe` nearest coarse centroids for every query.
+///
+/// `centroid_norms` are the cached `‖c‖²` terms (the index's
+/// `coarse_norms` field) — they are *not* recomputed here, and the
+/// centroid table is used in place through a borrowed view, so a batch
+/// costs no per-call copies of index state.
 pub fn run(
     queries: &VecSet<f32>,
     centroids: &VecSet<f32>,
+    centroid_norms: &[f32],
     nprobe: usize,
     shape: &WorkloadShape,
     host: &ProcModel,
 ) -> ClOutput {
+    assert_eq!(
+        centroid_norms.len(),
+        centroids.len(),
+        "centroid norm cache out of sync with the centroid table"
+    );
     let nprobe = nprobe.min(centroids.len()).max(1);
     let dim = centroids.dim();
     let nlist = centroids.len();
 
-    // ‖c‖² and the centroid-table matrix cached once per batch.
-    let cnorms = kernels::row_norms_f32(centroids.as_flat(), dim);
-    let cmat = Matrix::from_rows(nlist, dim, centroids.as_flat().to_vec());
+    let cnorms = centroid_norms;
+    let cmat = MatrixView::new(nlist, dim, centroids.as_flat());
 
     let nblocks = queries.len().div_ceil(QUERY_BLOCK);
     let per_block: Vec<Vec<Vec<u32>>> = (0..nblocks)
@@ -64,10 +82,10 @@ pub fn run(
             let hi = (lo + QUERY_BLOCK).min(queries.len());
             let rows = hi - lo;
             // nlist x rows cross terms in one blocked product; the left
-            // operand (the big centroid table) streams once per block
-            let qt = Matrix::from_rows(rows, dim, queries.as_flat()[lo * dim..hi * dim].to_vec())
-                .transpose();
-            let dots = cmat.matmul(&qt);
+            // operand (the big centroid table) streams once per block and
+            // the query slab's transpose is absorbed into GEMM packing
+            let qv = MatrixView::new(rows, dim, &queries.as_flat()[lo * dim..hi * dim]);
+            let dots = cmat.matmul_t(&qv);
             (0..rows)
                 .map(|r| {
                     let qn = kernels::norm_sq_f32(queries.get(lo + r));
@@ -111,6 +129,10 @@ mod tests {
         VecSet::from_flat(2, vec![0.0, 0.0, 10.0, 0.0, 0.0, 10.0, 10.0, 10.0])
     }
 
+    fn cnorms(c: &VecSet<f32>) -> Vec<f32> {
+        kernels::row_norms_f32(c.as_flat(), c.dim())
+    }
+
     fn shape(q: usize) -> WorkloadShape {
         WorkloadShape::new(
             1000,
@@ -130,9 +152,11 @@ mod tests {
     #[test]
     fn finds_nearest_clusters_in_order() {
         let queries = VecSet::from_flat(2, vec![1.0f32, 1.0]);
+        let cents = centroids();
         let out = run(
             &queries,
-            &centroids(),
+            &cents,
+            &cnorms(&cents),
             2,
             &shape(1),
             &procs::xeon_silver_4216(),
@@ -145,9 +169,11 @@ mod tests {
     #[test]
     fn nprobe_clamped_to_nlist() {
         let queries = VecSet::from_flat(2, vec![5.0f32, 5.0]);
+        let cents = centroids();
         let out = run(
             &queries,
-            &centroids(),
+            &cents,
+            &cnorms(&cents),
             100,
             &shape(1),
             &procs::xeon_silver_4216(),
@@ -164,8 +190,10 @@ mod tests {
             q64.push(&[1.0, 1.0]);
         }
         let host = procs::xeon_silver_4216();
-        let t1 = run(&q1, &centroids(), 2, &shape(1), &host).host_s;
-        let t64 = run(&q64, &centroids(), 2, &shape(1), &host).host_s;
+        let cents = centroids();
+        let cn = cnorms(&cents);
+        let t1 = run(&q1, &cents, &cn, 2, &shape(1), &host).host_s;
+        let t64 = run(&q64, &cents, &cn, 2, &shape(1), &host).host_s;
         assert!(t64 > t1, "t64 {t64} t1 {t1}");
         assert!(t64 < 64.0 * t1, "amortization missing: {}", t64 / t1);
     }

@@ -90,6 +90,8 @@ fn charge_nonsquare(ctx: &KernelCtx<'_>, meter: &mut PhaseMeter, m: usize, cb: u
 /// path stays per-element because every lookup updates the table's
 /// hit/spill counters and residency-dependent charges. Both paths share
 /// [`charge`]'s accounting, so functional and trace totals cannot drift.
+///
+/// One-group wrapper around [`run_bulk`] (identical output and charges).
 #[allow(clippy::too_many_arguments)]
 pub fn run(
     ctx: &KernelCtx<'_>,
@@ -102,41 +104,77 @@ pub fn run(
     sqt: Option<&mut Sqt>,
     lut: &mut Vec<u32>,
 ) {
-    debug_assert_eq!(codebooks.len(), m * cb * dsub);
-    debug_assert!(residual.len() >= m * dsub);
+    run_bulk(ctx, meter, residual, 1, codebooks, m, cb, dsub, sqt, lut);
+}
 
-    lut.clear();
-    lut.reserve(m * cb);
+/// Bulk LUT construction for `ngroups` residuals against one codebook —
+/// the batched form of [`run`] the engine uses for its per-DPU (query,
+/// cluster) groups.
+///
+/// `residuals` is `ngroups * m * dsub` flat (one padded residual per
+/// group); `luts` receives `ngroups * m * cb` entries, group-major. The
+/// codeword loop runs *outside* the group loop, so each codeword streams
+/// from (simulated) MRAM once per group block instead of once per group —
+/// the same amortization the host-side `lut_batch` GEMM gets from blocking
+/// queries. Integer distance sums are associative, so entries are
+/// bit-identical to per-group [`run`] calls, and the charges are exactly
+/// `ngroups` times one [`charge`] (the accounting trace mode replays).
+#[allow(clippy::too_many_arguments)]
+pub fn run_bulk(
+    ctx: &KernelCtx<'_>,
+    meter: &mut PhaseMeter,
+    residuals: &[u8],
+    ngroups: usize,
+    codebooks: &[u8],
+    m: usize,
+    cb: usize,
+    dsub: usize,
+    sqt: Option<&mut Sqt>,
+    luts: &mut Vec<u32>,
+) {
+    debug_assert_eq!(codebooks.len(), m * cb * dsub);
+    debug_assert!(residuals.len() >= ngroups * m * dsub);
+
+    let lut_w = m * cb;
+    luts.clear();
+    luts.resize(ngroups * lut_w, 0);
     match sqt {
         None => {
-            // blocked build: one unrolled subvector distance per entry
+            // blocked build: one unrolled subvector distance per entry,
+            // codeword hot across the whole group block
             for s in 0..m {
-                let r_sub = &residual[s * dsub..(s + 1) * dsub];
                 let cb_block = &codebooks[s * cb * dsub..(s + 1) * cb * dsub];
-                lut.extend(
-                    cb_block
-                        .chunks_exact(dsub)
-                        .map(|cw| ann_core::kernels::l2_sq_u8(r_sub, cw)),
-                );
+                for (j, cw) in cb_block.chunks_exact(dsub).enumerate() {
+                    for g in 0..ngroups {
+                        let base = g * m * dsub;
+                        let r_sub = &residuals[base + s * dsub..base + (s + 1) * dsub];
+                        luts[g * lut_w + s * cb + j] = ann_core::kernels::l2_sq_u8(r_sub, cw);
+                    }
+                }
             }
-            meter.charge_mul((m * cb * dsub) as u64, ctx.costs);
+            meter.charge_mul((ngroups * m * cb * dsub) as u64, ctx.costs);
         }
         Some(table) => {
             for s in 0..m {
-                let r_sub = &residual[s * dsub..(s + 1) * dsub];
-                for j in 0..cb {
-                    let cw = &codebooks[(s * cb + j) * dsub..(s * cb + j + 1) * dsub];
-                    let mut acc = 0u64;
-                    for (&r, &c) in r_sub.iter().zip(cw.iter()) {
-                        let diff = r as i32 - c as i32;
-                        acc += table.square(diff, meter, ctx.costs, ctx.dma_burst);
+                let cb_block = &codebooks[s * cb * dsub..(s + 1) * cb * dsub];
+                for (j, cw) in cb_block.chunks_exact(dsub).enumerate() {
+                    for g in 0..ngroups {
+                        let base = g * m * dsub;
+                        let r_sub = &residuals[base + s * dsub..base + (s + 1) * dsub];
+                        let mut acc = 0u64;
+                        for (&r, &c) in r_sub.iter().zip(cw.iter()) {
+                            let diff = r as i32 - c as i32;
+                            acc += table.square(diff, meter, ctx.costs, ctx.dma_burst);
+                        }
+                        luts[g * lut_w + s * cb + j] = acc as u32;
                     }
-                    lut.push(acc as u32);
                 }
             }
         }
     }
-    charge_nonsquare(ctx, meter, m, cb, dsub);
+    for _ in 0..ngroups {
+        charge_nonsquare(ctx, meter, m, cb, dsub);
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +269,62 @@ mod tests {
             with_mul.cycles
         );
         assert!(with_sqt.wram_read > with_mul.wram_read);
+    }
+
+    #[test]
+    fn bulk_build_matches_per_group_runs() {
+        // three distinct residuals against one codebook: bulk LUTs, bulk
+        // charges and bulk SQT counters must all equal per-group run()s
+        let placement = WramPlacement::none();
+        let costs = IsaCosts::upmem();
+        let c = ctx(&placement, &costs);
+        let (m, cb, dsub) = (2usize, 4usize, 3usize);
+        let codebooks: Vec<u8> = (0..m * cb * dsub).map(|i| (i * 37 % 256) as u8).collect();
+        let residuals: Vec<u8> = (0..3 * m * dsub).map(|i| (i * 11 % 256) as u8).collect();
+
+        for use_sqt in [false, true] {
+            let mut bulk_meter = PhaseMeter::default();
+            let mut bulk_sqt = use_sqt.then(Sqt::for_u8);
+            let mut bulk = Vec::new();
+            run_bulk(
+                &c,
+                &mut bulk_meter,
+                &residuals,
+                3,
+                &codebooks,
+                m,
+                cb,
+                dsub,
+                bulk_sqt.as_mut(),
+                &mut bulk,
+            );
+
+            let mut per_meter = PhaseMeter::default();
+            let mut per_sqt = use_sqt.then(Sqt::for_u8);
+            let mut all = Vec::new();
+            let mut one = Vec::new();
+            for g in 0..3 {
+                run(
+                    &c,
+                    &mut per_meter,
+                    &residuals[g * m * dsub..(g + 1) * m * dsub],
+                    &codebooks,
+                    m,
+                    cb,
+                    dsub,
+                    per_sqt.as_mut(),
+                    &mut one,
+                );
+                all.extend_from_slice(&one);
+            }
+            assert_eq!(bulk, all, "sqt={use_sqt}");
+            assert_eq!(bulk_meter.cycles, per_meter.cycles, "sqt={use_sqt}");
+            assert_eq!(bulk_meter.wram_read, per_meter.wram_read);
+            if let (Some(a), Some(b)) = (&bulk_sqt, &per_sqt) {
+                assert_eq!(a.hits_wram, b.hits_wram);
+                assert_eq!(a.hits_mram, b.hits_mram);
+            }
+        }
     }
 
     #[test]

@@ -160,6 +160,134 @@ fn wide_subvectors_exercise_the_unrolled_chunks() {
 }
 
 #[test]
+fn lut_batch_rows_bit_identical_to_per_query_lut() {
+    // the batched, GEMM-formulated LUT build promises bit-parity with
+    // per-query lut() — for plain PQ and for OPQ (rotation folded in),
+    // including dims that pad (dsub not a multiple of the unroll width)
+    for (dim, m, cb) in [(16usize, 8usize, 32usize), (13, 4, 16), (96, 12, 32)] {
+        let (data, queries) = workload(1200, dim, 91 + dim as u64);
+        let pq = ann_core::pq::ProductQuantizer::train(&data, &ann_core::pq::PqParams::new(m, cb));
+        let batch = pq.lut_batch(&queries);
+        assert_eq!(batch.len(), queries.len() * m * cb);
+        for qi in 0..queries.len() {
+            let single = pq.lut(queries.get(qi));
+            let row = &batch[qi * m * cb..(qi + 1) * m * cb];
+            for (j, (&a, &b)) in row.iter().zip(single.iter()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "dim {dim} query {qi} entry {j}: {a} vs {b}"
+                );
+            }
+        }
+    }
+    // OPQ: rotate-then-lut must batch bit-identically too
+    let (data, queries) = workload(800, 16, 131);
+    let opq = ann_core::opq::Opq::train(&data, &ann_core::opq::OpqParams::new(8, 16));
+    let batch = opq.lut_batch(&queries);
+    for qi in 0..queries.len() {
+        let single = opq.lut(queries.get(qi));
+        let row = &batch[qi * single.len()..(qi + 1) * single.len()];
+        assert!(
+            row.iter()
+                .zip(single.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "opq query {qi}"
+        );
+    }
+}
+
+#[test]
+fn adc_results_unchanged_by_batched_luts() {
+    // end to end: scanning a probed cluster with a lut_batch row gives the
+    // same adc() distances — and the same search top-k — as per-query luts
+    let (data, queries) = workload(3000, 16, 77);
+    let idx = IvfPqIndex::build(&data, &IvfPqParams::new(48).m(8).cb(32));
+    let pq = idx.quant.pq();
+    let (m, cb) = (idx.params.m, idx.params.cb);
+    for qi in 0..queries.len() {
+        let q = queries.get(qi);
+        let probes = idx.locate(q, 8);
+        // residuals of the probed clusters, batched and per-query
+        let mut residuals = VecSet::new(idx.dim);
+        let mut residual = vec![0.0f32; idx.dim];
+        let mut clusters = Vec::new();
+        for &(c, _) in &probes {
+            if idx.lists[c as usize].is_empty() {
+                continue;
+            }
+            ann_core::ivf::residual_into(q, idx.coarse.get(c as usize), &mut residual);
+            residuals.push(&residual);
+            clusters.push(c);
+        }
+        let luts = idx.quant.lut_batch(&residuals);
+        for (pi, &c) in clusters.iter().enumerate() {
+            let single = idx.quant.lut(residuals.get(pi));
+            let row = &luts[pi * m * cb..(pi + 1) * m * cb];
+            let list = &idx.lists[c as usize];
+            for code in list.codes.chunks_exact(m) {
+                let a = pq.adc(row, code);
+                let b = pq.adc(&single, code);
+                assert_eq!(a.to_bits(), b.to_bits(), "query {qi} cluster {c}");
+            }
+        }
+    }
+}
+
+#[test]
+fn locate_batch_matches_per_query_locate() {
+    // the GEMM-batched CL path must probe the same clusters as the
+    // per-query fused kernel. The two associate the dot-product sum
+    // differently (8-lane tree vs ascending-k chain), so distances may
+    // differ in low-order bits and near-ULP ties may swap adjacent ranks:
+    // assert set equality plus per-rank distance agreement, and order
+    // agreement wherever ranks are separated by more than ULP noise.
+    let spec = datasets::SynthSpec::small("kernel-parity", 24, 2500, 103);
+    let data = datasets::generate(&spec);
+    // 37 queries: crosses the 32-query GEMM block with a ragged remainder
+    let queries = datasets::queries::generate_queries(
+        &spec,
+        37,
+        datasets::queries::QuerySkew::InDistribution,
+        7,
+    );
+    let idx = IvfPqIndex::build(&data, &IvfPqParams::new(40).m(8).cb(16));
+    let batch = idx.locate_batch(&queries, 7);
+    assert_eq!(batch.len(), queries.len());
+    let rel_tol = 1e-5f32;
+    for (qi, batched) in batch.iter().enumerate() {
+        let single = idx.locate(queries.get(qi), 7);
+        assert_eq!(batched.len(), single.len(), "query {qi}");
+        let set = |ps: &[(u32, f32)]| -> std::collections::BTreeSet<u32> {
+            ps.iter().map(|p| p.0).collect()
+        };
+        assert_eq!(set(batched), set(&single), "query {qi}: probe sets differ");
+        // reassociation error lives at the scale of the decomposition's
+        // operands (‖q‖² + ‖c‖²), not of the (possibly cancelled) distance
+        let qn = ann_core::kernels::norm_sq_f32(queries.get(qi));
+        for (rank, (b, s)) in batched.iter().zip(single.iter()).enumerate() {
+            let scale = (qn + idx.coarse_norms[b.0 as usize]).max(1.0);
+            assert!(
+                (b.1 - s.1).abs() / scale <= rel_tol,
+                "query {qi} rank {rank}: {} vs {}",
+                b.1,
+                s.1
+            );
+            if b.0 != s.0 {
+                // a swap is only legitimate between near-tied ranks
+                let gap = (b.1 - s.1).abs() / scale;
+                assert!(
+                    gap <= rel_tol,
+                    "query {qi} rank {rank}: ids {} vs {} without a near-tie",
+                    b.0,
+                    s.0
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn non_multiple_of_block_dims_and_lengths() {
     // dim 13 (not a multiple of 8), m 4 -> dsub 4 with padding; list
     // lengths arbitrary so the 8-wide ADC remainder path is exercised

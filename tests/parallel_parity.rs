@@ -112,9 +112,13 @@ fn cluster_locating_probes_bit_identical_across_thread_counts() {
         BitWidths::u8_regime(),
     );
     let host = upmem_sim::platform::procs::xeon_silver_4216();
-    let baseline = with_num_threads(1, || cl::run(&queries, &idx.coarse, 6, &shape, &host));
+    let baseline = with_num_threads(1, || {
+        cl::run(&queries, &idx.coarse, &idx.coarse_norms, 6, &shape, &host)
+    });
     for threads in THREAD_COUNTS {
-        let got = with_num_threads(threads, || cl::run(&queries, &idx.coarse, 6, &shape, &host));
+        let got = with_num_threads(threads, || {
+            cl::run(&queries, &idx.coarse, &idx.coarse_norms, 6, &shape, &host)
+        });
         // probed cluster ids, their order, and the per-query probe counts
         assert_eq!(got.probes, baseline.probes, "threads = {threads}");
         assert_eq!(got.host_s.to_bits(), baseline.host_s.to_bits());
@@ -140,6 +144,66 @@ fn kmeans_bit_identical_across_thread_counts() {
             ann_core::kmeans::assign(&data, &baseline.centroids)
         });
         assert_eq!(got, base_assign, "threads = {threads}");
+    }
+}
+
+#[test]
+fn tiled_gemm_bit_identical_across_thread_counts_and_batch_splits() {
+    // the GEMM itself never reads the pool width, and its per-element
+    // accumulation order is invariant to how callers split the batch —
+    // the two properties every consumer's thread parity rests on
+    use ann_core::linalg::{Matrix, MatrixView};
+    let mut state = 0x5EEDu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f32 / u32::MAX as f32) * 2.0 - 1.0
+    };
+    let (m, k, n) = (130usize, 96usize, 33usize);
+    let a = Matrix::from_rows(m, k, (0..m * k).map(|_| next()).collect());
+    let b = Matrix::from_rows(n, k, (0..n * k).map(|_| next()).collect());
+    let baseline = with_num_threads(1, || a.view().matmul_t(&b.view()));
+    for threads in THREAD_COUNTS {
+        let got = with_num_threads(threads, || a.view().matmul_t(&b.view()));
+        let bits = |mtx: &Matrix| -> Vec<u32> { mtx.data.iter().map(|x| x.to_bits()).collect() };
+        assert_eq!(bits(&got), bits(&baseline), "threads = {threads}");
+    }
+    // batch-split invariance: computing the product 5 columns at a time
+    // reproduces the full product bit-for-bit
+    for lo in (0..n).step_by(5) {
+        let hi = (lo + 5).min(n);
+        let sub = MatrixView::new(hi - lo, k, &b.data[lo * k..hi * k]);
+        let part = a.view().matmul_t(&sub);
+        for i in 0..m {
+            for j in lo..hi {
+                assert_eq!(part.get(i, j - lo).to_bits(), baseline.get(i, j).to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_lut_and_locate_bit_identical_across_thread_counts() {
+    // lut_batch and locate_batch are sequential per call, but they sit on
+    // hot paths whose callers parallelize — pin their outputs at every
+    // pool width (and, transitively, the GEMM under them)
+    let (data, queries) = workload(1500, 33);
+    let params = IvfPqParams::new(24).m(8).cb(16);
+    let idx = with_num_threads(1, || ann_core::ivf::IvfPqIndex::build(&data, &params));
+    let lut_bits = |luts: &[f32]| -> Vec<u32> { luts.iter().map(|x| x.to_bits()).collect() };
+    let base_lut = with_num_threads(1, || idx.quant.pq().lut_batch(&queries));
+    let base_probes = with_num_threads(1, || idx.locate_batch(&queries, 5));
+    for threads in THREAD_COUNTS {
+        let lut = with_num_threads(threads, || idx.quant.pq().lut_batch(&queries));
+        assert_eq!(lut_bits(&lut), lut_bits(&base_lut), "threads = {threads}");
+        let probes = with_num_threads(threads, || idx.locate_batch(&queries, 5));
+        let key = |ps: &Vec<Vec<(u32, f32)>>| -> Vec<Vec<(u32, u32)>> {
+            ps.iter()
+                .map(|p| p.iter().map(|&(c, d)| (c, d.to_bits())).collect())
+                .collect()
+        };
+        assert_eq!(key(&probes), key(&base_probes), "threads = {threads}");
     }
 }
 

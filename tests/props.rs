@@ -212,6 +212,57 @@ proptest! {
         }
     }
 
+    /// The tiled micro-kernel GEMM matches the naive i-k-j reference on
+    /// arbitrary (including ragged/degenerate) shapes, to reassociation
+    /// error measured against the |A||B| operand scale.
+    #[test]
+    fn tiled_gemm_matches_naive(m in 0usize..40, k in 0usize..40, n in 0usize..40, seed in 0u64..1000) {
+        use ann_core::linalg::Matrix;
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / u32::MAX as f32) * 20.0 - 10.0
+        };
+        let a = Matrix::from_rows(m, k, (0..m * k).map(|_| next()).collect());
+        let b = Matrix::from_rows(k, n, (0..k * n).map(|_| next()).collect());
+        let tiled = a.matmul(&b);
+        let naive = a.matmul_naive(&b);
+        let abs = |x: &Matrix| Matrix::from_rows(x.rows, x.cols, x.data.iter().map(|v| v.abs()).collect());
+        let scale = abs(&a).matmul_naive(&abs(&b));
+        for i in 0..tiled.data.len() {
+            let s = scale.data[i].max(1.0);
+            prop_assert!((tiled.data[i] - naive.data[i]).abs() / s <= 1e-5,
+                "elem {}: {} vs {}", i, tiled.data[i], naive.data[i]);
+        }
+    }
+
+    /// GEMM batch purity: any column subset of `A·Bᵀ` is bit-identical to
+    /// the same columns of the full product — the property that makes
+    /// `lut_batch` rows bit-identical to per-query `lut()` and batched CL
+    /// bit-identical to per-query locate blocks.
+    #[test]
+    fn gemm_column_subsets_are_bit_pure(m in 1usize..30, k in 1usize..40, n in 1usize..30,
+                                        lo in 0usize..30, width in 1usize..8, seed in 0u64..1000) {
+        use ann_core::linalg::{Matrix, MatrixView};
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / u32::MAX as f32) * 2.0 - 1.0
+        };
+        let a = Matrix::from_rows(m, k, (0..m * k).map(|_| next()).collect());
+        let b = Matrix::from_rows(n, k, (0..n * k).map(|_| next()).collect());
+        let full = a.view().matmul_t(&b.view());
+        let lo = lo.min(n - 1);
+        let hi = (lo + width).min(n);
+        let sub = MatrixView::new(hi - lo, k, &b.data[lo * k..hi * k]);
+        let part = a.view().matmul_t(&sub);
+        for i in 0..m {
+            for j in lo..hi {
+                prop_assert_eq!(part.get(i, j - lo).to_bits(), full.get(i, j).to_bits());
+            }
+        }
+    }
+
     /// The perf model is monotone: more probed clusters never cost less.
     #[test]
     fn perf_model_monotone_in_nprobe(nprobe in 1usize..128, extra in 1usize..64) {
