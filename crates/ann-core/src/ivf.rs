@@ -301,54 +301,36 @@ impl IvfPqIndex {
     /// Batched cluster locating: the `nprobe` nearest coarse centroids for
     /// every query of a block, ascending by distance.
     ///
-    /// The cross terms for [`Self::LOCATE_BLOCK`]-query blocks come from
-    /// one tiled `Q · Cᵀ` GEMM over the borrowed centroid table (the same
-    /// formulation the engine's host-side CL phase uses), corrected by the
-    /// cached centroid norms — the centroid table streams once per block
-    /// instead of once per query. Block geometry is a pure function of the
-    /// query count, and the GEMM's arithmetic is batch-width-invariant, so
-    /// results are deterministic at any thread count and batch split.
+    /// One pass of the shared blocked-distance driver
+    /// ([`crate::blockscan::scan`]) with the [`TopN`] consumer over the
+    /// borrowed centroid table and the cached centroid norms — the same
+    /// driver the engine's host-side CL phase and k-means assignment run,
+    /// so block geometry, scratch handling and the `qn + cn − 2·dot`
+    /// correction are shared by construction. Results are deterministic at
+    /// any thread count and batch split (see the driver's module docs).
+    ///
+    /// [`TopN`]: crate::blockscan::TopN
     pub fn locate_batch(&self, queries: &VecSet<f32>, nprobe: usize) -> Vec<Vec<(u32, f32)>> {
         assert_eq!(queries.dim(), self.dim);
         let nprobe = nprobe.min(self.params.nlist).max(1);
         let nlist = self.coarse.len();
         let cmat = crate::linalg::MatrixView::new(nlist, self.dim, self.coarse.as_flat());
         let mut out = Vec::with_capacity(queries.len());
-        // dots scratch reused across blocks (matmul_t_into accumulates, so
-        // the touched region is re-zeroed per block)
-        let mut dots = vec![0.0f32; Self::LOCATE_BLOCK.min(queries.len().max(1)) * nlist];
-        for lo in (0..queries.len()).step_by(Self::LOCATE_BLOCK) {
-            let hi = (lo + Self::LOCATE_BLOCK).min(queries.len());
-            let rows = hi - lo;
-            let qv = crate::linalg::MatrixView::new(
-                rows,
-                self.dim,
-                &queries.as_flat()[lo * self.dim..hi * self.dim],
-            );
-            dots[..rows * nlist].fill(0.0);
-            qv.matmul_t_into(&cmat, &mut dots[..rows * nlist], nlist); // rows x nlist
-            for r in 0..rows {
-                let qn = crate::kernels::norm_sq_f32(queries.get(lo + r));
-                let drow = &dots[r * nlist..(r + 1) * nlist];
-                let mut heap = BoundedMaxHeap::new(nprobe);
-                for (c, (&cn, &dp)) in self.coarse_norms.iter().zip(drow).enumerate() {
-                    let d = (qn + cn - 2.0 * dp).max(0.0);
-                    heap.push(Neighbor::new(c as u64, d));
-                }
-                out.push(
-                    heap.into_sorted()
-                        .into_iter()
-                        .map(|n| (n.id as u32, n.dist))
-                        .collect(),
-                );
-            }
-        }
+        crate::blockscan::scan(
+            queries,
+            cmat,
+            &self.coarse_norms,
+            &mut crate::blockscan::TopN {
+                n: nprobe,
+                out: &mut out,
+            },
+        );
         out
     }
 
-    /// Queries per [`Self::locate_batch`] GEMM block (matches the engine's
-    /// CL query block).
-    pub const LOCATE_BLOCK: usize = 32;
+    /// Queries per [`Self::locate_batch`] GEMM block (the shared driver's
+    /// fixed block width, matching the engine's CL query block).
+    pub const LOCATE_BLOCK: usize = crate::blockscan::BLOCK;
 
     /// Full search: returns the `k` nearest neighbors by ADC distance.
     ///

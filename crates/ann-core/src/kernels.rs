@@ -137,6 +137,16 @@ pub fn row_norms_f32(rows_flat: &[f32], dim: usize) -> Vec<f32> {
     rows_flat.chunks_exact(dim).map(norm_sq_f32).collect()
 }
 
+/// [`row_norms_f32`] into a caller-owned scratch buffer (cleared and
+/// refilled) — per-row bits identical to [`norm_sq_f32`] on each row, so
+/// hoisting per-row norm calls into one per-block pass (as
+/// `ann_core::blockscan` does) cannot change any downstream result.
+pub fn row_norms_into(rows_flat: &[f32], dim: usize, out: &mut Vec<f32>) {
+    debug_assert!(dim > 0 && rows_flat.len().is_multiple_of(dim));
+    out.clear();
+    out.extend(rows_flat.chunks_exact(dim).map(norm_sq_f32));
+}
+
 /// Exact one-query-vs-N-rows squared distances (no decomposition): each
 /// row's distance is computed with the unrolled [`l2_sq_f32`].
 ///

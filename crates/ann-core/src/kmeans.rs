@@ -239,19 +239,23 @@ fn assign_partials(
         .collect()
 }
 
-/// Points per GEMM block of the blocked assignment path.
-const ASSIGN_BLOCK: usize = 32;
+/// Points per GEMM block of the blocked assignment path (the shared
+/// driver's fixed block width).
+const ASSIGN_BLOCK: usize = crate::blockscan::BLOCK;
 
-/// GEMM-formulated assignment of points `[lo, hi)`: the cross terms for
-/// each [`ASSIGN_BLOCK`]-point block are one tiled `X_blk · Cᵀ` product
-/// over the borrowed centroid table (the table streams once per block, not
-/// once per point), corrected by the cached centroid norms. Pushes one
-/// `(assignment, squared distance)` pair per point onto `out`.
+/// GEMM-formulated assignment of points `[lo, hi)`: one
+/// [`crate::blockscan::scan_range`] pass with the [`blockscan::Argmin`]
+/// consumer. The driver owns the block geometry, the per-thread cross-term
+/// scratch and the `qn + cn − 2·dot` correction (see its module docs for
+/// the determinism contract); this function just binds it to the borrowed
+/// centroid table. Pushes one `(assignment, squared distance)` pair per
+/// point onto `out`.
 ///
-/// The tiled GEMM's per-element arithmetic is invariant to the block
-/// geometry (see `linalg` docs), so assignments are identical no matter
-/// how the caller chunks the range — which keeps Lloyd chunks, the
-/// standalone [`assign`] entry point, and every thread count bit-consistent.
+/// Results are identical no matter how the caller chunks the range — which
+/// keeps Lloyd chunks, the standalone [`assign`] entry point, and every
+/// thread count bit-consistent.
+///
+/// [`blockscan::Argmin`]: crate::blockscan::Argmin
 fn assign_range_gemm(
     data: &VecSet<f32>,
     lo: usize,
@@ -260,40 +264,23 @@ fn assign_range_gemm(
     cnorms: &[f32],
     out: &mut Vec<(u32, f32)>,
 ) {
-    let dim = data.dim();
-    let k = centroids.len();
-    let cview = crate::linalg::MatrixView::new(k, dim, centroids.as_flat());
-    // dots scratch reused across blocks (matmul_t_into accumulates, so the
-    // touched region is re-zeroed per block)
-    let mut dots = vec![0.0f32; ASSIGN_BLOCK.min((hi - lo).max(1)) * k];
-    for blo in (lo..hi).step_by(ASSIGN_BLOCK) {
-        let bhi = (blo + ASSIGN_BLOCK).min(hi);
-        let rows = bhi - blo;
-        let xv = crate::linalg::MatrixView::new(rows, dim, &data.as_flat()[blo * dim..bhi * dim]);
-        dots[..rows * k].fill(0.0);
-        xv.matmul_t_into(&cview, &mut dots[..rows * k], k); // rows x k
-        for r in 0..rows {
-            // same argmin semantics as `kernels::nearest_row`: the ‖x‖²
-            // term is constant per point, so the argmin runs on
-            // `‖c‖² − 2·x·c` and the winner gets the norm added back
-            let mut best = (0usize, f32::INFINITY);
-            for (j, (&cn, &dp)) in cnorms.iter().zip(&dots[r * k..(r + 1) * k]).enumerate() {
-                let score = cn - 2.0 * dp;
-                if score < best.1 {
-                    best = (j, score);
-                }
-            }
-            let qn = kernels::norm_sq_f32(data.get(blo + r));
-            out.push((best.0 as u32, (best.1 + qn).max(0.0)));
-        }
-    }
+    let cview =
+        crate::linalg::MatrixView::new(centroids.len(), centroids.dim(), centroids.as_flat());
+    crate::blockscan::scan_range(
+        data,
+        lo,
+        hi,
+        cview,
+        cnorms,
+        &mut crate::blockscan::Argmin { out },
+    );
 }
 
 /// Assign every vector of `data` to its nearest centroid (parallel), through
-/// the GEMM-formulated blocked assignment with centroid norms computed once.
+/// the shared blocked-distance driver with centroid norms computed once.
 ///
-/// Each parallel task covers a 32-block range so the dots scratch inside
-/// [`assign_range_gemm`] amortizes across blocks; per-point results are
+/// Each parallel task covers a 32-block range so the driver's per-thread
+/// cross-term scratch amortizes across blocks; per-point results are
 /// invariant to the range split (GEMM geometry purity), so any task
 /// granularity yields bit-identical assignments.
 pub fn assign(data: &VecSet<f32>, centroids: &VecSet<f32>) -> Vec<u32> {

@@ -25,6 +25,7 @@
 //! The crate is deliberately independent of the PIM simulator: it is the
 //! "algorithm" half of the co-design, reusable on any host.
 
+pub mod blockscan;
 pub mod distance;
 pub mod dpq;
 pub mod flat;

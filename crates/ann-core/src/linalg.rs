@@ -264,7 +264,67 @@ impl<'a> MatrixView<'a> {
             ldc,
         );
     }
+
+    /// Pool-backed M-split form of [`Self::matmul_t_into`]: the left
+    /// operand's rows are cut into fixed [`GEMM_PAR_M_TILE`]-row stripes and
+    /// the stripes are dispatched over the worker pool, each running the
+    /// serial tiled GEMM into its own (contiguous, disjoint) row range of
+    /// `out`.
+    ///
+    /// **Bit purity:** stripe boundaries are a pure function of `self.rows`
+    /// (never of the thread count), and the tiled GEMM's per-element
+    /// arithmetic is a pure function of (A row, B column, K) — see the
+    /// module docs — so the split output is bit-identical to one serial
+    /// [`Self::matmul_t_into`] call at any pool width, including width 1.
+    ///
+    /// Intended for single huge products where the caller has no outer
+    /// parallelism left to exploit — e.g. `ann_core::blockscan` scanning a
+    /// trace-scale centroid table (nlist ≥ 2^16) against one micro-batch
+    /// query block.
+    pub fn matmul_t_into_par(&self, other: &MatrixView<'_>, out: &mut [f32], ldc: usize) {
+        assert_eq!(self.cols, other.cols, "inner dimensions must agree");
+        let n = other.rows;
+        if self.rows == 0 || n == 0 {
+            return;
+        }
+        assert!(ldc >= n, "output stride must cover the result row");
+        assert!(
+            out.len() >= (self.rows - 1) * ldc + n,
+            "output buffer too small"
+        );
+        if self.rows <= GEMM_PAR_M_TILE {
+            self.matmul_t_into(other, out, ldc);
+            return;
+        }
+        use rayon::prelude::*;
+        // out rows are contiguous, so a GEMM_PAR_M_TILE-row stripe of the
+        // product owns an exclusive `tile * ldc` sub-slice of `out` (the
+        // last stripe is whatever remains, possibly short of a full row
+        // stride — gemm only requires coverage of its final row's columns).
+        // Trimming to the touched extent keeps the chunk count equal to the
+        // stripe count even when the caller's buffer is oversized.
+        let touched = (self.rows - 1) * ldc + n;
+        out[..touched]
+            .par_chunks_mut(GEMM_PAR_M_TILE * ldc)
+            .enumerate()
+            .for_each(|(t, chunk)| {
+                let i0 = t * GEMM_PAR_M_TILE;
+                let rows = GEMM_PAR_M_TILE.min(self.rows - i0);
+                let stripe = MatrixView::new(
+                    rows,
+                    self.cols,
+                    &self.data[i0 * self.cols..(i0 + rows) * self.cols],
+                );
+                stripe.matmul_t_into(other, chunk, ldc);
+            });
+    }
 }
+
+/// Row-stripe height of the pool-backed M-split GEMM
+/// ([`MatrixView::matmul_t_into_par`]). Fixed — never derived from the
+/// thread count — so the stripe geometry, and with it every output bit, is
+/// a pure function of the product shape.
+pub const GEMM_PAR_M_TILE: usize = 1024;
 
 /// Micro-kernel tile height (rows of A per register tile).
 pub const GEMM_MR: usize = 4;
@@ -764,6 +824,60 @@ mod tests {
                             "row {i} col {j} lo {lo} width {width}"
                         );
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn msplit_gemm_bit_identical_to_serial_across_stripes_and_threads() {
+        // shapes straddling the GEMM_PAR_M_TILE stripe boundary, plus a
+        // multi-stripe shape; the split product must match the serial tiled
+        // product bit-for-bit at every pool width
+        let (k, n) = (24usize, 8usize);
+        for &m in &[
+            GEMM_PAR_M_TILE - 1,
+            GEMM_PAR_M_TILE,
+            GEMM_PAR_M_TILE + 1,
+            2 * GEMM_PAR_M_TILE + 333,
+        ] {
+            let a = prand_matrix(m, k, 41 + m as u64);
+            let b = prand_matrix(n, k, 43);
+            let mut serial = vec![0.0f32; m * n];
+            a.view().matmul_t_into(&b.view(), &mut serial, n);
+            for threads in [1usize, 4] {
+                let mut par = vec![0.0f32; m * n];
+                rayon::with_num_threads(threads, || {
+                    a.view().matmul_t_into_par(&b.view(), &mut par, n);
+                });
+                for i in 0..m * n {
+                    assert_eq!(
+                        par[i].to_bits(),
+                        serial[i].to_bits(),
+                        "m {m} threads {threads} elem {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn msplit_gemm_respects_output_stride() {
+        // gutter columns between result rows must stay untouched
+        let m = GEMM_PAR_M_TILE + 7;
+        let (k, n, ldc) = (5usize, 3usize, 6usize);
+        let a = prand_matrix(m, k, 51);
+        let b = prand_matrix(n, k, 53);
+        let want = a.view().matmul_t(&b.view());
+        let mut out = vec![0.0f32; m * ldc];
+        a.view().matmul_t_into_par(&b.view(), &mut out, ldc);
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(out[i * ldc + j].to_bits(), want.get(i, j).to_bits());
+            }
+            for j in n..ldc {
+                if i * ldc + j < out.len() {
+                    assert_eq!(out[i * ldc + j], 0.0, "gutter touched at {i},{j}");
                 }
             }
         }

@@ -1,0 +1,200 @@
+//! Worker-pool dispatch + M-split GEMM micro-benchmarks.
+//!
+//! Two comparisons:
+//!
+//! * **persistent pool vs scoped spawn** — one tiny parallel region (a
+//!   64-item map-sum at pool width 4) through the shim's persistent pinned
+//!   pool against a local re-implementation of the PR-2 dispatch (spawn 3
+//!   scoped threads per region over the same atomic-cursor chunk walk).
+//!   The difference is pure per-region dispatch overhead: publish + condvar
+//!   wake vs three `std::thread` spawns — the cost that bounds micro-batch
+//!   serving latency.
+//! * **M-split GEMM at trace scale** — the driver's per-block product at
+//!   nlist = 2^16 (65536 x 96 centroid table against one 32-query block):
+//!   serial `matmul_t_into` vs the pool-backed `matmul_t_into_par`.
+//!   Speedup tracks the host's core count (`host_cores` is recorded; on a
+//!   1-core CI container it is ~1.0 by physics — the bit-parity guarantee
+//!   is the machine-independent part, enforced by `tests/driver_parity.rs`).
+//!
+//! Running this bench (`cargo bench --bench pool`) writes
+//! `BENCH_pool.json` at the workspace root with the medians, speedups, the
+//! measuring host's core count and the pool's worker census.
+
+use ann_core::linalg::MatrixView;
+use criterion::Criterion;
+use rayon::prelude::*;
+use rayon::with_num_threads;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Pool width of the dispatch comparison (pinned, so the scoped reference
+/// spawns exactly the helper count the pool parks).
+const DISPATCH_THREADS: usize = 4;
+
+/// Items per dispatch-comparison region (tiny on purpose: the body must be
+/// negligible next to the dispatch).
+const REGION_ITEMS: usize = 64;
+
+fn pseudo_f32(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / u32::MAX as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// The PR-2 dispatch, re-implemented locally as the baseline: per-region
+/// scoped spawns over the same atomic-cursor walk and the same
+/// accumulate-into-a-shared-atomic body the pool side runs — only the
+/// dispatch mechanism differs.
+fn scoped_spawn_region(total: &AtomicUsize, items: usize, threads: usize) {
+    let cursor = AtomicUsize::new(0);
+    let drain = |cursor: &AtomicUsize| loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= items {
+            break;
+        }
+        total.fetch_add(i, Ordering::Relaxed);
+    };
+    std::thread::scope(|scope| {
+        for _ in 1..threads {
+            scope.spawn(|| drain(&cursor));
+        }
+        drain(&cursor);
+    });
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    // identical per-item body on both sides (one fetch_add into a shared
+    // atomic allocated outside the timed loop); the measured difference is
+    // dispatch alone
+    let total = AtomicUsize::new(0);
+    let mut g = c.benchmark_group("dispatch");
+    g.bench_function(
+        format!("pool_region_{REGION_ITEMS}x{DISPATCH_THREADS}t"),
+        |b| {
+            b.iter(|| {
+                total.store(0, Ordering::Relaxed);
+                with_num_threads(DISPATCH_THREADS, || {
+                    (0..REGION_ITEMS).into_par_iter().for_each(|i| {
+                        total.fetch_add(i, Ordering::Relaxed);
+                    })
+                });
+                total.load(Ordering::Relaxed)
+            })
+        },
+    );
+    g.bench_function(
+        format!("scoped_spawn_region_{REGION_ITEMS}x{DISPATCH_THREADS}t"),
+        |b| {
+            b.iter(|| {
+                total.store(0, Ordering::Relaxed);
+                scoped_spawn_region(&total, REGION_ITEMS, DISPATCH_THREADS);
+                total.load(Ordering::Relaxed)
+            })
+        },
+    );
+    g.finish();
+}
+
+/// Trace-scale nlist of the M-split comparison (the ROADMAP's 2^16 bar).
+const MSPLIT_NLIST: usize = 1 << 16;
+/// Table dimension (paper SIFT-like).
+const MSPLIT_DIM: usize = 96;
+/// Query block width (the driver's fixed block).
+const MSPLIT_BLOCK: usize = 32;
+
+fn bench_msplit(c: &mut Criterion) {
+    let table = pseudo_f32(MSPLIT_NLIST * MSPLIT_DIM, 3);
+    let queries = pseudo_f32(MSPLIT_BLOCK * MSPLIT_DIM, 5);
+    let tv = MatrixView::new(MSPLIT_NLIST, MSPLIT_DIM, &table);
+    let qv = MatrixView::new(MSPLIT_BLOCK, MSPLIT_DIM, &queries);
+    let mut out = vec![0.0f32; MSPLIT_NLIST * MSPLIT_BLOCK];
+
+    let mut g = c.benchmark_group("msplit");
+    g.sample_size(5);
+    g.bench_function(
+        format!("serial_{MSPLIT_NLIST}x{MSPLIT_DIM}x{MSPLIT_BLOCK}"),
+        |b| {
+            b.iter(|| {
+                out.fill(0.0);
+                tv.matmul_t_into(&qv, &mut out, MSPLIT_BLOCK);
+                std::hint::black_box(out[0])
+            })
+        },
+    );
+    g.bench_function(
+        format!("par_{MSPLIT_NLIST}x{MSPLIT_DIM}x{MSPLIT_BLOCK}"),
+        |b| {
+            b.iter(|| {
+                out.fill(0.0);
+                tv.matmul_t_into_par(&qv, &mut out, MSPLIT_BLOCK);
+                std::hint::black_box(out[0])
+            })
+        },
+    );
+    g.finish();
+}
+
+/// Median time of `id`, if measured.
+fn median(c: &Criterion, id: &str) -> Option<f64> {
+    c.results().iter().find(|s| s.id == id).map(|s| s.median_ns)
+}
+
+/// Speedup of `fast` over `slow` (slow median / fast median).
+fn speedup(c: &Criterion, slow: &str, fast: &str) -> Option<f64> {
+    Some(median(c, slow)? / median(c, fast)?)
+}
+
+fn write_json(c: &Criterion) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pool.json");
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let fmt = |v: Option<f64>| {
+        v.map(|x| format!("{x:.2}"))
+            .unwrap_or_else(|| "null".into())
+    };
+
+    let pool_id = format!("dispatch/pool_region_{REGION_ITEMS}x{DISPATCH_THREADS}t");
+    let scoped_id = format!("dispatch/scoped_spawn_region_{REGION_ITEMS}x{DISPATCH_THREADS}t");
+    let serial_id = format!("msplit/serial_{MSPLIT_NLIST}x{MSPLIT_DIM}x{MSPLIT_BLOCK}");
+    let par_id = format!("msplit/par_{MSPLIT_NLIST}x{MSPLIT_DIM}x{MSPLIT_BLOCK}");
+
+    let mut rows = String::new();
+    for (i, s) in c.results().iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}}}",
+            s.id, s.median_ns
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"pool\",\n  \"host_cores\": {host_cores},\n  \"pool_workers_spawned\": {workers},\n  \"dispatch\": {{\n    \"region_items\": {REGION_ITEMS},\n    \"threads\": {DISPATCH_THREADS},\n    \"pool_region_ns\": {pool_ns},\n    \"scoped_spawn_region_ns\": {scoped_ns},\n    \"speedup_pool_over_scoped_spawn\": {disp_speedup}\n  }},\n  \"msplit_gemm\": {{\n    \"nlist\": {MSPLIT_NLIST},\n    \"dim\": {MSPLIT_DIM},\n    \"query_block\": {MSPLIT_BLOCK},\n    \"serial_ns\": {serial_ns},\n    \"par_ns\": {par_ns},\n    \"speedup_par_over_serial\": {msplit_speedup}\n  }},\n  \"results\": [\n{rows}\n  ]\n}}\n",
+        workers = rayon::pool::pool_workers_spawned(),
+        pool_ns = fmt(median(c, &pool_id)),
+        scoped_ns = fmt(median(c, &scoped_id)),
+        disp_speedup = fmt(speedup(c, &scoped_id, &pool_id)),
+        serial_ns = fmt(median(c, &serial_id)),
+        par_ns = fmt(median(c, &par_id)),
+        msplit_speedup = fmt(speedup(c, &serial_id, &par_id)),
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_dispatch(&mut c);
+    bench_msplit(&mut c);
+    c.final_summary();
+    write_json(&c);
+}

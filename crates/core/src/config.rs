@@ -94,6 +94,11 @@ pub struct EngineConfig {
     /// Replace squarings with the SQT (multiplier-less conversion,
     /// Section 3.1). Off = native 32-cycle multiplies.
     pub sqt: bool,
+    /// WRAM window of the 16-bit SQT, in table entries — a swept parameter
+    /// of the DSE and the buffer planner (see
+    /// `crate::wram::choose_sqt_window`). Inert in the 8-bit regime, where
+    /// the full 256-entry table always fits.
+    pub sqt_window: usize,
     /// Operand width on the DPUs.
     pub bits: DataBits,
     /// Place hot data in WRAM (buffer optimization, Fig. 12b). Off = all
@@ -129,6 +134,7 @@ impl EngineConfig {
         EngineConfig {
             index,
             sqt: true,
+            sqt_window: crate::sqt::DEFAULT_U16_WINDOW,
             bits: DataBits::B8,
             wram_buffers: true,
             partition: true,
@@ -150,6 +156,7 @@ impl EngineConfig {
         EngineConfig {
             index,
             sqt: false,
+            sqt_window: crate::sqt::DEFAULT_U16_WINDOW,
             bits: DataBits::B8,
             wram_buffers: false,
             partition: false,

@@ -93,6 +93,10 @@ pub struct DseResult {
     pub best_qps: f64,
     /// Its recall.
     pub best_recall: f64,
+    /// The 16-bit SQT WRAM window (entries) co-optimized with the buffer
+    /// planner for the winning configuration — feed it to
+    /// `EngineConfig::sqt_window`.
+    pub best_sqt_window: usize,
     /// Every evaluation performed, in order.
     pub evaluations: Vec<Evaluation>,
 }
@@ -296,10 +300,26 @@ pub fn optimize(
         })
         .expect("at least one evaluation");
 
+    // Co-optimize the 16-bit SQT window with the buffer planner for the
+    // winner: the window is orthogonal to recall and to the analytic phase
+    // charges, so it is swept once here rather than multiplying the GP's
+    // search space. This is a *pre-layout* estimate (slice metadata and
+    // the DPU census are layout facts the DSE never sees — hence
+    // local_clusters = 0, ndpus = 1, and the default engine tasklet
+    // count); the engine's planner re-runs the greedy placement with the
+    // real layout at build time and, if the estimate no longer fits
+    // there, the window spills to MRAM rather than evicting anything.
+    let shape = WorkloadShape::new(n_points, batch, dim, &chosen.cfg, BitWidths::u8_regime());
+    let capacity = arch
+        .wram_bytes
+        .saturating_sub(crate::config::EngineConfig::drim(chosen.cfg).tasklets as u64 * 1024);
+    let best_sqt_window = crate::wram::choose_sqt_window(&shape, &space.sqt_window, capacity, 0, 1);
+
     DseResult {
         best: chosen.cfg,
         best_qps: chosen.qps,
         best_recall: chosen.recall,
+        best_sqt_window,
         evaluations: evals.clone(),
     }
 }
@@ -385,6 +405,32 @@ mod tests {
             res.best_qps,
             corner.qps
         );
+    }
+
+    #[test]
+    fn dse_sweeps_the_sqt_window_from_the_space() {
+        let mut space = ParamSpace::small();
+        space.sqt_window = vec![1 << 10, 2 << 10, 4 << 10];
+        let mut proxy = ProxyAccuracy::for_dim(32);
+        let res = optimize(
+            &space,
+            1_000_000,
+            32,
+            256,
+            &PimArch::upmem_sc25(),
+            &procs::xeon_silver_4216(),
+            &mut proxy,
+            0.5,
+            5,
+        );
+        assert!(
+            space.sqt_window.contains(&res.best_sqt_window),
+            "window {} not from the sweep",
+            res.best_sqt_window
+        );
+        // UPMEM-sized WRAM fits the 4Ki-entry (16 KiB) window alongside
+        // the hot set, so the co-optimizer should take the largest
+        assert_eq!(res.best_sqt_window, 4 << 10);
     }
 
     #[test]

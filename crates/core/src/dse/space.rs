@@ -17,6 +17,13 @@ pub struct ParamSpace {
     pub m: Vec<usize>,
     /// Codebook sizes `CB` (Faiss caps at 256; DRIM-ANN explores beyond).
     pub cb: Vec<usize>,
+    /// Candidate 16-bit SQT WRAM windows (table entries). Orthogonal to
+    /// recall and to the analytic phase charges, so it is *not* part of the
+    /// GP's search axes ([`Self::normalize`] stays 5-D); instead the DSE
+    /// co-optimizes it with the buffer planner after the index search
+    /// (`crate::wram::choose_sqt_window`) and reports the pick in
+    /// `DseResult::best_sqt_window`.
+    pub sqt_window: Vec<usize>,
 }
 
 impl ParamSpace {
@@ -29,6 +36,9 @@ impl ParamSpace {
             nlist: vec![1 << 13, 1 << 14, 1 << 15, 1 << 16],
             m: vec![8, 16, 32],
             cb: vec![128, 256, 512, 1024],
+            // 4 KiB up to the 32 KiB half-scratchpad default; oversized
+            // candidates are rejected by the planner, never placed
+            sqt_window: vec![1 << 10, 2 << 10, 4 << 10, 8 << 10],
         }
     }
 
@@ -40,6 +50,7 @@ impl ParamSpace {
             nlist: vec![64, 128],
             m: vec![4, 8],
             cb: vec![16, 32],
+            sqt_window: vec![crate::sqt::DEFAULT_U16_WINDOW],
         }
     }
 
@@ -122,6 +133,7 @@ mod tests {
             nlist: vec![50],
             m: vec![4],
             cb: vec![16],
+            sqt_window: vec![crate::sqt::DEFAULT_U16_WINDOW],
         };
         assert!(s.enumerate().is_empty());
         assert!(s.is_empty());

@@ -237,7 +237,7 @@ impl DrimEngine {
             BitWidths::u8_regime(),
         );
         let placement = if cfg.wram_buffers {
-            let sqt_bytes = Sqt::for_bits(cfg.bits).wram_bytes();
+            let sqt_bytes = Sqt::for_bits_windowed(cfg.bits, cfg.sqt_window).wram_bytes();
             let local_clusters = layout.dpu_slices.first().map(|s| s.len()).unwrap_or(0);
             let capacity = arch.wram_bytes.saturating_sub(cfg.tasklets as u64 * 1024);
             wram_plan(
@@ -401,10 +401,13 @@ impl DrimEngine {
     /// Execute one DPU's task list.
     fn run_dpu(&self, dpu: usize, tasks: &[Task], queries: &VecSet<f32>) -> DpuOutput {
         let mut meter = DpuMeter::new();
-        let mut sqt = self
-            .cfg
-            .sqt
-            .then(|| Sqt::for_bits_resident(self.cfg.bits, self.placement.is_resident("sqt")));
+        let mut sqt = self.cfg.sqt.then(|| {
+            Sqt::for_bits_resident_windowed(
+                self.cfg.bits,
+                self.cfg.sqt_window,
+                self.placement.is_resident("sqt"),
+            )
+        });
         let costs = self.system.arch.costs.clone();
         let ctx = KernelCtx {
             costs: &costs,

@@ -7,37 +7,35 @@
 //! its cost is charged to the host roofline model with the CL equations.
 //!
 //! The compute is formulated exactly the way the cost model charges it: a
-//! *blocked GEMM*. Query-vs-centroid squared distances decompose as
-//! `‖q‖² − 2·q·c + ‖c‖²`; the cross terms for a block of [`QUERY_BLOCK`]
-//! queries are one tiled matrix product `C · Q_blkᵀ` (the packed,
-//! register-blocked micro-kernel GEMM in `ann_core::linalg` — see its
-//! module docs for the MR x NR / KC-MC-NC tiling scheme), and the norms
-//! are rank-1 corrections. Both operands are *borrowed*
-//! (`linalg::MatrixView` over the caller's flat slabs): the centroid table
-//! is never cloned, its norms arrive precomputed from the index's
-//! `coarse_norms` cache, and the query-slab transpose is absorbed into the
-//! GEMM's packing pass. Orienting the product with the centroid table as
-//! the left operand still matters: the packed table streams through the
-//! micro-kernel exactly once per block while the `QUERY_BLOCK x dim` query
-//! panel stays cache-resident — the amortization the cost model's
-//! blocked-GEMM charge assumes. The tiling only raises the achieved
-//! FLOP rate (register-resident accumulator tiles instead of a streaming
-//! i-k-j loop); the work and traffic the model books per Eq. 1 are
-//! unchanged, so measured host work still matches the charge.
+//! *blocked GEMM*, executed by the shared blocked-distance driver
+//! `ann_core::blockscan` (see its module docs for the block geometry,
+//! per-thread scratch, per-block norm hoist, `qn + cn − 2·dot` correction
+//! and the trace-scale M-split path — the same driver `locate_batch` and
+//! k-means assignment run, so all three stay in lockstep by construction).
+//! Both operands are *borrowed* (`linalg::MatrixView` over the caller's
+//! flat slabs): the centroid table is never cloned, and its norms arrive
+//! precomputed from the index's `coarse_norms` cache. This module only
+//! adds what is CL-specific: block-level parallelism over the host thread
+//! pool and the host-time charge. The charge unit comes straight from the
+//! driver's [`TopNWithCharge`] consumer tally, so the meter books exactly
+//! the rows the driver scanned — the work and traffic the model books per
+//! Eq. 1 are unchanged from the hand-rolled formulation, and measured host
+//! work still matches the charge.
+//!
+//! [`TopNWithCharge`]: ann_core::blockscan::TopNWithCharge
 
 use crate::perf_model::WorkloadShape;
-use ann_core::kernels;
+use ann_core::blockscan::{self, TopNWithCharge};
 use ann_core::linalg::MatrixView;
-use ann_core::topk::{BoundedMaxHeap, Neighbor};
 use ann_core::vector::VecSet;
 use rayon::prelude::*;
 use upmem_sim::proc::ProcModel;
 
-/// Queries per GEMM block. A `dim x 32` transposed query slab (~12 KiB at
-/// dim 96) stays L1/L2-resident across the whole centroid stream, so the
-/// table is read once per block — a 32x stream amortization over
-/// query-at-a-time scanning.
-pub const QUERY_BLOCK: usize = 32;
+/// Queries per GEMM block (the shared driver's fixed block width). A
+/// `dim x 32` query slab (~12 KiB at dim 96) stays L1/L2-resident across
+/// the whole centroid stream, so the table is read once per block — a 32x
+/// stream amortization over query-at-a-time scanning.
+pub const QUERY_BLOCK: usize = blockscan::BLOCK;
 
 /// Result of cluster locating for one batch.
 #[derive(Debug, Clone)]
@@ -71,43 +69,41 @@ pub fn run(
     let dim = centroids.dim();
     let nlist = centroids.len();
 
-    let cnorms = centroid_norms;
     let cmat = MatrixView::new(nlist, dim, centroids.as_flat());
 
+    // One parallel task per driver block: each task scans its block-aligned
+    // query range through the shared driver (per-row results are invariant
+    // to the range split, so the parallel cut is invisible) and reports the
+    // rows it scanned for the host-time charge.
     let nblocks = queries.len().div_ceil(QUERY_BLOCK);
-    let per_block: Vec<Vec<Vec<u32>>> = (0..nblocks)
+    let per_block: Vec<(Vec<Vec<u32>>, u64)> = (0..nblocks)
         .into_par_iter()
         .map(|b| {
             let lo = b * QUERY_BLOCK;
             let hi = (lo + QUERY_BLOCK).min(queries.len());
-            let rows = hi - lo;
-            // nlist x rows cross terms in one blocked product; the left
-            // operand (the big centroid table) streams once per block and
-            // the query slab's transpose is absorbed into GEMM packing
-            let qv = MatrixView::new(rows, dim, &queries.as_flat()[lo * dim..hi * dim]);
-            let dots = cmat.matmul_t(&qv);
-            (0..rows)
-                .map(|r| {
-                    let qn = kernels::norm_sq_f32(queries.get(lo + r));
-                    let mut heap = BoundedMaxHeap::new(nprobe);
-                    for (c, &cn) in cnorms.iter().enumerate() {
-                        let d = (qn + cn - 2.0 * dots.get(c, r)).max(0.0);
-                        heap.push(Neighbor::new(c as u64, d));
-                    }
-                    heap.into_sorted()
-                        .into_iter()
-                        .map(|n| n.id as u32)
-                        .collect()
-                })
-                .collect()
+            let mut ids = Vec::with_capacity(hi - lo);
+            let mut consumer = TopNWithCharge {
+                n: nprobe,
+                out: &mut ids,
+                rows_scanned: 0,
+            };
+            blockscan::scan_range(queries, lo, hi, cmat, centroid_norms, &mut consumer);
+            let rows = consumer.rows_scanned;
+            (ids, rows)
         })
         .collect();
-    let probes: Vec<Vec<u32>> = per_block.into_iter().flatten().collect();
+    let mut probes: Vec<Vec<u32>> = Vec::with_capacity(queries.len());
+    let mut rows_scanned = 0u64;
+    for (ids, rows) in per_block {
+        probes.extend(ids);
+        rows_scanned += rows;
+    }
 
-    // Charge the host with the matching blocked-GEMM cost: the centroid
-    // table streams once per query block — not once per query as the
-    // DPU-oriented Eq. 3 would charge. Compute follows Eq. 1.
-    let host_s = host_cl_time(queries.len(), centroids.len(), shape, host);
+    // Charge the host with the matching blocked-GEMM cost for exactly the
+    // rows the driver scanned: the centroid table streams once per query
+    // block — not once per query as the DPU-oriented Eq. 3 would charge.
+    // Compute follows Eq. 1.
+    let host_s = host_cl_time(rows_scanned as usize, centroids.len(), shape, host);
     ClOutput { probes, host_s }
 }
 
@@ -123,6 +119,7 @@ mod tests {
     use super::*;
     use crate::config::IndexConfig;
     use crate::perf_model::BitWidths;
+    use ann_core::kernels;
     use upmem_sim::platform::procs;
 
     fn centroids() -> VecSet<f32> {

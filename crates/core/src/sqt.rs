@@ -19,6 +19,12 @@ use crate::config::DataBits;
 use upmem_sim::meter::PhaseMeter;
 use upmem_sim::IsaCosts;
 
+/// Default 16-bit WRAM window: 8Ki entries = 32 KiB, half the scratchpad
+/// (16Ki entries = 64 KiB would exceed WRAM). The starting point of the
+/// DSE's window sweep ([`crate::wram::choose_sqt_window`]), not a hard
+/// constant — `EngineConfig::sqt_window` carries the tuned value.
+pub const DEFAULT_U16_WINDOW: usize = 8 << 10;
+
 /// A squaring lookup table with WRAM/MRAM placement awareness.
 #[derive(Debug, Clone)]
 pub struct Sqt {
@@ -58,13 +64,21 @@ impl Sqt {
         }
     }
 
-    /// Build for a bit regime with a default 16-bit window (16Ki entries =
-    /// 64 KiB would exceed WRAM; use 8Ki entries = 32 KiB, half the
-    /// scratchpad).
+    /// Build for a bit regime with the default 16-bit window
+    /// ([`DEFAULT_U16_WINDOW`]).
     pub fn for_bits(bits: DataBits) -> Self {
+        Self::for_bits_windowed(bits, DEFAULT_U16_WINDOW)
+    }
+
+    /// Build for a bit regime with an explicit 16-bit WRAM window (in
+    /// table entries). The window is a swept parameter of the DSE and the
+    /// buffer planner (`EngineConfig::sqt_window`); 8-bit tables always
+    /// hold the full 256 entries regardless, so the parameter is inert in
+    /// the 8-bit regime.
+    pub fn for_bits_windowed(bits: DataBits, window_entries: usize) -> Self {
         match bits {
             DataBits::B8 => Self::for_u8(),
-            DataBits::B16 => Self::for_u16(8 << 10),
+            DataBits::B16 => Self::for_u16(window_entries),
         }
     }
 
@@ -72,7 +86,16 @@ impl Sqt {
     /// could not (or was configured not to) keep the table in WRAM, every
     /// lookup spills to MRAM — the regime the paper's Fig. 12b ablates.
     pub fn for_bits_resident(bits: DataBits, wram_resident: bool) -> Self {
-        let mut sqt = Self::for_bits(bits);
+        Self::for_bits_resident_windowed(bits, DEFAULT_U16_WINDOW, wram_resident)
+    }
+
+    /// [`Self::for_bits_resident`] with an explicit 16-bit window.
+    pub fn for_bits_resident_windowed(
+        bits: DataBits,
+        window_entries: usize,
+        wram_resident: bool,
+    ) -> Self {
+        let mut sqt = Self::for_bits_windowed(bits, window_entries);
         if !wram_resident {
             sqt.wram_entries = 0;
         }

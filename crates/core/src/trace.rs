@@ -156,7 +156,7 @@ impl TraceRunner {
             BitWidths::u8_regime(),
         );
         let placement = if cfg.wram_buffers {
-            let sqt_bytes = Sqt::for_bits(cfg.bits).wram_bytes();
+            let sqt_bytes = Sqt::for_bits_windowed(cfg.bits, cfg.sqt_window).wram_bytes();
             let local = layout.dpu_slices.first().map(|s| s.len()).unwrap_or(0);
             let capacity = arch.wram_bytes.saturating_sub(cfg.tasklets as u64 * 1024);
             wram_plan(

@@ -1,17 +1,20 @@
-//! Offline stand-in for the `rayon` crate — now a real thread pool.
+//! Offline stand-in for the `rayon` crate — a real, persistent thread
+//! pool.
 //!
 //! The build environment has no crates.io access. This shim keeps the
 //! rayon *surface syntax* (`into_par_iter`, `par_iter`, `par_iter_mut`,
 //! `par_chunks`, `par_chunks_mut`, `flat_map_iter`, `join`) so every call
 //! site keeps compiling against the real rayon if the dependency is ever
-//! swapped back in — but since PR 2 the `par_*` entry points execute on a
-//! scoped thread pool ([`pool`]) built on [`std::thread::scope`], sized
-//! from [`std::thread::available_parallelism`] and overridable via the
-//! `DRIM_ANN_THREADS` (or `RAYON_NUM_THREADS`) env var and
+//! swapped back in. The `par_*` entry points execute on a persistent
+//! pinned worker pool ([`pool`]): workers are spawned lazily on first
+//! demand and parked on a condvar between regions, so dispatching a
+//! region costs one publish + wake instead of per-region thread spawns.
+//! Sizing comes from [`std::thread::available_parallelism`], overridable
+//! via the `DRIM_ANN_THREADS` (or `RAYON_NUM_THREADS`) env var and
 //! [`with_num_threads`].
 //!
 //! **Determinism.** Results are bit-identical across thread counts — *not*
-//! because execution is sequential (it no longer is), but because chunk
+//! because execution is sequential (it is not), but because chunk
 //! boundaries are a pure function of the input length and every ordered
 //! operation (`collect`, `reduce`, `sum`) recombines chunk results in
 //! ascending chunk order. See [`pool`] for the invariants and
@@ -20,7 +23,8 @@
 //!
 //! Nested parallel regions run inline on the worker that encounters them
 //! (no thread explosion, trivially deadlock-free), and a panic in any
-//! worker propagates to the thread that dispatched the region.
+//! worker propagates to the thread that dispatched the region after the
+//! region barrier.
 
 pub mod iter;
 pub mod pool;
@@ -262,6 +266,61 @@ mod tests {
         // hardware default) instead of panicking
         assert!(current_num_threads() >= 1);
         std::env::remove_var(super::pool::THREADS_ENV);
+    }
+
+    #[test]
+    fn workers_persist_across_regions() {
+        // the pool must not spawn fresh threads per region: once warmed to
+        // the widest demand this test binary can produce (other tests run
+        // concurrently and share the global pool), later regions reuse the
+        // parked workers. Warm width = max(8, hardware) covers both the
+        // explicit with_num_threads(8) tests and default-width regions.
+        let width = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(8);
+        with_num_threads(width, || {
+            (0..256usize).into_par_iter().for_each(|_| {
+                std::hint::black_box(0u64);
+            });
+        });
+        let warmed = super::pool::pool_workers_spawned();
+        assert!(warmed >= width - 1, "pool should have grown to {width} - 1");
+        for _ in 0..50 {
+            with_num_threads(width, || {
+                (0..256usize).into_par_iter().for_each(|_| {
+                    std::hint::black_box(0u64);
+                });
+            });
+        }
+        assert_eq!(
+            super::pool::pool_workers_spawned(),
+            warmed,
+            "regions after warm-up must not spawn new workers"
+        );
+    }
+
+    #[test]
+    fn pool_survives_panic_and_keeps_serving() {
+        // a panicking region must not wedge the parked workers: subsequent
+        // parallel regions still produce complete, ordered results
+        let caught = std::panic::catch_unwind(|| {
+            with_num_threads(4, || {
+                (0..512usize).into_par_iter().for_each(|i| {
+                    if i == 100 {
+                        panic!("region boom");
+                    }
+                });
+            });
+        });
+        assert!(caught.is_err());
+        for _ in 0..5 {
+            let v: Vec<usize> = with_num_threads(4, || {
+                (0..1000usize).into_par_iter().map(|i| i * 3).collect()
+            });
+            assert_eq!(v.len(), 1000);
+            assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The scoped thread pool behind every `par_*` driver.
+//! The persistent pinned worker pool behind every `par_*` driver.
 //!
 //! Design constraints, in priority order:
 //!
@@ -9,10 +9,16 @@
 //!    bit-identical outputs, including float reductions; only the
 //!    *assignment of chunks to workers* varies. `tests/parallel_parity.rs`
 //!    at the workspace root pins this down end to end.
-//! 2. **No 'static gymnastics.** Workers are spawned per parallel region
-//!    with [`std::thread::scope`], so closures borrow freely from the
-//!    caller's stack. A region costs a few thread spawns — irrelevant next
-//!    to the millisecond-scale regions the workspace runs.
+//! 2. **Persistent workers, no `'static` gymnastics.** Workers are spawned
+//!    lazily on first demand and then *parked* between regions — a region
+//!    costs one mutex publish + condvar wake instead of thread spawns,
+//!    which is what makes micro-batch regions (the serving regime the
+//!    north star targets) cheap. Closures still borrow freely from the
+//!    dispatching caller's stack: a region publishes a type-erased pointer
+//!    to its shared work closure, helpers *claim tickets* to run it, and
+//!    the caller revokes unclaimed tickets and blocks until every claimed
+//!    run has finished before returning — so no worker can touch the
+//!    closure (or anything it borrows) after the dispatch frame unwinds.
 //! 3. **Work-stealing-lite.** Chunks are handed out through an atomic
 //!    cursor (or a popped queue for `&mut` chunks); a worker that finishes
 //!    early simply grabs the next unclaimed chunk, which is all the load
@@ -24,10 +30,19 @@
 //! Inside a pool worker it reports 1: nested parallel regions run inline on
 //! the worker, which both avoids thread explosion and makes nesting
 //! trivially deadlock-free (no worker ever waits on another's queue).
+//!
+//! Lifecycle: the pool grows to the largest helper count any region has
+//! demanded (capped at [`MAX_THREADS`]) and never shrinks. Parked workers
+//! hold no locks and own no borrowed state, so process exit while they
+//! sleep on the condvar is clean — the same teardown contract as real
+//! rayon's detached global pool. Worker panics are caught, carried back in
+//! the region record, and re-raised on the dispatching thread after the
+//! region barrier (never across it).
 
 use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 
 /// Primary env knob for the pool width (`DRIM_ANN_THREADS=4 cargo test`).
 pub const THREADS_ENV: &str = "DRIM_ANN_THREADS";
@@ -35,7 +50,7 @@ pub const THREADS_ENV: &str = "DRIM_ANN_THREADS";
 /// Fallback env knob, honored for parity with real rayon.
 pub const RAYON_THREADS_ENV: &str = "RAYON_NUM_THREADS";
 
-/// Hard cap on pool width (spawn cost sanity, not a scheduling limit).
+/// Hard cap on pool width (worker-count sanity, not a scheduling limit).
 const MAX_THREADS: usize = 512;
 
 /// Upper bound on chunks per region. Chunk size is
@@ -77,7 +92,7 @@ pub fn current_num_threads() -> usize {
 }
 
 /// Run `f` with the pool width pinned to `threads` on this thread
-/// (overrides the env vars; does not propagate into spawned workers, where
+/// (overrides the env vars; does not propagate into pool workers, where
 /// nested regions are sequential anyway). Restores the previous override
 /// even if `f` panics. The parity tests use this to compare 1-thread and
 /// N-thread runs inside one process.
@@ -118,11 +133,229 @@ pub(crate) fn chunk_size(len: usize, min_len: usize) -> usize {
     len.div_ceil(MAX_CHUNKS).max(min_len).max(1)
 }
 
+/// Lock a mutex, riding through poisoning (a panicking sibling worker
+/// should surface *its* payload, not a `PoisonError`).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// The persistent pool
+// ---------------------------------------------------------------------------
+
+/// Type-erased pointer to a region's shared work closure. The pointee
+/// lives on the dispatching caller's stack; the ticket protocol (claim /
+/// revoke / barrier) guarantees no dereference outlives the dispatch
+/// frame.
+struct WorkPtr(*const (dyn Fn() + Sync));
+
+// SAFETY: the pointee is `Sync` (shared-called from many threads) and the
+// region protocol bounds every dereference by the dispatcher's barrier.
+unsafe impl Send for WorkPtr {}
+unsafe impl Sync for WorkPtr {}
+
+/// Completion state of a region, guarded by the region's mutex.
+struct RegionDone {
+    /// Helper runs that have finished (successfully or by panic).
+    finished: usize,
+    /// First helper panic payload, re-raised by the dispatcher.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// One published parallel region.
+struct Region {
+    work: WorkPtr,
+    /// Helper tickets still claimable. Claimed via CAS; zeroed by
+    /// [`Region::revoke`], after which no worker can start the closure.
+    tickets: AtomicUsize,
+    done: Mutex<RegionDone>,
+    cv: Condvar,
+}
+
+impl Region {
+    fn new<'a>(work: &'a (dyn Fn() + Sync + 'a), tickets: usize) -> Arc<Region> {
+        // SAFETY: lifetime erasure only (identical wide-pointer layout).
+        // The ticket protocol bounds every dereference by the dispatch
+        // frame: claims become impossible after `revoke`, and the
+        // dispatcher blocks in `wait` until every claimed run finished.
+        let work_ptr: *const (dyn Fn() + Sync + 'a) = work;
+        let work_ptr: *const (dyn Fn() + Sync + 'static) = unsafe { std::mem::transmute(work_ptr) };
+        Arc::new(Region {
+            work: WorkPtr(work_ptr),
+            tickets: AtomicUsize::new(tickets),
+            done: Mutex::new(RegionDone {
+                finished: 0,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Try to claim one helper ticket.
+    fn claim(&self) -> bool {
+        let mut t = self.tickets.load(Ordering::Acquire);
+        loop {
+            if t == 0 {
+                return false;
+            }
+            match self
+                .tickets
+                .compare_exchange_weak(t, t - 1, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return true,
+                Err(now) => t = now,
+            }
+        }
+    }
+
+    /// Withdraw all unclaimed tickets; returns how many were unclaimed.
+    fn revoke(&self) -> usize {
+        self.tickets.swap(0, Ordering::AcqRel)
+    }
+
+    /// Run one claimed ticket (worker side).
+    ///
+    /// SAFETY precondition: a ticket for this region was successfully
+    /// claimed. The dispatcher keeps the closure alive until `finished`
+    /// reaches the claimed count, so the dereference is in-bounds.
+    fn run_claimed(&self) {
+        let work = unsafe { &*self.work.0 };
+        let result = catch_unwind(AssertUnwindSafe(|| enter_pool(work)));
+        let mut d = lock_unpoisoned(&self.done);
+        if let Err(p) = result {
+            if d.panic.is_none() {
+                d.panic = Some(p);
+            }
+        }
+        d.finished += 1;
+        self.cv.notify_all();
+    }
+
+    /// Dispatcher barrier: block until `claimed` helper runs have finished,
+    /// then take the first helper panic (if any).
+    fn wait(&self, claimed: usize) -> Option<Box<dyn std::any::Any + Send>> {
+        let mut d = lock_unpoisoned(&self.done);
+        while d.finished < claimed {
+            d = self.cv.wait(d).unwrap_or_else(|p| p.into_inner());
+        }
+        d.panic.take()
+    }
+}
+
+/// Shared pool state: the active-region list plus the worker census.
+struct PoolShared {
+    /// Every published region that may still hold claimable tickets, in
+    /// publish order (workers serve the oldest claimable one first, so
+    /// concurrent dispatchers all get helpers instead of only the latest).
+    jobs: Vec<Arc<Region>>,
+    /// Workers spawned so far (monotone, capped at [`MAX_THREADS`]).
+    spawned: usize,
+}
+
+struct Pool {
+    mu: Mutex<PoolShared>,
+    cv: Condvar,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        mu: Mutex::new(PoolShared {
+            jobs: Vec::new(),
+            spawned: 0,
+        }),
+        cv: Condvar::new(),
+    })
+}
+
+/// Number of persistent workers spawned so far (diagnostics/tests).
+pub fn pool_workers_spawned() -> usize {
+    lock_unpoisoned(&pool().mu).spawned
+}
+
+/// Worker main loop: park on the pool condvar, serve claimable tickets of
+/// the oldest active region, park again when nothing is claimable. Holds
+/// no locks and borrows nothing while parked, so process exit is clean.
+fn worker_main() {
+    let pool = pool();
+    loop {
+        let region = {
+            let mut g = lock_unpoisoned(&pool.mu);
+            loop {
+                // prune regions whose tickets are exhausted or revoked —
+                // their dispatchers are (or soon will be) past the barrier
+                g.jobs.retain(|j| j.tickets.load(Ordering::Acquire) > 0);
+                if let Some(job) = g.jobs.first() {
+                    break job.clone();
+                }
+                g = pool.cv.wait(g).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        while region.claim() {
+            region.run_claimed();
+        }
+    }
+}
+
+/// Publish a region offering `extra` helper tickets, growing the worker
+/// set if this demand exceeds what has been spawned so far.
+fn publish(extra: usize, work: &(dyn Fn() + Sync)) -> Arc<Region> {
+    let pool = pool();
+    let region = Region::new(work, extra);
+    let mut g = lock_unpoisoned(&pool.mu);
+    while g.spawned < extra.min(MAX_THREADS) {
+        let spawn = std::thread::Builder::new()
+            .name(format!("drim-pool-{}", g.spawned))
+            .spawn(worker_main);
+        match spawn {
+            Ok(_) => g.spawned += 1,
+            Err(_) => break, // degrade gracefully: fewer helpers, caller still drains
+        }
+    }
+    g.jobs.push(region.clone());
+    drop(g);
+    pool.cv.notify_all();
+    region
+}
+
+/// Remove `region` from the active list (its dispatch frame is about to
+/// return, so the erased work pointer must not linger in shared state).
+fn retire(region: &Arc<Region>) {
+    let mut g = lock_unpoisoned(&pool().mu);
+    g.jobs.retain(|job| !Arc::ptr_eq(job, region));
+}
+
+/// Dispatch one region: run `work` on the calling thread and on up to
+/// `extra` pool workers, returning only when every started run has
+/// finished. Panics (caller's or any helper's) propagate after the
+/// barrier, caller's first.
+fn run_region(extra: usize, work: &(dyn Fn() + Sync)) {
+    if extra == 0 {
+        enter_pool(work);
+        return;
+    }
+    let region = publish(extra, work);
+    let caller = catch_unwind(AssertUnwindSafe(|| enter_pool(work)));
+    let unclaimed = region.revoke();
+    let helper_panic = region.wait(extra - unclaimed);
+    retire(&region);
+    if let Err(p) = caller {
+        resume_unwind(p);
+    }
+    if let Some(p) = helper_panic {
+        resume_unwind(p);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunked drivers (shared by the iterator layer)
+// ---------------------------------------------------------------------------
+
 /// Core driver: run `work(start, end)` over every chunk of `[0, len)`.
 ///
 /// Chunks are claimed through an atomic cursor; the caller participates as
-/// worker 0. Panics in any worker propagate to the caller (the scope
-/// resumes the payload after joining).
+/// a worker. Panics in any worker propagate to the caller after the region
+/// barrier.
 pub(crate) fn run_chunked<F>(len: usize, min_len: usize, work: &F)
 where
     F: Fn(usize, usize) + Sync,
@@ -146,12 +379,7 @@ where
         return;
     }
     let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 1..threads {
-            scope.spawn(|| enter_pool(|| drain(&cursor, chunk, len, work)));
-        }
-        enter_pool(|| drain(&cursor, chunk, len, work));
-    });
+    run_region(threads - 1, &|| drain(&cursor, chunk, len, work));
 }
 
 /// Claim chunks off the shared cursor until the range is exhausted.
@@ -163,12 +391,6 @@ fn drain<F: Fn(usize, usize)>(cursor: &AtomicUsize, chunk: usize, len: usize, wo
         }
         work(s, (s + chunk).min(len));
     }
-}
-
-/// Lock a mutex, riding through poisoning (a panicking sibling worker
-/// should surface *its* payload, not a `PoisonError`).
-fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 /// Run `make(start, end) -> Vec<T>` over every chunk and concatenate the
@@ -224,12 +446,7 @@ where
             .map(|(c, ch)| (c * chunk, ch))
             .collect(),
     );
-    std::thread::scope(|scope| {
-        for _ in 1..threads {
-            scope.spawn(|| enter_pool(|| drain_mut(&queue, f)));
-        }
-        enter_pool(|| drain_mut(&queue, f));
-    });
+    run_region(threads - 1, &|| drain_mut(&queue, f));
 }
 
 /// Pop `(base_index, chunk)` pairs until the queue is empty.
@@ -270,12 +487,7 @@ where
     }
     let queue: Mutex<Vec<(usize, &mut [T])>> =
         Mutex::new(slice.chunks_mut(size).enumerate().collect());
-    std::thread::scope(|scope| {
-        for _ in 1..threads {
-            scope.spawn(|| enter_pool(|| drain_chunks_mut(&queue, f)));
-        }
-        enter_pool(|| drain_chunks_mut(&queue, f));
-    });
+    run_region(threads - 1, &|| drain_chunks_mut(&queue, f));
 }
 
 /// Pop `(chunk_index, chunk)` pairs until the queue is empty.
@@ -291,6 +503,11 @@ fn drain_chunks_mut<T, F: Fn(usize, &mut [T])>(queue: &Mutex<Vec<(usize, &mut [T
 
 /// rayon's `join`: run both closures, potentially in parallel; both results
 /// returned, panics propagated.
+///
+/// `b` is offered to the pool as a single-ticket region; if no parked
+/// worker claims it by the time `a` finishes on the caller, the caller
+/// revokes the ticket and runs `b` itself — `b` runs exactly once either
+/// way.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -301,12 +518,38 @@ where
     if current_num_threads() <= 1 {
         return (a(), b());
     }
-    std::thread::scope(|scope| {
-        let hb = scope.spawn(|| enter_pool(b));
-        let ra = enter_pool(a);
-        let rb = hb
-            .join()
-            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
-        (ra, rb)
-    })
+    let b_fn = Mutex::new(Some(b));
+    let b_out: Mutex<Option<RB>> = Mutex::new(None);
+    let run_b = || {
+        let f = lock_unpoisoned(&b_fn).take();
+        if let Some(f) = f {
+            let r = f();
+            *lock_unpoisoned(&b_out) = Some(r);
+        }
+    };
+    let region = publish(1, &run_b);
+    let ra = catch_unwind(AssertUnwindSafe(|| enter_pool(a)));
+    let unclaimed = region.revoke();
+    let caller_b = if unclaimed == 1 {
+        catch_unwind(AssertUnwindSafe(|| enter_pool(run_b)))
+    } else {
+        Ok(())
+    };
+    let helper_panic = region.wait(1 - unclaimed);
+    retire(&region);
+    match ra {
+        Err(p) => resume_unwind(p),
+        Ok(ra) => {
+            if let Err(p) = caller_b {
+                resume_unwind(p);
+            }
+            if let Some(p) = helper_panic {
+                resume_unwind(p);
+            }
+            let rb = lock_unpoisoned(&b_out)
+                .take()
+                .expect("join: b ran exactly once");
+            (ra, rb)
+        }
+    }
 }

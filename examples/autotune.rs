@@ -56,6 +56,7 @@ fn main() {
         nlist: vec![64, 128, 256],
         m: vec![4, 8, 16],
         cb: vec![16, 32, 64],
+        sqt_window: vec![2 << 10, 4 << 10, 8 << 10],
     };
     println!(
         "design space: {} candidates; constraint: recall@10 >= 0.8\n",
@@ -88,6 +89,10 @@ fn main() {
         "  {} evaluations, attained hypervolume {:.3}",
         result.evaluations.len(),
         result.hypervolume()
+    );
+    println!(
+        "  16-bit SQT WRAM window (planner co-optimized): {} entries",
+        result.best_sqt_window
     );
     assert!(result.best_recall >= 0.8 || result.evaluations.len() >= 10);
 }

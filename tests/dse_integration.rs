@@ -55,6 +55,7 @@ fn dse_with_measured_accuracy_meets_constraint() {
         nlist: vec![32, 64],
         m: vec![4, 8],
         cb: vec![16, 32],
+        sqt_window: vec![2 << 10, 4 << 10, 8 << 10],
     };
     let res = optimize(
         &space,

@@ -1,6 +1,7 @@
 //! Bit-identical results at every host thread count.
 //!
-//! The rayon shim executes on a real scoped thread pool since PR 2; its
+//! The rayon shim executes on a real thread pool since PR 2 (persistent
+//! pinned workers since PR 4); its
 //! determinism contract is that chunk geometry is a pure function of input
 //! length and all ordered combines run in chunk order, so the thread count
 //! can never change a result. These tests pin that contract down on the
