@@ -31,7 +31,7 @@
 //!   [`M_SPLIT_MIN`] rows (trace-scale `nlist`, 2^16 and beyond), the
 //!   per-block product is issued table-side-left (`T · Q_blkᵀ`, M = table
 //!   rows) through the pool-backed
-//!   [`linalg::MatrixView::matmul_t_into_par`], then each query's
+//!   [`MatrixView::matmul_t_into_par`], then each query's
 //!   cross-term column is gathered into a contiguous row for the consumer.
 //!   The orientation swap is bit-free: IEEE multiplication commutes and
 //!   both orientations accumulate in ascending-k order, so `(T·Qᵀ)[c][r]`
@@ -39,10 +39,31 @@
 //!   function of the table shape — never of the thread count.
 //!
 //! Consumers implement [`RowConsumer`]; [`Argmin`], [`TopN`] and
-//! [`TopNWithCharge`] cover the three ported call sites. The determinism
-//! contract (bit-identical results at any thread count, batch split or
-//! block geometry) therefore lives in exactly one module, pinned end to
-//! end by `tests/driver_parity.rs`.
+//! [`TopNWithCharge`] cover the three ported call sites.
+//!
+//! # Determinism contract
+//!
+//! Driver results are **bit-identical at any host thread count, batch
+//! split or table scale**, because every potentially-varying choice is a
+//! pure function of the *input*, never of the execution environment:
+//!
+//! * **Block cuts** are a pure function of the caller's query range
+//!   (fixed [`BLOCK`]-row steps from the range start), and chunk
+//!   geometry in any parallel region above the driver is a pure function
+//!   of input length (the rayon shim's contract) — so splitting a query
+//!   set across tasks cannot move a query to a different block phase.
+//! * **Per-element GEMM accumulation is strictly ascending-k**
+//!   (`linalg`'s contract), so a cross term's bits do not depend on the
+//!   batch width or tiling it was computed under.
+//! * **The M-split path switch** ([`M_SPLIT_MIN`]) and the parallel
+//!   GEMM's fixed row stripes depend only on the table shape, and IEEE
+//!   multiplication commutes, so the table-side-left orientation produces
+//!   the same bits as the query-side-left one.
+//!
+//! `tests/driver_parity.rs` pins all of this end to end: driver-routed
+//! assignment/locate/CL bit-equal to the hand-rolled reference loops at
+//! 1/2/4/8 threads, odd batch sizes, and tables straddling both path
+//! thresholds.
 
 use crate::kernels;
 use crate::linalg::MatrixView;
@@ -57,7 +78,7 @@ pub const BLOCK: usize = 32;
 
 /// Table row count at (and above) which a block's product is issued
 /// table-side-left and M-split across the worker pool
-/// ([`linalg::MatrixView::matmul_t_into_par`]). Covers trace-scale
+/// ([`MatrixView::matmul_t_into_par`]). Covers trace-scale
 /// `nlist` (2^16+) where a micro-batch caller has no outer parallelism
 /// left; a pure function of the table shape so the path choice can never
 /// depend on the pool width.

@@ -22,17 +22,25 @@
 //! * **Cache tiling** — `KC`/`MC`/`NC` blocking keeps the packed A block
 //!   L2-resident and each packed B panel L1-resident while C streams.
 //!
-//! **Determinism contract:** every output element is accumulated strictly
-//! in ascending-`k` order (sequentially within each `KC` block, blocks in
-//! order), and tile edges are handled by zero-padding panels rather than
-//! by switching kernels. An element's value is therefore a pure function
-//! of its A row, its B column and `K` — independent of where the element
-//! falls in the tiling and of how many other rows/columns are computed
-//! alongside it. Batched products are bit-identical to one-column
-//! products, which is what lets `ProductQuantizer::lut_batch` promise
-//! bit-parity with per-query `lut()` and keeps every GEMM consumer
-//! bit-identical at any thread count (chunk geometry never feeds back
-//! into the arithmetic).
+//! # Determinism contract
+//!
+//! Every output element is accumulated strictly in **ascending-`k`
+//! order** (sequentially within each `KC` block, blocks in order), and
+//! tile edges are handled by zero-padding panels rather than by switching
+//! kernels. An element's value is therefore a pure function of its A row,
+//! its B column and `K` — independent of where the element falls in the
+//! tiling and of how many other rows/columns are computed alongside it.
+//! Batched products are bit-identical to one-column products, which is
+//! what lets `ProductQuantizer::lut_batch` promise bit-parity with
+//! per-query `lut()`.
+//!
+//! The parallel entry point [`MatrixView::matmul_t_into_par`] preserves
+//! the contract across thread counts: it splits the M dimension into
+//! **fixed 1024-row stripes** ([`GEMM_PAR_M_TILE`]) — chunk geometry a
+//! pure function of the matrix shape, never of the pool width — and each
+//! stripe runs the identical serial kernel, so the product is
+//! **bit-identical at any thread count** (pinned by `parallel_parity` and
+//! `driver_parity` at 1/2/4/8 threads).
 //!
 //! The pre-existing i-k-j loop is kept as [`Matrix::matmul_naive`]: it is
 //! the parity reference for tests and the baseline the `gemm` bench

@@ -1,15 +1,285 @@
-//! Criterion bench for the Fig. 9 breakdown / Fig. 10 energy datapoints.
+//! Fig. 9 / Fig. 10: phase breakdown + phase-resolved energy on SIFT100M.
+//!
+//! Runs the trace simulator over the paper's nprobe and nlist sweeps and
+//! checks the *shape* of the resulting breakdowns against the paper's
+//! figures, with explicit tolerances (documented in
+//! `docs/BENCH_SCHEMA.md`):
+//!
+//! * **Fig. 9 shape** — LC + DC dominate the PIM latency breakdown
+//!   (`>= 0.60` of critical-DPU time at every swept point; the paper shows
+//!   ~0.7–0.9), and the bottleneck migrates DC → LC as `nlist` grows
+//!   (strictly larger LC fraction at 2^16 than at 2^13, strictly smaller
+//!   DC fraction).
+//! * **Energy mirrors time** — the same LC + DC dominance (`>= 0.60`)
+//!   must hold for the *dynamic DPU energy* split, because phase energy is
+//!   metered from the same per-phase counters.
+//! * **Fig. 10 shape** — DRIM-ANN's energy per 10k-query batch beats the
+//!   modelled Faiss-CPU baseline at every swept point (`improvement >=
+//!   1.0`: the server wins on energy *despite* higher power) and by
+//!   `>= 1.2` in geomean. The paper reports ~2–3x; this trace simulator
+//!   is conservative at large `nlist`, where host CL grows and the CPU
+//!   baseline's smaller clusters shrink its scan cost.
+//! * **Accounting sanity** — the six components re-sum bit-exactly to the
+//!   reported total, and the total never exceeds the flat
+//!   every-DIMM-at-full-power `P × t` bound.
+//! * **Thread parity** — one swept point is re-run at 1/2/4/8 host
+//!   threads and the whole breakdown must be bit-identical (the
+//!   `charge_parity` contract; also enforced in `tests/charge_parity.rs`).
+//!
+//! Running this bench (`cargo bench -p bench --bench
+//! fig09_10_breakdown_energy`) writes `BENCH_energy.json` at the workspace
+//! root with the per-point breakdowns, the check results and the measuring
+//! host's core count.
 
+use baselines::cpu::CpuModel;
 use bench::experiments as ex;
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::Criterion;
 use drim_ann::config::EngineConfig;
+use drim_ann::perf_model::BitWidths;
+use drim_ann::{BatchReport, Phase};
 use upmem_sim::PimArch;
+
+/// Minimum LC + DC share of both the latency and the dynamic-DPU-energy
+/// breakdowns (paper Fig. 9 shows ~0.7–0.9; the floor leaves room for the
+/// reduced-scale trace).
+const LCDC_DOMINANCE_FLOOR: f64 = 0.60;
+
+/// Per-point floor on the DRIM-ANN-over-Faiss-CPU energy improvement: the
+/// PIM server must never *lose* on energy (paper Fig. 10's qualitative
+/// claim — it wins despite higher power).
+const ENERGY_IMPROVEMENT_FLOOR: f64 = 1.0;
+
+/// Floor on the geomean improvement across the sweeps (the paper reports
+/// ~2–3x at full scale; the reduced-scale trace lands lower at large
+/// nlist — see the module docs).
+const ENERGY_IMPROVEMENT_GEOMEAN_FLOOR: f64 = 1.2;
+
+struct Point {
+    sweep: &'static str,
+    value: usize,
+    rep: BatchReport,
+    cpu_j_10k: f64,
+    drim_j_10k: f64,
+}
+
+fn sweep_points(scale: &ex::PaperScale) -> Vec<Point> {
+    let desc = datasets::catalog::sift100m();
+    let cpu = CpuModel::xeon_gold_5218();
+    let norm = 10_000.0 / scale.batch as f64;
+    let mut points = Vec::new();
+    let mut push = |sweep: &'static str, value: usize, nlist: usize, nprobe: usize| {
+        let index = ex::paper_index(nlist, nprobe);
+        let rep = ex::drim_report(
+            &desc,
+            EngineConfig::drim(index),
+            PimArch::upmem_sc25(),
+            scale,
+        );
+        let shape = ex::comparison_shape(&desc, &index, scale.batch, BitWidths::f32_regime());
+        points.push(Point {
+            sweep,
+            value,
+            cpu_j_10k: cpu.energy_j(&shape) * norm,
+            drim_j_10k: rep.energy_j * norm,
+            rep,
+        });
+    };
+    for &nprobe in &ex::NPROBE_SWEEP {
+        push("nprobe", nprobe, 1 << 14, nprobe);
+    }
+    for &nlist in &ex::NLIST_SWEEP {
+        push("nlist", nlist, nlist, 96);
+    }
+    points
+}
+
+/// LC + DC share of the latency breakdown.
+fn lcdc_time(rep: &BatchReport) -> f64 {
+    rep.fraction(Phase::Lc) + rep.fraction(Phase::Dc)
+}
+
+/// LC + DC share of the dynamic DPU energy.
+fn lcdc_energy(rep: &BatchReport) -> f64 {
+    rep.energy.phase_fraction(Phase::Lc) + rep.energy.phase_fraction(Phase::Dc)
+}
+
+struct Checks {
+    fig9_lcdc_time_dominant: bool,
+    fig9_bottleneck_shifts_dc_to_lc: bool,
+    energy_lcdc_dominant: bool,
+    fig10_beats_cpu: bool,
+    fig10_geomean_improvement: f64,
+    components_sum_bit_exact: bool,
+    below_flat_bound: bool,
+    thread_parity_bit_identical: bool,
+}
+
+fn run_checks(points: &[Point], scale: &ex::PaperScale) -> Checks {
+    let flat = upmem_sim::EnergyModel::for_arch(&PimArch::upmem_sc25());
+    let nlist_pts: Vec<&Point> = points.iter().filter(|p| p.sweep == "nlist").collect();
+    let first = nlist_pts.first().expect("nlist sweep nonempty");
+    let last = nlist_pts.last().expect("nlist sweep nonempty");
+
+    // thread parity: the 2^14 / nprobe=96 point re-run at 1/2/4/8 host
+    // threads must produce a bit-identical breakdown
+    let desc = datasets::catalog::sift100m();
+    let parity_rep = |threads: usize| {
+        rayon::with_num_threads(threads, || {
+            ex::drim_report(
+                &desc,
+                EngineConfig::drim(ex::paper_index(1 << 14, 96)),
+                PimArch::upmem_sc25(),
+                scale,
+            )
+        })
+    };
+    let baseline = format!("{:?}", parity_rep(1).energy);
+    let thread_parity_bit_identical = [2usize, 4, 8]
+        .iter()
+        .all(|&t| format!("{:?}", parity_rep(t).energy) == baseline);
+
+    Checks {
+        fig9_lcdc_time_dominant: points
+            .iter()
+            .all(|p| lcdc_time(&p.rep) >= LCDC_DOMINANCE_FLOOR),
+        fig9_bottleneck_shifts_dc_to_lc: last.rep.fraction(Phase::Lc)
+            > first.rep.fraction(Phase::Lc)
+            && last.rep.fraction(Phase::Dc) < first.rep.fraction(Phase::Dc),
+        energy_lcdc_dominant: points
+            .iter()
+            .all(|p| lcdc_energy(&p.rep) >= LCDC_DOMINANCE_FLOOR),
+        fig10_beats_cpu: points
+            .iter()
+            .all(|p| p.cpu_j_10k / p.drim_j_10k >= ENERGY_IMPROVEMENT_FLOOR),
+        fig10_geomean_improvement: upmem_sim::stats::geomean(
+            &points
+                .iter()
+                .map(|p| p.cpu_j_10k / p.drim_j_10k)
+                .collect::<Vec<_>>(),
+        ),
+        components_sum_bit_exact: points.iter().all(|p| {
+            let e = &p.rep.energy;
+            let resum = e.dpu_pipeline_j
+                + e.dpu_mram_j
+                + e.dpu_wram_j
+                + e.transfer_j
+                + e.host_busy_j
+                + e.static_j;
+            p.rep.energy_j.to_bits() == resum.to_bits()
+        }),
+        below_flat_bound: points
+            .iter()
+            .all(|p| p.rep.energy_j <= flat.energy_j(p.rep.timing.total_s())),
+        thread_parity_bit_identical,
+    }
+}
+
+fn fr(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+fn write_json(points: &[Point], checks: &Checks, bench_ns: Option<f64>) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_energy.json");
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut rows = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        let e = &p.rep.energy;
+        let comp = e.component_fractions();
+        rows.push_str(&format!(
+            concat!(
+                "    {{\"sweep\": \"{}\", \"value\": {}, ",
+                "\"drim_j_per_10k\": {:.2}, \"cpu_j_per_10k\": {:.2}, \"improvement\": {:.2}, ",
+                "\"queries_per_joule\": {:.2}, \"edp_js\": {:.6}, ",
+                "\"time_fraction\": {{\"rc\": {}, \"lc\": {}, \"dc\": {}, \"ts\": {}}}, ",
+                "\"energy_phase_fraction\": {{\"rc\": {}, \"lc\": {}, \"dc\": {}, \"ts\": {}}}, ",
+                "\"energy_component_fraction\": {{\"dpu_pipeline\": {}, \"dpu_mram\": {}, ",
+                "\"dpu_wram\": {}, \"transfer\": {}, \"host_busy\": {}, \"static\": {}}}}}"
+            ),
+            p.sweep,
+            p.value,
+            p.drim_j_10k,
+            p.cpu_j_10k,
+            p.cpu_j_10k / p.drim_j_10k,
+            p.rep.queries_per_joule(),
+            p.rep.edp_js(),
+            fr(p.rep.fraction(Phase::Rc)),
+            fr(p.rep.fraction(Phase::Lc)),
+            fr(p.rep.fraction(Phase::Dc)),
+            fr(p.rep.fraction(Phase::Ts)),
+            fr(e.phase_fraction(Phase::Rc)),
+            fr(e.phase_fraction(Phase::Lc)),
+            fr(e.phase_fraction(Phase::Dc)),
+            fr(e.phase_fraction(Phase::Ts)),
+            fr(comp[0]),
+            fr(comp[1]),
+            fr(comp[2]),
+            fr(comp[3]),
+            fr(comp[4]),
+            fr(comp[5]),
+        ));
+    }
+
+    let b = |v: bool| if v { "true" } else { "false" };
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"fig09_10_breakdown_energy\",\n",
+            "  \"host_cores\": {host_cores},\n",
+            "  \"dataset\": \"SIFT100M\",\n",
+            "  \"scale\": \"default (batch 2000, 2543 DPUs; J normalized to the paper's 10k-query batch)\",\n",
+            "  \"tolerances\": {{\n",
+            "    \"lcdc_dominance_floor\": {lcdc},\n",
+            "    \"energy_improvement_floor\": {impr},\n",
+            "    \"energy_improvement_geomean_floor\": {gimpr}\n",
+            "  }},\n",
+            "  \"checks\": {{\n",
+            "    \"fig9_lcdc_time_dominant\": {c1},\n",
+            "    \"fig9_bottleneck_shifts_dc_to_lc\": {c2},\n",
+            "    \"energy_lcdc_dominant\": {c3},\n",
+            "    \"fig10_beats_cpu\": {c4},\n",
+            "    \"fig10_geomean_improvement\": {geo:.2},\n",
+            "    \"components_sum_bit_exact\": {c5},\n",
+            "    \"below_flat_pxt_bound\": {c6},\n",
+            "    \"thread_parity_bit_identical_1_2_4_8\": {c7}\n",
+            "  }},\n",
+            "  \"report_batch_ns\": {bench_ns},\n",
+            "  \"rows\": [\n{rows}\n  ]\n",
+            "}}\n"
+        ),
+        host_cores = host_cores,
+        lcdc = LCDC_DOMINANCE_FLOOR,
+        impr = ENERGY_IMPROVEMENT_FLOOR,
+        gimpr = ENERGY_IMPROVEMENT_GEOMEAN_FLOOR,
+        geo = checks.fig10_geomean_improvement,
+        c1 = b(checks.fig9_lcdc_time_dominant),
+        c2 = b(checks.fig9_bottleneck_shifts_dc_to_lc),
+        c3 = b(checks.energy_lcdc_dominant),
+        c4 = b(checks.fig10_beats_cpu),
+        c5 = b(checks.components_sum_bit_exact),
+        c6 = b(checks.below_flat_bound),
+        c7 = b(checks.thread_parity_bit_identical),
+        bench_ns = bench_ns
+            .map(|x| format!("{x:.1}"))
+            .unwrap_or_else(|| "null".into()),
+        rows = rows,
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
 
 fn bench_breakdown(c: &mut Criterion) {
     let scale = ex::PaperScale::quick();
     let desc = datasets::catalog::sift100m();
     let mut g = c.benchmark_group("fig09_10");
-    g.sample_size(10);
+    g.sample_size(5);
     g.bench_function("breakdown_and_energy_batch", |b| {
         b.iter(|| {
             let rep = ex::drim_report(
@@ -18,7 +288,6 @@ fn bench_breakdown(c: &mut Criterion) {
                 PimArch::upmem_sc25(),
                 &scale,
             );
-            // the figure's two reads: phase fractions and joules
             assert!(rep.energy_j > 0.0);
             std::hint::black_box((rep.phase_fraction, rep.energy_j))
         })
@@ -26,5 +295,48 @@ fn bench_breakdown(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_breakdown);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::default();
+    bench_breakdown(&mut c);
+    c.final_summary();
+
+    // The energy sweep runs at the paper's DPU count: Fig. 10's
+    // improvement is a *full-machine* property — scaled-down runs stretch
+    // the batch while static power still covers all 20 DIMMs (the machine
+    // cannot power-gate), which overstates static energy ~10x. The
+    // criterion timing above keeps the quick scale; the parity check can
+    // use it too (bit-parity is scale-independent).
+    let scale = ex::PaperScale::default();
+    let points = sweep_points(&scale);
+    let checks = run_checks(&points, &ex::PaperScale::quick());
+    let bench_ns = c
+        .results()
+        .iter()
+        .find(|s| s.id == "fig09_10/breakdown_and_energy_batch")
+        .map(|s| s.median_ns);
+    write_json(&points, &checks, bench_ns);
+
+    assert!(checks.fig9_lcdc_time_dominant, "Fig.9 LC+DC time dominance");
+    assert!(
+        checks.fig9_bottleneck_shifts_dc_to_lc,
+        "Fig.9 DC->LC bottleneck shift with nlist"
+    );
+    assert!(checks.energy_lcdc_dominant, "LC+DC energy dominance");
+    assert!(checks.fig10_beats_cpu, "Fig.10 energy improvement over CPU");
+    assert!(
+        checks.fig10_geomean_improvement >= ENERGY_IMPROVEMENT_GEOMEAN_FLOOR,
+        "Fig.10 geomean improvement {} below {}",
+        checks.fig10_geomean_improvement,
+        ENERGY_IMPROVEMENT_GEOMEAN_FLOOR
+    );
+    assert!(
+        checks.components_sum_bit_exact,
+        "component sum bit-exactness"
+    );
+    assert!(checks.below_flat_bound, "flat PxT upper bound");
+    assert!(
+        checks.thread_parity_bit_identical,
+        "breakdown thread parity 1/2/4/8"
+    );
+    eprintln!("all Fig.9/10 shape checks passed");
+}

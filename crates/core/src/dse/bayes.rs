@@ -9,9 +9,9 @@
 //! configuration.
 
 use super::gp::{normal_pdf, Gp};
-use super::space::ParamSpace;
+use super::space::{DseObjective, ParamSpace};
 use crate::config::IndexConfig;
-use crate::perf_model::{predict, BitWidths, WorkloadShape};
+use crate::perf_model::{predict, BitWidths, Prediction, WorkloadShape};
 use upmem_sim::proc::ProcModel;
 use upmem_sim::PimArch;
 
@@ -80,6 +80,8 @@ pub struct Evaluation {
     pub cfg: IndexConfig,
     /// Model-predicted throughput (QPS).
     pub qps: f64,
+    /// Model-predicted batch energy, joules.
+    pub energy_j: f64,
     /// Measured/estimated recall.
     pub recall: f64,
 }
@@ -87,12 +89,18 @@ pub struct Evaluation {
 /// DSE outcome.
 #[derive(Debug, Clone)]
 pub struct DseResult {
-    /// Best feasible configuration found.
+    /// Best feasible configuration found (under the space's
+    /// [`DseObjective`]).
     pub best: IndexConfig,
     /// Its predicted QPS.
     pub best_qps: f64,
     /// Its recall.
     pub best_recall: f64,
+    /// Its predicted batch energy, joules.
+    pub best_energy_j: f64,
+    /// Its predicted queries per joule (co-reported regardless of the
+    /// objective, as Fig. 10 reads energy off the latency winner too).
+    pub best_qpj: f64,
     /// The 16-bit SQT WRAM window (entries) co-optimized with the buffer
     /// planner for the winning configuration — feed it to
     /// `EngineConfig::sqt_window`.
@@ -164,16 +172,42 @@ pub fn optimize(
     let candidates = space.enumerate();
     assert!(!candidates.is_empty(), "empty design space");
 
-    let qps_of = |cfg: &IndexConfig| {
+    let pred_of = |cfg: &IndexConfig| -> Prediction {
         let shape = WorkloadShape::new(n_points, batch, dim, cfg, BitWidths::u8_regime());
-        predict(&shape, arch, host, true).qps
+        predict(&shape, arch, host, true)
     };
+    // One scalar to maximize among feasible configurations: QPS,
+    // queries-per-joule, or inverse EDP depending on the space's objective.
+    let score_of = |cfg: &IndexConfig| -> f64 {
+        let p = pred_of(cfg);
+        match space.objective {
+            DseObjective::Throughput => p.qps,
+            DseObjective::QueriesPerJoule => p.queries_per_joule(batch as f64),
+            DseObjective::EnergyDelayProduct => 1.0 / p.edp_js().max(1e-18),
+        }
+    };
+
+    // Score of an already-recorded evaluation (same scalar as `score_of`,
+    // derived from the stored prediction: `t = batch / qps`).
+    let eval_score = |e: &Evaluation| -> f64 {
+        match space.objective {
+            DseObjective::Throughput => e.qps,
+            DseObjective::QueriesPerJoule => batch as f64 / e.energy_j.max(1e-12),
+            DseObjective::EnergyDelayProduct => e.qps / (e.energy_j.max(1e-18) * batch as f64),
+        }
+    };
+
+    // The model is deterministic, so every candidate's score is computed
+    // exactly once up front (seeding, the per-iteration acquisition scan
+    // and the final sort all read this cache instead of re-running the
+    // analytic model).
+    let scores: Vec<f64> = candidates.iter().map(&score_of).collect();
 
     let mut evals: Vec<Evaluation> = Vec::new();
     let mut evaluated = std::collections::HashSet::new();
 
     // --- greedy seeding: the accuracy-maximizing corner plus the
-    // model-fastest candidate — both ends of the frontier
+    // model-best candidate under the objective — both ends of the frontier
     let mut seeds = Vec::new();
     if let Some(max_acc) = candidates.iter().max_by(|a, b| {
         (a.nprobe * a.m * a.cb)
@@ -184,9 +218,11 @@ pub fn optimize(
     }
     if let Some(fastest) = candidates
         .iter()
-        .max_by(|a, b| qps_of(a).partial_cmp(&qps_of(b)).unwrap())
+        .zip(&scores)
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(c, _)| *c)
     {
-        seeds.push(*fastest);
+        seeds.push(fastest);
     }
     // a mid-space sample for GP conditioning
     seeds.push(candidates[candidates.len() / 2]);
@@ -194,9 +230,11 @@ pub fn optimize(
     for cfg in seeds {
         if evaluated.insert(key(&cfg)) {
             let recall = accuracy.eval(&cfg);
+            let p = pred_of(&cfg);
             evals.push(Evaluation {
                 cfg,
-                qps: qps_of(&cfg),
+                qps: p.qps,
+                energy_j: p.energy_j,
                 recall,
             });
         }
@@ -214,33 +252,32 @@ pub fn optimize(
             None => break,
         };
 
-        // incumbent: best feasible qps so far
+        // incumbent: best feasible score so far
         let incumbent = evals
             .iter()
             .filter(|e| e.recall >= accuracy_constraint)
-            .map(|e| e.qps)
+            .map(&eval_score)
             .fold(0.0f64, f64::max);
 
         let mut best_next: Option<(f64, IndexConfig)> = None;
-        for cfg in &candidates {
+        for (cfg, &s) in candidates.iter().zip(&scores) {
             if evaluated.contains(&key(cfg)) {
                 continue;
             }
-            let q = qps_of(cfg);
             let x = space.normalize(cfg);
             let p_feasible = gp.prob_at_least(&x, accuracy_constraint);
             // deterministic-objective EI degenerates to the plain
             // improvement, smoothed by feasibility probability; add an
             // exploration bonus from the accuracy variance
             let (_, var) = gp.predict(&x);
-            let improvement = (q - incumbent).max(0.0);
+            let improvement = (s - incumbent).max(0.0);
             let z = if incumbent > 0.0 {
                 improvement / incumbent
             } else {
                 1.0
             };
             let acq = p_feasible * (improvement + 0.01 * incumbent * normal_pdf(1.0 - z))
-                + 0.001 * var.sqrt() * q;
+                + 0.001 * var.sqrt() * s;
             if acq > best_next.as_ref().map(|(a, _)| *a).unwrap_or(f64::MIN) {
                 best_next = Some((acq, *cfg));
             }
@@ -248,42 +285,48 @@ pub fn optimize(
         let Some((_, next)) = best_next else { break };
         evaluated.insert(key(&next));
         let recall = accuracy.eval(&next);
+        let p = pred_of(&next);
         evals.push(Evaluation {
             cfg: next,
-            qps: qps_of(&next),
+            qps: p.qps,
+            energy_j: p.energy_j,
             recall,
         });
     }
 
     // --- greedy completion (the paper's "greedy search" leg): walk the
-    // unevaluated candidates in descending predicted throughput, stopping
-    // once nothing faster than the feasible incumbent remains. The first
-    // feasible hit in this order is provably the fastest feasible
+    // unevaluated candidates in descending predicted score, stopping once
+    // nothing scoring above the feasible incumbent remains. The first
+    // feasible hit in this order is provably the best feasible
     // configuration the oracle admits, so the result can never degenerate
     // to the slow accuracy-corner seed.
-    let best_feasible_qps = evals
+    let best_feasible_score = evals
         .iter()
         .filter(|e| e.recall >= accuracy_constraint)
-        .map(|e| e.qps)
+        .map(&eval_score)
         .fold(0.0f64, f64::max);
-    let mut by_qps: Vec<&IndexConfig> = candidates
+    let mut by_score: Vec<(&IndexConfig, f64)> = candidates
         .iter()
-        .filter(|c| !evaluated.contains(&key(c)))
+        .zip(&scores)
+        .filter(|(c, _)| !evaluated.contains(&key(c)))
+        .map(|(c, &s)| (c, s))
         .collect();
-    by_qps.sort_by(|a, b| qps_of(b).partial_cmp(&qps_of(a)).unwrap());
-    for cfg in by_qps {
-        if qps_of(cfg) <= best_feasible_qps {
+    by_score.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    for (cfg, s) in by_score {
+        if s <= best_feasible_score {
             break; // nothing left can improve on the incumbent
         }
         let recall = accuracy.eval(cfg);
         evaluated.insert(key(cfg));
+        let p = pred_of(cfg);
         evals.push(Evaluation {
             cfg: *cfg,
-            qps: qps_of(cfg),
+            qps: p.qps,
+            energy_j: p.energy_j,
             recall,
         });
         if recall >= accuracy_constraint {
-            break; // first feasible in qps-descending order is optimal
+            break; // first feasible in score-descending order is optimal
         }
     }
 
@@ -291,7 +334,7 @@ pub fn optimize(
     let feasible_best = evals
         .iter()
         .filter(|e| e.recall >= accuracy_constraint)
-        .max_by(|a, b| a.qps.partial_cmp(&b.qps).unwrap());
+        .max_by(|a, b| eval_score(a).partial_cmp(&eval_score(b)).unwrap());
     let chosen = feasible_best
         .or_else(|| {
             evals
@@ -319,6 +362,8 @@ pub fn optimize(
         best: chosen.cfg,
         best_qps: chosen.qps,
         best_recall: chosen.recall,
+        best_energy_j: chosen.energy_j,
+        best_qpj: batch as f64 / chosen.energy_j.max(1e-12),
         best_sqt_window,
         evaluations: evals.clone(),
     }
@@ -431,6 +476,87 @@ mod tests {
         // UPMEM-sized WRAM fits the 4Ki-entry (16 KiB) window alongside
         // the hot set, so the co-optimizer should take the largest
         assert_eq!(res.best_sqt_window, 4 << 10);
+    }
+
+    #[test]
+    fn energy_objectives_respect_constraint_and_report_energy() {
+        for objective in [
+            DseObjective::QueriesPerJoule,
+            DseObjective::EnergyDelayProduct,
+        ] {
+            let mut space = ParamSpace::small();
+            space.objective = objective;
+            let mut proxy = ProxyAccuracy::for_dim(32);
+            let res = optimize(
+                &space,
+                1_000_000,
+                32,
+                256,
+                &PimArch::upmem_sc25(),
+                &procs::xeon_silver_4216(),
+                &mut proxy,
+                0.5,
+                10,
+            );
+            assert!(res.best_recall >= 0.5, "{objective:?}: infeasible winner");
+            assert!(res.best_energy_j > 0.0);
+            assert!(
+                (res.best_qpj - 256.0 / res.best_energy_j).abs() / res.best_qpj < 1e-9,
+                "{objective:?}: qpj inconsistent"
+            );
+            // the winner is the qpj-best feasible *evaluation* (for the
+            // EDP objective the check is the analogous EDP ordering)
+            for e in res.evaluations.iter().filter(|e| e.recall >= 0.5) {
+                match objective {
+                    DseObjective::QueriesPerJoule => assert!(
+                        256.0 / e.energy_j <= res.best_qpj * (1.0 + 1e-9),
+                        "feasible eval beats winner on qpj"
+                    ),
+                    DseObjective::EnergyDelayProduct => {
+                        let edp = |qps: f64, energy: f64| energy * 256.0 / qps;
+                        assert!(
+                            edp(e.qps, e.energy_j)
+                                >= edp(res.best_qps, res.best_energy_j) * (1.0 - 1e-9),
+                            "feasible eval beats winner on EDP"
+                        );
+                    }
+                    DseObjective::Throughput => unreachable!(),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qpj_objective_never_picks_a_feasible_config_with_worse_qpj_than_throughput_winner() {
+        // queries-per-joule and throughput mostly agree on this model
+        // (energy is time-dominated), but the qpj winner must be at least
+        // as energy-efficient as the throughput winner.
+        let mut thr_space = ParamSpace::small();
+        thr_space.objective = DseObjective::Throughput;
+        let mut qpj_space = ParamSpace::small();
+        qpj_space.objective = DseObjective::QueriesPerJoule;
+        let run = |space: &ParamSpace| {
+            let mut proxy = ProxyAccuracy::for_dim(32);
+            optimize(
+                space,
+                1_000_000,
+                32,
+                256,
+                &PimArch::upmem_sc25(),
+                &procs::xeon_silver_4216(),
+                &mut proxy,
+                0.5,
+                10,
+            )
+        };
+        let thr = run(&thr_space);
+        let qpj = run(&qpj_space);
+        assert!(
+            qpj.best_qpj >= thr.best_qpj * (1.0 - 1e-9),
+            "qpj winner {} less efficient than throughput winner {}",
+            qpj.best_qpj,
+            thr.best_qpj
+        );
     }
 
     #[test]

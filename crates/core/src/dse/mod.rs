@@ -20,4 +20,4 @@ pub mod gp;
 pub mod space;
 
 pub use bayes::{optimize, AccuracyEval, DseResult, ProxyAccuracy};
-pub use space::ParamSpace;
+pub use space::{DseObjective, ParamSpace};

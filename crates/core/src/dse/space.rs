@@ -1,6 +1,24 @@
-//! The tunable parameter space of the design-space exploration.
+//! The tunable parameter space and objective of the design-space
+//! exploration.
 
 use crate::config::IndexConfig;
+
+/// What the DSE maximizes among configurations meeting the recall
+/// constraint. The paper optimizes latency alone (Eq. 14); the
+/// energy-aware objectives reuse the same analytic model with the
+/// phase-resolved energy estimate ([`crate::perf_model::Prediction`]),
+/// reflecting the Fig. 10 finding that the PIM server's energy win comes
+/// from *time*, not power.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DseObjective {
+    /// Maximize predicted queries per second (the paper's Eq. 14).
+    #[default]
+    Throughput,
+    /// Maximize predicted queries per joule.
+    QueriesPerJoule,
+    /// Minimize the energy-delay product `E × t` (balances the two).
+    EnergyDelayProduct,
+}
 
 /// Candidate values per index parameter. The cartesian product is the
 /// search space; the paper notes that "when the design space is small, the
@@ -24,6 +42,8 @@ pub struct ParamSpace {
     /// (`crate::wram::choose_sqt_window`) and reports the pick in
     /// `DseResult::best_sqt_window`.
     pub sqt_window: Vec<usize>,
+    /// The optimization objective among feasible configurations.
+    pub objective: DseObjective,
 }
 
 impl ParamSpace {
@@ -39,6 +59,7 @@ impl ParamSpace {
             // 4 KiB up to the 32 KiB half-scratchpad default; oversized
             // candidates are rejected by the planner, never placed
             sqt_window: vec![1 << 10, 2 << 10, 4 << 10, 8 << 10],
+            objective: DseObjective::Throughput,
         }
     }
 
@@ -51,6 +72,7 @@ impl ParamSpace {
             m: vec![4, 8],
             cb: vec![16, 32],
             sqt_window: vec![crate::sqt::DEFAULT_U16_WINDOW],
+            objective: DseObjective::Throughput,
         }
     }
 
@@ -134,6 +156,7 @@ mod tests {
             m: vec![4],
             cb: vec![16],
             sqt_window: vec![crate::sqt::DEFAULT_U16_WINDOW],
+            objective: DseObjective::Throughput,
         };
         assert!(s.enumerate().is_empty());
         assert!(s.is_empty());

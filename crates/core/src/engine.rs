@@ -375,13 +375,11 @@ impl DrimEngine {
             .map(|lists| merge_topk(&lists, k))
             .collect();
 
-        // --- timing & report ---
-        let timing = self.system.batch_timing(
-            cl_out.host_s,
-            push_bytes / ndpus.max(1) as u64,
-            gather_bytes / ndpus.max(1) as u64,
-        );
-        let energy = self.system.energy_model().energy_j(timing.total_s());
+        // --- timing & report (exact transfer-byte totals) ---
+        let timing = self
+            .system
+            .batch_timing(cl_out.host_s, push_bytes, gather_bytes);
+        let energy = self.system.batch_energy(&timing, self.host.power_w);
         let sqt_rate = if sqt_hits.0 + sqt_hits.1 == 0 {
             1.0
         } else {
@@ -696,6 +694,24 @@ mod tests {
         let (_, report) = engine.search_batch(&queries);
         assert_eq!(report.queries, queries.len());
         assert!(report.energy_j > 0.0);
+        // the breakdown backs the total, and every leg of a real batch is live
+        assert_eq!(report.energy_j.to_bits(), report.energy.total_j().to_bits());
+        assert!(report.energy.dpu_pipeline_j > 0.0);
+        assert!(report.energy.dpu_mram_j > 0.0);
+        assert!(report.energy.transfer_j > 0.0);
+        assert!(report.energy.host_busy_j > 0.0);
+        assert!(report.energy.static_j > 0.0);
+        assert!(report.queries_per_joule() > 0.0);
+        // phase-resolved total never exceeds the flat P x t upper bound
+        let flat = engine
+            .system
+            .energy_model()
+            .energy_j(report.timing.total_s());
+        assert!(
+            report.energy_j <= flat,
+            "{} vs flat {flat}",
+            report.energy_j
+        );
         assert!(report.imbalance >= 1.0);
         let frac_sum: f64 = report.phase_fraction.iter().sum();
         assert!((frac_sum - 1.0).abs() < 1e-6 || frac_sum == 0.0);

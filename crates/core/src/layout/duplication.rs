@@ -1,6 +1,6 @@
 //! Cluster duplication: extra copies of hot slices (paper Fig. 5b).
 //!
-//! "The duplicated times th2[i] of the i-th cluster is proportional to its
+//! "The duplicated times th2\[i\] of the i-th cluster is proportional to its
 //! heat and ... in inverse proportion to its amount of split slices", and
 //! duplication proceeds until PIM memory (or an explicit budget) is
 //! exhausted — more copies mean more scheduling freedom at runtime.

@@ -10,9 +10,11 @@
 //!
 //! * **Multiplier-less conversion** — [`sqt`]: squarings in L2 distances
 //!   become lossless lookups sized to the 64 KiB WRAM scratchpad.
-//! * **PIM-aware algorithm tuning** — [`perf_model`] (the paper's Eq. 1-13)
-//!   and [`dse`] (Bayesian optimization over `(K, P, C, M, CB)` under a
-//!   recall constraint).
+//! * **PIM-aware algorithm tuning** — [`perf_model`] (the paper's Eq. 1-13,
+//!   plus the analytic energy estimate) and [`dse`] (Bayesian optimization
+//!   over `(K, P, C, M, CB)` under a recall constraint, maximizing QPS,
+//!   queries-per-joule or inverse energy-delay product per
+//!   [`dse::DseObjective`]).
 //! * **Load-balanced data layout** — [`layout`]: cluster partition,
 //!   heat-proportional duplication, and heat-balanced allocation with
 //!   co-location exchange.

@@ -1,5 +1,6 @@
 //! Batch execution reports: everything the paper's figures read off a run.
 
+use upmem_sim::energy::EnergyBreakdown;
 use upmem_sim::meter::Phase;
 use upmem_sim::system::BatchTiming;
 use upmem_sim::tasklet::LockStats;
@@ -13,8 +14,11 @@ pub struct BatchReport {
     pub timing: BatchTiming,
     /// Throughput in queries per second.
     pub qps: f64,
-    /// System energy for the batch, joules.
+    /// Total system energy for the batch, joules
+    /// (`energy.total_j()`, cached for figure readers).
     pub energy_j: f64,
+    /// Phase- and component-resolved energy accounting (Fig. 9/10).
+    pub energy: EnergyBreakdown,
     /// Fraction of critical-DPU time per phase, `Phase::ALL` order.
     pub phase_fraction: [f64; 6],
     /// Load imbalance (max/mean DPU time).
@@ -32,25 +36,20 @@ impl BatchReport {
     pub fn new(
         queries: usize,
         timing: BatchTiming,
-        energy_j: f64,
+        energy: EnergyBreakdown,
         postponed: usize,
         lock: LockStats,
         sqt_wram_hit_rate: f64,
     ) -> Self {
-        let total: f64 = timing.phase_s.iter().sum();
-        let mut phase_fraction = [0.0; 6];
-        if total > 0.0 {
-            for (i, &t) in timing.phase_s.iter().enumerate() {
-                phase_fraction[i] = t / total;
-            }
-        }
+        let phase_fraction = upmem_sim::stats::fractions(&timing.phase_s);
         let qps = queries as f64 / timing.total_s().max(1e-12);
         let imbalance = timing.imbalance();
         BatchReport {
             queries,
             timing,
             qps,
-            energy_j,
+            energy_j: energy.total_j(),
+            energy,
             phase_fraction,
             imbalance,
             postponed,
@@ -64,10 +63,21 @@ impl BatchReport {
         self.phase_fraction[p.idx()]
     }
 
+    /// Queries served per joule of total batch energy (the energy-aware
+    /// DSE's primary objective).
+    pub fn queries_per_joule(&self) -> f64 {
+        self.energy.queries_per_joule(self.queries)
+    }
+
+    /// Energy-delay product of the batch, J·s.
+    pub fn edp_js(&self) -> f64 {
+        self.energy.edp_js(self.timing.total_s())
+    }
+
     /// Pretty single-line summary for harness output.
     pub fn summary(&self) -> String {
         format!(
-            "q={} qps={:.0} total={:.3}ms pim={:.3}ms host={:.3}ms imb={:.2} postponed={} RC/LC/DC/TS = {:.0}%/{:.0}%/{:.0}%/{:.0}%",
+            "q={} qps={:.0} total={:.3}ms pim={:.3}ms host={:.3}ms imb={:.2} postponed={} RC/LC/DC/TS = {:.0}%/{:.0}%/{:.0}%/{:.0}% E={:.2}J qpj={:.1}",
             self.queries,
             self.qps,
             self.timing.total_s() * 1e3,
@@ -79,6 +89,8 @@ impl BatchReport {
             self.fraction(Phase::Lc) * 100.0,
             self.fraction(Phase::Dc) * 100.0,
             self.fraction(Phase::Ts) * 100.0,
+            self.energy_j,
+            self.queries_per_joule(),
         )
     }
 }
@@ -93,13 +105,27 @@ mod tests {
             dpu_s: vec![0.004, 0.002],
             push_s: 0.0001,
             gather_s: 0.0001,
+            push_bytes: 4096,
+            gather_bytes: 1024,
             phase_s: [0.0, 0.001, 0.001, 0.0015, 0.0005, 0.0],
+        }
+    }
+
+    fn energy() -> EnergyBreakdown {
+        EnergyBreakdown {
+            dpu_pipeline_j: 0.4,
+            dpu_mram_j: 0.3,
+            dpu_wram_j: 0.1,
+            transfer_j: 0.05,
+            host_busy_j: 0.05,
+            static_j: 0.1,
+            phase_dynamic_j: [0.0, 0.1, 0.2, 0.4, 0.1, 0.0],
         }
     }
 
     #[test]
     fn fractions_sum_to_one() {
-        let r = BatchReport::new(64, timing(), 1.0, 0, LockStats::default(), 1.0);
+        let r = BatchReport::new(64, timing(), energy(), 0, LockStats::default(), 1.0);
         let total: f64 = r.phase_fraction.iter().sum();
         assert!((total - 1.0).abs() < 1e-9);
         assert!(r.fraction(Phase::Dc) > r.fraction(Phase::Ts));
@@ -107,16 +133,26 @@ mod tests {
 
     #[test]
     fn qps_is_queries_over_total() {
-        let r = BatchReport::new(64, timing(), 1.0, 0, LockStats::default(), 1.0);
+        let r = BatchReport::new(64, timing(), energy(), 0, LockStats::default(), 1.0);
         let expect = 64.0 / r.timing.total_s();
         assert!((r.qps - expect).abs() < 1e-6);
     }
 
     #[test]
+    fn energy_total_is_cached_from_breakdown() {
+        let r = BatchReport::new(64, timing(), energy(), 0, LockStats::default(), 1.0);
+        assert_eq!(r.energy_j.to_bits(), r.energy.total_j().to_bits());
+        assert!((r.energy_j - 1.0).abs() < 1e-12);
+        assert!((r.queries_per_joule() - 64.0).abs() < 1e-9);
+        assert!((r.edp_js() - r.timing.total_s()).abs() < 1e-12);
+    }
+
+    #[test]
     fn summary_contains_key_numbers() {
-        let r = BatchReport::new(64, timing(), 1.0, 3, LockStats::default(), 1.0);
+        let r = BatchReport::new(64, timing(), energy(), 3, LockStats::default(), 1.0);
         let s = r.summary();
         assert!(s.contains("q=64"));
         assert!(s.contains("postponed=3"));
+        assert!(s.contains("qpj="));
     }
 }

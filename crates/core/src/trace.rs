@@ -348,11 +348,8 @@ impl TraceRunner {
             gather_bytes += g;
         }
 
-        let n = self.system.len().max(1) as u64;
-        let timing = self
-            .system
-            .batch_timing(host_s, push_bytes / n, gather_bytes / n);
-        let energy = self.system.energy_model().energy_j(timing.total_s());
+        let timing = self.system.batch_timing(host_s, push_bytes, gather_bytes);
+        let energy = self.system.batch_energy(&timing, self.host.power_w);
 
         BatchReport::new(self.spec.batch, timing, energy, postponed_count, lock, 1.0)
     }

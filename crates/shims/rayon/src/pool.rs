@@ -51,7 +51,7 @@ pub const THREADS_ENV: &str = "DRIM_ANN_THREADS";
 pub const RAYON_THREADS_ENV: &str = "RAYON_NUM_THREADS";
 
 /// Hard cap on pool width (worker-count sanity, not a scheduling limit).
-const MAX_THREADS: usize = 512;
+pub const MAX_THREADS: usize = 512;
 
 /// Upper bound on chunks per region. Chunk size is
 /// `max(min_len, ceil(len / MAX_CHUNKS))`: enough chunks that an early

@@ -116,6 +116,13 @@ impl PimArch {
         self.total_bandwidth() * self.host_link_fraction
     }
 
+    /// Power budget of a single DPU's share of its DIMM, watts — the
+    /// calibration anchor of the phase-resolved energy model
+    /// ([`crate::energy::EnergyCosts::for_arch`]).
+    pub fn dpu_power_w(&self) -> f64 {
+        self.dimm_power_w / self.dpus_per_dimm as f64
+    }
+
     /// Peak aggregate compute throughput in (scalar) operations per second,
     /// assuming full pipelines: `num_dpus * freq * simd_lanes`.
     pub fn peak_ops_per_sec(&self) -> f64 {

@@ -51,6 +51,14 @@ impl HostLink {
         };
         self.call_latency_s + total / self.bw_bytes_per_sec
     }
+
+    /// Time for one scatter/gather call moving `total_bytes` in aggregate
+    /// across all target DPUs — the form for callers that tally exact
+    /// totals (the engine's push/gather byte counts) rather than a
+    /// per-DPU mean, so no bytes are lost to integer division.
+    pub fn time_total(&self, total_bytes: u64) -> f64 {
+        self.call_latency_s + total_bytes as f64 / self.bw_bytes_per_sec
+    }
 }
 
 #[cfg(test)]

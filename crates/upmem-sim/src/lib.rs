@@ -27,6 +27,10 @@
 //! per-DPU storage while charging an instruction/IO [`meter`]. Timing and
 //! results come from the same execution, so effects like load imbalance or
 //! lookup-table substitution show up in both the returned data and the clock.
+//! The same per-phase counters also feed a phase-resolved [`energy`] model
+//! (pipeline/MRAM/WRAM/transfer/host/static components, calibrated against
+//! the 13.92 W DIMM budget of paper Section 5.2), so the energy story of
+//! Figs. 9/10 reads off the identical execution as the latency story.
 //!
 //! ```
 //! use upmem_sim::{PimArch, system::PimSystem, meter::Phase};
@@ -55,7 +59,7 @@ pub mod tasklet;
 pub mod timeline;
 
 pub use config::PimArch;
-pub use energy::EnergyModel;
+pub use energy::{EnergyBreakdown, EnergyCosts, EnergyModel};
 pub use host::HostLink;
 pub use isa::IsaCosts;
 pub use memory::MemTracker;

@@ -113,6 +113,14 @@ impl PhaseMeter {
         self.mram_bytes() + self.wram_bytes()
     }
 
+    /// Total pipeline issue slots including lock serialisation — the
+    /// compute-side quantity both the timing law and the energy model
+    /// consume.
+    #[inline]
+    pub fn compute_cycles(&self, costs: &crate::isa::IsaCosts) -> u64 {
+        self.cycles + self.lock_acquires * costs.lock
+    }
+
     /// Wall-clock seconds this phase takes on `arch` with `tasklets` resident
     /// threads, applying the compute/IO overlap law (paper Eq. 12).
     ///
@@ -124,8 +132,7 @@ impl PhaseMeter {
         // SIMD platforms (HBM-PIM, AiM) retire `simd_lanes` element
         // operations per issue slot; UPMEM is SISD (lanes = 1)
         let ips = arch.freq_hz * eff * arch.simd_lanes as f64;
-        let lock_cycles = self.lock_acquires * arch.costs.lock;
-        let compute = (self.cycles + lock_cycles) as f64 / ips;
+        let compute = self.compute_cycles(&arch.costs) as f64 / ips;
 
         let dma_setup = self.mram_transfers * arch.dma_setup_cycles;
         let io = self.mram_bytes() as f64 / arch.mram_bw_per_dpu

@@ -26,6 +26,17 @@ pub fn max(xs: &[f64]) -> f64 {
     xs.iter().copied().fold(0.0, f64::max)
 }
 
+/// Normalize a slice into fractions of its sum; all zeros when the sum is
+/// not positive. Used by the latency and energy breakdown reports.
+pub fn fractions<const N: usize>(xs: &[f64; N]) -> [f64; N] {
+    let total: f64 = xs.iter().sum();
+    if total > 0.0 {
+        xs.map(|x| x / total)
+    } else {
+        [0.0; N]
+    }
+}
+
 /// Load-imbalance factor `max / mean`; 1.0 means perfectly balanced work and
 /// equals the slowdown suffered by a synchronous all-DPU barrier relative to
 /// ideal balancing.
@@ -87,6 +98,13 @@ mod tests {
         let i = imbalance(&[1.0, 1.0, 4.0]);
         assert!((i - 2.0).abs() < 1e-12);
         assert_eq!(imbalance(&[]), 1.0);
+    }
+
+    #[test]
+    fn fractions_normalize_or_zero() {
+        let fr = fractions(&[1.0, 3.0]);
+        assert_eq!(fr, [0.25, 0.75]);
+        assert_eq!(fractions(&[0.0, 0.0]), [0.0, 0.0]);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::config::PimArch;
 use crate::energy::EnergyModel;
-use crate::host::{HostLink, XferKind};
+use crate::host::HostLink;
 use crate::memory::MemTracker;
 use crate::meter::{DpuMeter, Phase};
 use crate::stats;
@@ -54,6 +54,11 @@ pub struct BatchTiming {
     pub push_s: f64,
     /// PIM->host gather time, seconds.
     pub gather_s: f64,
+    /// Total host->PIM push bytes (all DPUs) — feeds the transfer leg of
+    /// the energy breakdown.
+    pub push_bytes: u64,
+    /// Total PIM->host gather bytes (all DPUs).
+    pub gather_bytes: u64,
     /// Aggregated per-phase PIM times (of the *critical* DPU), seconds.
     pub phase_s: [f64; 6],
 }
@@ -79,7 +84,7 @@ impl BatchTiming {
         stats::imbalance(&self.dpu_s)
     }
 
-    /// Mean DPU utilization relative to the slowest DPU, in [0,1].
+    /// Mean DPU utilization relative to the slowest DPU, in \[0,1\].
     pub fn dpu_utilization(&self) -> f64 {
         let m = self.pim_s();
         if m == 0.0 {
@@ -146,21 +151,16 @@ impl PimSystem {
         self.dpus[i].meter.time(&self.arch, tasklets)
     }
 
-    /// Collect the batch timing given host time and per-DPU transfer sizes.
-    pub fn batch_timing(
-        &self,
-        host_s: f64,
-        push_bytes_per_dpu: u64,
-        gather_bytes_per_dpu: u64,
-    ) -> BatchTiming {
+    /// Collect the batch timing given host time and the *total* push and
+    /// gather bytes across all DPUs (exact tallies, no per-DPU rounding).
+    pub fn batch_timing(&self, host_s: f64, push_bytes: u64, gather_bytes: u64) -> BatchTiming {
         let dpu_s: Vec<f64> = self
             .dpus
             .iter()
             .map(|d| d.meter.time(&self.arch, self.tasklets))
             .collect();
-        let n = self.dpus.len();
-        let push_s = self.link.time(XferKind::Scatter, push_bytes_per_dpu, n);
-        let gather_s = self.link.time(XferKind::Gather, gather_bytes_per_dpu, n);
+        let push_s = self.link.time_total(push_bytes);
+        let gather_s = self.link.time_total(gather_bytes);
         // phase breakdown of the critical (slowest) DPU
         let critical = dpu_s
             .iter()
@@ -180,6 +180,8 @@ impl PimSystem {
             dpu_s,
             push_s,
             gather_s,
+            push_bytes,
+            gather_bytes,
             phase_s,
         }
     }
@@ -190,6 +192,26 @@ impl PimSystem {
         // machine), power still reflects the full configured system: the
         // real machine cannot power-gate unused MRAM (paper Section 5.2).
         EnergyModel::for_arch(&self.arch)
+    }
+
+    /// Phase-resolved energy of the batch described by `timing`: dynamic
+    /// DPU energy from the aggregated meters, transfer energy from the
+    /// recorded link bytes, host-busy energy at `host_power_w` above idle,
+    /// and static energy over the batch wall clock (full configured
+    /// system — see [`Self::energy_model`]).
+    pub fn batch_energy(
+        &self,
+        timing: &BatchTiming,
+        host_power_w: f64,
+    ) -> crate::energy::EnergyBreakdown {
+        self.energy_model().breakdown(
+            &self.aggregate_meter(),
+            &self.arch.costs,
+            timing.total_s(),
+            timing.host_s,
+            host_power_w,
+            timing.push_bytes + timing.gather_bytes,
+        )
     }
 
     /// Aggregate per-phase meter over all DPUs (for C2IO diagnostics).
@@ -303,6 +325,28 @@ mod tests {
         let sys = PimSystem::full(arch);
         assert_eq!(sys.len(), 128);
         assert!(!sys.is_empty());
+    }
+
+    #[test]
+    fn batch_energy_tracks_work_and_transfers() {
+        let mut sys = small_sys();
+        sys.dpus[0]
+            .meter
+            .phase_mut(Phase::Dc)
+            .charge_add(10_000_000);
+        let t = sys.batch_timing(0.001, 1 << 16, 1 << 12);
+        let e = sys.batch_energy(&t, 100.0);
+        assert!(e.dpu_pipeline_j > 0.0);
+        assert!(e.transfer_j > 0.0);
+        assert!(e.host_busy_j > 0.0);
+        assert!(e.static_j > 0.0);
+        assert!(e.phase_j(Phase::Dc) > 0.0);
+        assert_eq!(e.phase_j(Phase::Lc), 0.0);
+        // recorded link bytes are the exact totals the caller tallied
+        assert_eq!(t.push_bytes, 1u64 << 16);
+        assert_eq!(t.gather_bytes, 1u64 << 12);
+        // phase-resolved total stays below the flat upper bound
+        assert!(e.total_j() <= sys.energy_model().energy_j(t.total_s()));
     }
 
     #[test]

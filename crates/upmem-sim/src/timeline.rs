@@ -51,6 +51,26 @@ pub fn steady_state_qps(queries_per_batch: usize, stages: BatchStages) -> f64 {
     queries_per_batch as f64 / stages.period().max(1e-12)
 }
 
+/// Energy of a pipelined run: static power accrues over the *overlapped*
+/// makespan (pipelining shortens the window the background power burns
+/// through — part of how DRIM-ANN wins on energy despite higher power),
+/// while each batch's dynamic energy is overlap-invariant and simply sums.
+pub fn pipelined_energy_j(batches: &[BatchStages], static_power_w: f64, dynamic_j: &[f64]) -> f64 {
+    static_power_w * pipelined_makespan(batches) + dynamic_j.iter().sum::<f64>()
+}
+
+/// Steady-state energy per query of a stream of identical batches:
+/// static power over one pipeline period plus the batch's dynamic energy,
+/// divided by the queries it serves.
+pub fn steady_state_j_per_query(
+    queries_per_batch: usize,
+    stages: BatchStages,
+    static_power_w: f64,
+    dynamic_j_per_batch: f64,
+) -> f64 {
+    (static_power_w * stages.period() + dynamic_j_per_batch) / (queries_per_batch as f64).max(1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +138,24 @@ mod tests {
     #[test]
     fn empty_sequence_is_instant() {
         assert_eq!(pipelined_makespan(&[]), 0.0);
+    }
+
+    #[test]
+    fn pipelined_energy_beats_sequential() {
+        // same batches, same dynamic energy: the pipelined makespan is
+        // shorter, so the static-power share (and the total) shrinks
+        let batches = vec![B; 10];
+        let dynamic = vec![0.5; 10];
+        let piped = pipelined_energy_j(&batches, 400.0, &dynamic);
+        let sequential = 400.0 * 10.0 * B.latency() + 5.0;
+        assert!(piped < sequential, "piped {piped} sequential {sequential}");
+        // and the dynamic part is preserved exactly
+        assert!((pipelined_energy_j(&batches, 0.0, &dynamic) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steady_state_energy_per_query() {
+        let j = steady_state_j_per_query(2000, B, 400.0, 1.0);
+        assert!((j - (400.0 * 0.055 + 1.0) / 2000.0).abs() < 1e-12);
     }
 }

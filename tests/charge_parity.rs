@@ -270,6 +270,87 @@ fn simulator_costs_invariant_to_host_thread_count() {
 }
 
 #[test]
+fn energy_breakdown_invariant_to_host_thread_count() {
+    // The phase-resolved energy breakdown is a closed-form function of the
+    // merged meters and batch timing, both of which are thread-invariant,
+    // so every component (and the per-phase split) must be bit-identical
+    // at any host thread count — in the functional engine AND in trace
+    // mode. This extends the charge-parity contract to the energy layer.
+    use drim_ann::config::{EngineConfig, IndexConfig};
+    use drim_ann::engine::DrimEngine;
+    use drim_ann::trace::{TraceRunner, TraceSpec};
+
+    // functional engine
+    let spec = datasets::SynthSpec::small("energy-threads", 16, 2000, 77);
+    let data = datasets::generate(&spec);
+    let queries = datasets::queries::generate_queries(
+        &spec,
+        24,
+        datasets::queries::QuerySkew::InDistribution,
+        9,
+    );
+    let cfg = EngineConfig::drim(IndexConfig {
+        k: 10,
+        nprobe: 10,
+        nlist: 48,
+        m: 8,
+        cb: 32,
+    });
+    let mut engine = rayon::with_num_threads(1, || {
+        DrimEngine::build(
+            &data,
+            cfg.clone(),
+            upmem_sim::PimArch::upmem_sc25(),
+            8,
+            None,
+        )
+        .unwrap()
+    });
+    let (_, base) = rayon::with_num_threads(1, || engine.search_batch(&queries));
+    let base_energy = format!("{:?}", base.energy);
+    assert_eq!(base.energy_j.to_bits(), base.energy.total_j().to_bits());
+    for threads in [2usize, 4, 8] {
+        let (_, rep) = rayon::with_num_threads(threads, || engine.search_batch(&queries));
+        assert_eq!(
+            format!("{:?}", rep.energy),
+            base_energy,
+            "engine energy breakdown drifted at {threads} host threads"
+        );
+    }
+
+    // trace mode
+    let tspec = TraceSpec {
+        name: "energy-threads-trace".into(),
+        n_points: 500_000,
+        dim: 32,
+        batch: 64,
+        cluster_size_zipf: 0.35,
+        heat_zipf: 1.0,
+        seed: 11,
+    };
+    let tcfg = EngineConfig::drim(IndexConfig {
+        k: 10,
+        nprobe: 8,
+        nlist: 256,
+        m: 8,
+        cb: 64,
+    });
+    let mut runner = TraceRunner::build(tspec, tcfg, upmem_sim::PimArch::upmem_sc25(), 32);
+    let tbase = format!(
+        "{:?}",
+        rayon::with_num_threads(1, || runner.run_batch(5)).energy
+    );
+    for threads in [2usize, 4, 8] {
+        let rep = rayon::with_num_threads(threads, || runner.run_batch(5));
+        assert_eq!(
+            format!("{:?}", rep.energy),
+            tbase,
+            "trace energy breakdown drifted at {threads} host threads"
+        );
+    }
+}
+
+#[test]
 fn expected_updates_matches_random_stream_order_of_magnitude() {
     // harmonic estimate vs an actual random stream
     let n = 10_000u64;

@@ -56,6 +56,7 @@ fn dse_with_measured_accuracy_meets_constraint() {
         m: vec![4, 8],
         cb: vec![16, 32],
         sqt_window: vec![2 << 10, 4 << 10, 8 << 10],
+        objective: drim_ann::dse::DseObjective::Throughput,
     };
     let res = optimize(
         &space,
