@@ -1,0 +1,271 @@
+//! Fault-tolerance benchmark: recall / latency / energy under injected
+//! DPU faults, and the hedging-vs-retry-only tail-latency comparison.
+//!
+//! Three experiments (see `docs/FAULT_MODEL.md`):
+//!
+//! * **Fail-stop sweep** — rates 0–5%, many independent fail-stop draws
+//!   per point. With the host fallback on, recovery is lossless (results
+//!   bit-identical to the zero-fault run); with it off, the measured
+//!   recall loss must stay inside the per-batch `recall_loss_bound()`.
+//! * **Straggler arm** — Pareto-tailed slowdowns at 15% incidence on a
+//!   Zipf-skewed query trace; hedged re-dispatch vs retry-only (hedging
+//!   disabled), p99 of `timing.total_s()` over the batch stream. Hedging
+//!   must win on p99: that is the point of deadline-aware re-dispatch.
+//! * **Zero-fault identity** — an inert injector is bit-identical to no
+//!   injector at all.
+//!
+//! Running this bench (`cargo bench --bench faults`) writes
+//! `BENCH_faults.json` at the workspace root.
+
+use ann_core::topk::Neighbor;
+use ann_core::vector::VecSet;
+use criterion::Criterion;
+use drim_ann::config::{EngineConfig, IndexConfig};
+use drim_ann::engine::DrimEngine;
+use upmem_sim::fault::{FaultConfig, SlowdownDist};
+use upmem_sim::PimArch;
+
+const NDPUS: usize = 8;
+const K: usize = 10;
+/// Independent fault draws (seed, batch) per sweep point.
+const SAMPLES: usize = 40;
+const FAIL_STOP_RATES: [f64; 4] = [0.0, 0.01, 0.03, 0.05];
+const STRAGGLER_RATE: f64 = 0.15;
+const STRAGGLER_SLOWDOWN: SlowdownDist = SlowdownDist::Pareto {
+    scale: 4.0,
+    alpha: 1.1,
+    cap: 32.0,
+};
+
+fn cfg() -> EngineConfig {
+    let mut cfg = EngineConfig::drim(IndexConfig {
+        k: K,
+        nprobe: 12,
+        nlist: 64,
+        m: 8,
+        cb: 32,
+    });
+    cfg.batch = 32;
+    cfg
+}
+
+fn result_bits(rs: &[Vec<Neighbor>]) -> Vec<Vec<(u64, u32)>> {
+    rs.iter()
+        .map(|l| l.iter().map(|n| (n.id, n.dist.to_bits())).collect())
+        .collect()
+}
+
+fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((samples.len() as f64 * p).ceil() as usize).clamp(1, samples.len()) - 1;
+    samples[idx]
+}
+
+fn mean(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+struct Arm {
+    mean_total_s: f64,
+    p99_total_s: f64,
+    mean_energy_j: f64,
+    hedged_tasks: usize,
+    retried_tasks: usize,
+}
+
+/// Drive `engine` through `SAMPLES` batches of the query stream (re-seeding
+/// the injector each batch so fail-stop draws vary too) and collect the
+/// latency/energy distribution.
+fn run_arm(
+    engine: &mut DrimEngine,
+    make_cfg: impl Fn(u64) -> FaultConfig,
+    queries: &VecSet<f32>,
+) -> Arm {
+    let mut totals = Vec::with_capacity(SAMPLES);
+    let mut energies = Vec::with_capacity(SAMPLES);
+    let mut hedged = 0usize;
+    let mut retried = 0usize;
+    for i in 0..SAMPLES as u64 {
+        engine.inject_faults(make_cfg(i)).unwrap();
+        engine.set_fault_batch(i);
+        let (_, rep) = engine.search_batch(queries);
+        totals.push(rep.timing.total_s());
+        energies.push(rep.energy_j);
+        hedged += rep.fault.hedged_tasks;
+        retried += rep.fault.retried_tasks;
+    }
+    Arm {
+        mean_total_s: mean(&totals),
+        p99_total_s: percentile(&mut totals, 0.99),
+        mean_energy_j: mean(&energies),
+        hedged_tasks: hedged,
+        retried_tasks: retried,
+    }
+}
+
+fn main() {
+    let spec = datasets::SynthSpec::small("bench-faults", 16, 4000, 41);
+    let data = datasets::generate(&spec);
+    let queries = datasets::queries::generate_queries(
+        &spec,
+        32,
+        datasets::queries::QuerySkew::InDistribution,
+        11,
+    );
+    // the straggler arm stresses replica scheduling with a skewed trace of
+    // repeated hot queries
+    let skewed = datasets::queries::zipfian_query_trace(&queries, 32, 1.2, 17);
+    let truth = ann_core::flat::ground_truth(&queries, &data, K);
+
+    let mut engine = DrimEngine::build(&data, cfg(), PimArch::upmem_sc25(), NDPUS, None).unwrap();
+    // detach any DRIM_ANN_FAULT_SEED env arming: this engine is the
+    // zero-fault baseline and every arm injects its own config
+    engine.clear_faults();
+    let mut degraded_cfg = cfg();
+    degraded_cfg.recovery.host_fallback = false;
+    let mut degraded_engine =
+        DrimEngine::build(&data, degraded_cfg, PimArch::upmem_sc25(), NDPUS, None).unwrap();
+
+    // ---- zero-fault baseline + inert-injector identity --------------------
+    let (r_clean, rep_clean) = engine.search_batch(&queries);
+    let clean_recall = ann_core::recall::mean_recall(&r_clean, &truth, K);
+    engine.inject_faults(FaultConfig::none()).unwrap();
+    let (r_inert, rep_inert) = engine.search_batch(&queries);
+    let inert_identical = result_bits(&r_clean) == result_bits(&r_inert)
+        && format!("{rep_clean:?}") == format!("{rep_inert:?}");
+    assert!(inert_identical, "inert injector must be bit-identical");
+    engine.clear_faults();
+
+    // ---- fail-stop sweep --------------------------------------------------
+    let mut sweep_rows = String::new();
+    for (row, &rate) in FAIL_STOP_RATES.iter().enumerate() {
+        let fail_stop_only = move |seed: u64| {
+            let mut fc = FaultConfig::none();
+            fc.seed = 0xF5_0000 + seed;
+            fc.fail_stop_rate = rate;
+            fc
+        };
+        // lossless arm: host fallback on; every sample must reproduce the
+        // zero-fault answer exactly
+        let mut fallback_identical = true;
+        for i in 0..SAMPLES as u64 {
+            engine.inject_faults(fail_stop_only(i)).unwrap();
+            engine.set_fault_batch(i);
+            let (r, _) = engine.search_batch(&queries);
+            fallback_identical &= result_bits(&r) == result_bits(&r_clean);
+        }
+        assert!(
+            fallback_identical,
+            "host fallback must be lossless at rate {rate}"
+        );
+        let arm = run_arm(&mut engine, fail_stop_only, &queries);
+        engine.clear_faults();
+
+        // degraded arm: host fallback off; recall loss must respect the
+        // per-batch bound (averaged over samples, with slack for the
+        // recall-vs-bound estimator noise)
+        let mut recalls = Vec::with_capacity(SAMPLES);
+        let mut bounds = Vec::with_capacity(SAMPLES);
+        for i in 0..SAMPLES as u64 {
+            degraded_engine.inject_faults(fail_stop_only(i)).unwrap();
+            degraded_engine.set_fault_batch(i);
+            let (r, rep) = degraded_engine.search_batch(&queries);
+            recalls.push(ann_core::recall::mean_recall(&r, &truth, K));
+            bounds.push(rep.fault.recall_loss_bound());
+        }
+        degraded_engine.clear_faults();
+        let degraded_recall = mean(&recalls);
+        let loss = clean_recall - degraded_recall;
+        let bound = mean(&bounds);
+        assert!(
+            loss <= bound + 0.02,
+            "rate {rate}: measured loss {loss:.4} exceeds bound {bound:.4}"
+        );
+
+        if row > 0 {
+            sweep_rows.push_str(",\n");
+        }
+        sweep_rows.push_str(&format!(
+            "    {{\"fail_stop_rate\": {rate}, \"fallback_identical_to_clean\": {fallback_identical}, \"mean_total_s\": {:.6e}, \"p99_total_s\": {:.6e}, \"mean_energy_j\": {:.6e}, \"degraded_recall_at_{K}\": {degraded_recall:.4}, \"recall_loss\": {:.4}, \"mean_loss_bound\": {bound:.4}}}",
+            arm.mean_total_s, arm.p99_total_s, arm.mean_energy_j, loss.max(0.0)
+        ));
+    }
+
+    // ---- straggler arm: hedged vs retry-only ------------------------------
+    let straggler_cfg = |seed: u64| {
+        let mut fc = FaultConfig::none();
+        fc.seed = 0x57A6_0000 + seed;
+        fc.straggler_rate = STRAGGLER_RATE;
+        fc.slowdown = STRAGGLER_SLOWDOWN;
+        fc
+    };
+    let mut hedged_cfg = cfg();
+    hedged_cfg.recovery.hedge = true;
+    let mut hedged_engine =
+        DrimEngine::build(&data, hedged_cfg, PimArch::upmem_sc25(), NDPUS, None).unwrap();
+    let mut retry_cfg = cfg();
+    retry_cfg.recovery.hedge = false;
+    let mut retry_engine =
+        DrimEngine::build(&data, retry_cfg, PimArch::upmem_sc25(), NDPUS, None).unwrap();
+    let hedged = run_arm(&mut hedged_engine, straggler_cfg, &skewed);
+    let retry = run_arm(&mut retry_engine, straggler_cfg, &skewed);
+    assert!(hedged.hedged_tasks > 0, "Pareto tail must trigger hedging");
+    assert!(
+        hedged.p99_total_s < retry.p99_total_s,
+        "hedging must beat retry-only on p99: {} vs {}",
+        hedged.p99_total_s,
+        retry.p99_total_s
+    );
+
+    // ---- criterion timing rows (overhead of the armed fault layer) --------
+    let mut c = Criterion::default();
+    {
+        let mut g = c.benchmark_group("faults");
+        g.sample_size(10);
+        g.bench_function("search_batch_clean", |b| {
+            b.iter(|| std::hint::black_box(engine.search_batch(&queries).1.qps))
+        });
+        g.bench_function("search_batch_faulted_1pct", |b| {
+            engine
+                .inject_faults(FaultConfig::uniform(0xBE7C, 0.01))
+                .unwrap();
+            b.iter(|| std::hint::black_box(engine.search_batch(&queries).1.qps))
+        });
+        engine.clear_faults();
+        g.finish();
+    }
+    c.final_summary();
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rows = String::new();
+    for (i, s) in c.results().iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}}}",
+            s.id, s.median_ns
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"faults\",\n  \"host_cores\": {host_cores},\n  \"ndpus\": {NDPUS},\n  \"samples_per_point\": {SAMPLES},\n  \"clean_recall_at_{K}\": {clean_recall:.4},\n  \"zero_fault_inert_injector_bit_identical\": {inert_identical},\n  \"fail_stop_sweep\": [\n{sweep_rows}\n  ],\n  \"straggler\": {{\n    \"rate\": {STRAGGLER_RATE},\n    \"slowdown\": \"Pareto(scale=4, alpha=1.1, cap=32)\",\n    \"hedged\": {{\"mean_total_s\": {:.6e}, \"p99_total_s\": {:.6e}, \"mean_energy_j\": {:.6e}, \"hedged_tasks\": {}, \"retried_tasks\": {}}},\n    \"retry_only\": {{\"mean_total_s\": {:.6e}, \"p99_total_s\": {:.6e}, \"mean_energy_j\": {:.6e}, \"hedged_tasks\": {}, \"retried_tasks\": {}}},\n    \"p99_speedup_hedged_over_retry\": {:.2}\n  }},\n  \"results\": [\n{rows}\n  ]\n}}\n",
+        hedged.mean_total_s,
+        hedged.p99_total_s,
+        hedged.mean_energy_j,
+        hedged.hedged_tasks,
+        hedged.retried_tasks,
+        retry.mean_total_s,
+        retry.p99_total_s,
+        retry.mean_energy_j,
+        retry.hedged_tasks,
+        retry.retried_tasks,
+        retry.p99_total_s / hedged.p99_total_s,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json");
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -86,6 +86,116 @@ pub enum SchedPolicy {
     Greedy,
 }
 
+/// Rejected engine configuration — returned instead of panicking so
+/// callers (the DSE, serving layers) can degrade or reject a request
+/// rather than abort.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// `k` must be at least 1.
+    ZeroK,
+    /// `nlist` must be at least 1.
+    ZeroNlist,
+    /// `m` must be at least 1.
+    ZeroM,
+    /// `nprobe` must be in `1..=nlist`.
+    BadNprobe {
+        /// Requested probes.
+        nprobe: usize,
+        /// Available clusters.
+        nlist: usize,
+    },
+    /// `cb` must be in `2..=65536` (codes are stored as u16).
+    BadCb(usize),
+    /// Batch size must be at least 1.
+    ZeroBatch,
+    /// At least one tasklet must be resident.
+    ZeroTasklets,
+    /// `th3` must be non-negative (or infinite to disable postponement).
+    BadTh3(f64),
+    /// The SQT WRAM window must be at least 1 entry.
+    ZeroSqtWindow,
+    /// Recovery parameters are malformed; the payload names the field.
+    BadRecovery(&'static str),
+    /// Fault-injection parameters were rejected by the simulator.
+    BadFault(upmem_sim::fault::FaultConfigError),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroK => write!(f, "k must be at least 1"),
+            ConfigError::ZeroNlist => write!(f, "nlist must be at least 1"),
+            ConfigError::ZeroM => write!(f, "m must be at least 1"),
+            ConfigError::BadNprobe { nprobe, nlist } => {
+                write!(f, "nprobe {nprobe} must lie in 1..={nlist}")
+            }
+            ConfigError::BadCb(cb) => write!(f, "cb {cb} must lie in 2..=65536"),
+            ConfigError::ZeroBatch => write!(f, "batch size must be at least 1"),
+            ConfigError::ZeroTasklets => write!(f, "at least one tasklet must be resident"),
+            ConfigError::BadTh3(v) => write!(f, "th3 {v} must be non-negative"),
+            ConfigError::ZeroSqtWindow => write!(f, "sqt_window must be at least 1 entry"),
+            ConfigError::BadRecovery(field) => write!(f, "invalid recovery parameter: {field}"),
+            ConfigError::BadFault(e) => write!(f, "invalid fault configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<upmem_sim::fault::FaultConfigError> for ConfigError {
+    fn from(e: upmem_sim::fault::FaultConfigError) -> Self {
+        ConfigError::BadFault(e)
+    }
+}
+
+/// Recovery policy of the fault-tolerant dispatch layer (inert unless a
+/// fault injector is attached to the engine's [`upmem_sim::system::PimSystem`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// Re-dispatch waves after the initial one before escalating to the
+    /// host fallback (or dropping, if the fallback is off).
+    pub max_retries: usize,
+    /// Consecutive transient faults (within a batch) before a DPU is
+    /// quarantined for the remainder of that batch.
+    pub quarantine_after: u32,
+    /// Hedge stragglers: when a slowed DPU would overshoot the deadline,
+    /// stop waiting and re-issue its tasks on replicas.
+    pub hedge: bool,
+    /// Deadline as a multiple of the predicted batch makespan (the
+    /// scheduler's max heat). Straggler completion estimates beyond it
+    /// trigger hedged re-dispatch.
+    pub hedge_deadline_factor: f64,
+    /// Replay unrecoverable tasks on the host through the exact DPU kernel
+    /// path (lossless). Off = graceful degradation: complete the query on
+    /// the surviving probe set and account the loss.
+    pub host_fallback: bool,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            max_retries: 2,
+            quarantine_after: 3,
+            hedge: true,
+            hedge_deadline_factor: 1.5,
+            host_fallback: true,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// Validity check folded into [`EngineConfig::validate`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.quarantine_after == 0 {
+            return Err(ConfigError::BadRecovery("quarantine_after"));
+        }
+        if self.hedge_deadline_factor < 1.0 || self.hedge_deadline_factor.is_nan() {
+            return Err(ConfigError::BadRecovery("hedge_deadline_factor"));
+        }
+        Ok(())
+    }
+}
+
 /// Complete engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -126,6 +236,8 @@ pub struct EngineConfig {
     pub tasklets: usize,
     /// Queries per batch.
     pub batch: usize,
+    /// Fault-recovery policy (active only when faults are injected).
+    pub recovery: RecoveryConfig,
 }
 
 impl EngineConfig {
@@ -147,6 +259,7 @@ impl EngineConfig {
             lock_policy: LockPolicy::Forwarding,
             tasklets: 16,
             batch: 256,
+            recovery: RecoveryConfig::default(),
         }
     }
 
@@ -169,7 +282,45 @@ impl EngineConfig {
             lock_policy: LockPolicy::LockAlways,
             tasklets: 16,
             batch: 256,
+            recovery: RecoveryConfig::default(),
         }
+    }
+
+    /// Reject user-reachable misconfiguration with a typed error instead of
+    /// letting it surface as a panic (division by zero, empty heaps, code
+    /// overflow) deep inside the build.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.index.k == 0 {
+            return Err(ConfigError::ZeroK);
+        }
+        if self.index.nlist == 0 {
+            return Err(ConfigError::ZeroNlist);
+        }
+        if self.index.m == 0 {
+            return Err(ConfigError::ZeroM);
+        }
+        if self.index.nprobe == 0 || self.index.nprobe > self.index.nlist {
+            return Err(ConfigError::BadNprobe {
+                nprobe: self.index.nprobe,
+                nlist: self.index.nlist,
+            });
+        }
+        if self.index.cb < 2 || self.index.cb > 65536 {
+            return Err(ConfigError::BadCb(self.index.cb));
+        }
+        if self.batch == 0 {
+            return Err(ConfigError::ZeroBatch);
+        }
+        if self.tasklets == 0 {
+            return Err(ConfigError::ZeroTasklets);
+        }
+        if self.th3.is_nan() || self.th3 < 0.0 {
+            return Err(ConfigError::BadTh3(self.th3));
+        }
+        if self.sqt_window == 0 {
+            return Err(ConfigError::ZeroSqtWindow);
+        }
+        self.recovery.validate()
     }
 }
 
@@ -214,5 +365,66 @@ mod tests {
     fn bits_bytes() {
         assert_eq!(DataBits::B8.bytes(), 1);
         assert_eq!(DataBits::B16.bytes(), 2);
+    }
+
+    #[test]
+    fn validate_accepts_presets() {
+        EngineConfig::drim(IndexConfig::paper_default())
+            .validate()
+            .unwrap();
+        EngineConfig::naive(IndexConfig::paper_default())
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_misconfiguration() {
+        let base = IndexConfig::paper_default();
+        let with = |f: &dyn Fn(&mut EngineConfig)| {
+            let mut c = EngineConfig::drim(base);
+            f(&mut c);
+            c.validate()
+        };
+        assert_eq!(with(&|c| c.index.k = 0), Err(ConfigError::ZeroK));
+        assert_eq!(with(&|c| c.index.nlist = 0), Err(ConfigError::ZeroNlist));
+        assert_eq!(with(&|c| c.index.m = 0), Err(ConfigError::ZeroM));
+        assert_eq!(
+            with(&|c| c.index.nprobe = c.index.nlist + 1),
+            Err(ConfigError::BadNprobe {
+                nprobe: base.nlist + 1,
+                nlist: base.nlist
+            })
+        );
+        assert_eq!(with(&|c| c.index.cb = 1), Err(ConfigError::BadCb(1)));
+        assert_eq!(
+            with(&|c| c.index.cb = 1 << 17),
+            Err(ConfigError::BadCb(1 << 17))
+        );
+        assert_eq!(with(&|c| c.batch = 0), Err(ConfigError::ZeroBatch));
+        assert_eq!(with(&|c| c.tasklets = 0), Err(ConfigError::ZeroTasklets));
+        assert!(matches!(
+            with(&|c| c.th3 = -0.5),
+            Err(ConfigError::BadTh3(_))
+        ));
+        assert_eq!(with(&|c| c.sqt_window = 0), Err(ConfigError::ZeroSqtWindow));
+        assert_eq!(
+            with(&|c| c.recovery.quarantine_after = 0),
+            Err(ConfigError::BadRecovery("quarantine_after"))
+        );
+        assert_eq!(
+            with(&|c| c.recovery.hedge_deadline_factor = 0.5),
+            Err(ConfigError::BadRecovery("hedge_deadline_factor"))
+        );
+    }
+
+    #[test]
+    fn config_errors_render() {
+        let e = ConfigError::BadNprobe {
+            nprobe: 5,
+            nlist: 4,
+        };
+        assert!(e.to_string().contains("nprobe 5"));
+        let f: ConfigError = upmem_sim::fault::FaultConfigError::BadRate.into();
+        assert!(f.to_string().contains("fault"));
     }
 }

@@ -10,11 +10,12 @@
 //! on the host. The returned [`BatchReport`] carries the simulated wall
 //! clock, energy, imbalance and phase breakdown.
 
-use crate::config::{EngineConfig, SchedPolicy};
+use crate::config::{ConfigError, EngineConfig, SchedPolicy};
 use crate::kernels::{cl, dc, lc, rc, ts, KernelCtx};
 use crate::layout::{heat::HeatProfile, ClusterInfo, LayoutPlan};
 use crate::perf_model::{BitWidths, WorkloadShape};
-use crate::report::BatchReport;
+use crate::recovery::DpuHealth;
+use crate::report::{BatchReport, FaultStats};
 use crate::sched::{self, Policy, Task};
 use crate::sqt::Sqt;
 use crate::wram::{plan as wram_plan, WramPlacement};
@@ -23,11 +24,12 @@ use ann_core::quantize::ScalarQuantizer;
 use ann_core::topk::{merge_topk, BoundedMaxHeap, Neighbor};
 use ann_core::vector::VecSet;
 use rayon::prelude::*;
+use upmem_sim::fault::{result_checksum, FaultConfig, FaultInjector, FaultOutcome};
 use upmem_sim::meter::{DpuMeter, Phase};
 use upmem_sim::proc::ProcModel;
 use upmem_sim::system::PimSystem;
 use upmem_sim::tasklet::LockStats;
-use upmem_sim::PimArch;
+use upmem_sim::{PimArch, SimConfigError};
 
 /// (query, cluster) groups per bulk-LC wave in the per-DPU loop: one
 /// [`lc::run_bulk`] call builds this many LUTs back-to-back, so the
@@ -48,17 +50,35 @@ struct SliceData {
 pub enum BuildError {
     /// A DPU's MRAM cannot hold its assigned slices.
     MramOverflow(String),
+    /// The engine configuration was rejected (see [`EngineConfig::validate`]).
+    Config(ConfigError),
+    /// The simulated system was rejected (zero DPUs, broken architecture).
+    Sim(SimConfigError),
 }
 
 impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BuildError::MramOverflow(msg) => write!(f, "MRAM overflow: {msg}"),
+            BuildError::Config(e) => write!(f, "bad engine configuration: {e}"),
+            BuildError::Sim(e) => write!(f, "bad simulator configuration: {e}"),
         }
     }
 }
 
 impl std::error::Error for BuildError {}
+
+impl From<ConfigError> for BuildError {
+    fn from(e: ConfigError) -> Self {
+        BuildError::Config(e)
+    }
+}
+
+impl From<SimConfigError> for BuildError {
+    fn from(e: SimConfigError) -> Self {
+        BuildError::Sim(e)
+    }
+}
 
 /// The assembled engine.
 pub struct DrimEngine {
@@ -87,6 +107,12 @@ pub struct DrimEngine {
     /// lands in codebook space without per-pair rotation work (the
     /// rotation folds into CL on the host).
     dpu_centroids: VecSet<f32>,
+    /// Batch index fed to the fault injector's transient draws. Advanced
+    /// only by [`Self::set_fault_batch`] — never implicitly — so
+    /// [`Self::search_batch`] stays a pure function of
+    /// `(engine, queries, fault_batch)` (the determinism contract of
+    /// `docs/FAULT_MODEL.md`).
+    fault_batch: u64,
 }
 
 impl DrimEngine {
@@ -119,6 +145,12 @@ impl DrimEngine {
         ndpus: usize,
         profile_queries: Option<&VecSet<f32>>,
     ) -> Result<DrimEngine, BuildError> {
+        cfg.validate()?;
+        // Instantiate the system first: `try_new` front-loads the
+        // misconfiguration checks (zero DPUs, broken architecture) before
+        // any arithmetic can divide by them below.
+        let mut system = PimSystem::try_new(arch.clone(), ndpus)?;
+        system.tasklets = cfg.tasklets;
         let dim = data.dim();
         let pq = ivf.quant.pq();
 
@@ -212,9 +244,7 @@ impl DrimEngine {
             })
             .collect();
 
-        // Simulated system + MRAM accounting.
-        let mut system = PimSystem::new(arch.clone(), ndpus);
-        system.tasklets = cfg.tasklets;
+        // MRAM accounting on the already-validated system.
         for (d, dpu) in system.dpus.iter_mut().enumerate() {
             dpu.mram
                 .alloc("codebooks", qcodebooks.len() as u64)
@@ -248,7 +278,7 @@ impl DrimEngine {
             WramPlacement::none()
         };
 
-        Ok(DrimEngine {
+        let mut engine = DrimEngine {
             cfg,
             ivf,
             layout,
@@ -260,7 +290,57 @@ impl DrimEngine {
             qcodebooks,
             slice_data,
             dpu_centroids,
-        })
+            fault_batch: 0,
+        };
+
+        // CI fault matrix: `DRIM_ANN_FAULT_SEED` arms the injector on every
+        // engine so the whole test suite exercises the recovery path with
+        // no per-test wiring; `DRIM_ANN_FAULT_RATE` tunes severity (1% by
+        // default). Unset (the normal case) leaves the engine untouched.
+        if let Ok(seed) = std::env::var("DRIM_ANN_FAULT_SEED") {
+            if let Ok(seed) = seed.trim().parse::<u64>() {
+                let rate = std::env::var("DRIM_ANN_FAULT_RATE")
+                    .ok()
+                    .and_then(|r| r.trim().parse::<f64>().ok())
+                    .unwrap_or(0.01);
+                engine.inject_faults(FaultConfig::uniform(seed, rate))?;
+            }
+        }
+        Ok(engine)
+    }
+
+    /// Attach a fault injector: subsequent batches run through the
+    /// recovery pipeline. Rejects malformed rates/distributions.
+    pub fn inject_faults(&mut self, cfg: FaultConfig) -> Result<(), ConfigError> {
+        self.system.fault = Some(FaultInjector::new(cfg)?);
+        Ok(())
+    }
+
+    /// Detach the fault injector (back to perfectly reliable hardware).
+    pub fn clear_faults(&mut self) {
+        self.system.fault = None;
+    }
+
+    /// Set the batch index the injector's transient draws key on. Callers
+    /// that model a stream of batches advance this between
+    /// [`Self::search_batch`] calls; leaving it fixed replays the same
+    /// fault pattern (what the parity tests exploit).
+    pub fn set_fault_batch(&mut self, batch: u64) {
+        self.fault_batch = batch;
+    }
+
+    /// The current fault batch index.
+    pub fn fault_batch(&self) -> u64 {
+        self.fault_batch
+    }
+
+    /// True when a non-inert fault injector is attached.
+    pub fn fault_active(&self) -> bool {
+        self.system
+            .fault
+            .as_ref()
+            .map(|f| !f.is_inert())
+            .unwrap_or(false)
     }
 
     /// Number of DPUs in the simulated system.
@@ -284,7 +364,14 @@ impl DrimEngine {
     }
 
     /// Execute one query batch. Returns per-query neighbors plus the report.
+    ///
+    /// With a non-inert fault injector attached ([`Self::inject_faults`])
+    /// the batch runs through the recovery pipeline; otherwise this is the
+    /// unmodified zero-fault path, bit-for-bit.
     pub fn search_batch(&mut self, queries: &VecSet<f32>) -> (Vec<Vec<Neighbor>>, BatchReport) {
+        if self.fault_active() {
+            return self.search_batch_recovering(queries);
+        }
         let k = self.cfg.index.k;
         let ndpus = self.system.len();
         self.system.reset_meters();
@@ -393,6 +480,297 @@ impl DrimEngine {
             lock,
             sqt_rate,
         );
+        (results, report)
+    }
+
+    /// The fault-tolerant variant of [`Self::search_batch`]: dispatch
+    /// routes around the injector's dead set, every wave's outcome is
+    /// checked (checksum for corruption, completion estimate for
+    /// stragglers), faulted work is re-dispatched to surviving replicas up
+    /// to `recovery.max_retries` waves, stragglers past the deadline are
+    /// hedged, and whatever cannot be placed escalates to the host-side
+    /// kernel replay (lossless) or degrades with the loss accounted in
+    /// [`FaultStats`]. See `docs/FAULT_MODEL.md` for the full state machine.
+    fn search_batch_recovering(
+        &mut self,
+        queries: &VecSet<f32>,
+    ) -> (Vec<Vec<Neighbor>>, BatchReport) {
+        let k = self.cfg.index.k;
+        let ndpus = self.system.len();
+        self.system.reset_meters();
+        let rec = self.cfg.recovery;
+        let batch = self.fault_batch;
+        let injector = self
+            .system
+            .fault
+            .clone()
+            .expect("recovery path requires an injector");
+
+        // Health is rebuilt per batch (determinism contract); the
+        // injector's static fail-stop set is the driver's allocation-time
+        // rank scan, so dead DPUs never receive work in the first place.
+        let mut health = DpuHealth::from_injector(&injector, ndpus);
+        let mut stats = FaultStats::default();
+
+        // --- CL (host) ---
+        let cl_out = cl::run(
+            queries,
+            &self.ivf.coarse,
+            &self.ivf.coarse_norms,
+            self.cfg.index.nprobe,
+            &self.shape,
+            &self.host,
+        );
+
+        // --- schedule around the dead set ---
+        let tasks = sched::expand_tasks(&cl_out.probes, &self.layout, |len| self.task_cost(len));
+        stats.scheduled_points = tasks
+            .iter()
+            .map(|t| self.layout.slices[t.slice].len as u64)
+            .sum();
+        let policy = match self.cfg.scheduling {
+            SchedPolicy::Static => Policy::Static,
+            SchedPolicy::Greedy => Policy::Greedy { th3: self.cfg.th3 },
+        };
+        let banned0 = health.banned();
+        let mut plan =
+            sched::schedule_filtered(&tasks, &self.layout, ndpus, policy, None, Some(&banned0));
+        let postponed_count = plan.postponed.len();
+        let mut fallback: Vec<Task> = std::mem::take(&mut plan.unplaceable);
+        while !plan.postponed.is_empty() {
+            let extra = sched::schedule_filtered(
+                &plan.postponed,
+                &self.layout,
+                ndpus,
+                Policy::Greedy { th3: f64::INFINITY },
+                Some(&plan.heat),
+                Some(&banned0),
+            );
+            for (d, ts_) in extra.per_dpu.into_iter().enumerate() {
+                plan.per_dpu[d].extend(ts_);
+            }
+            plan.heat = extra.heat;
+            plan.postponed = extra.postponed;
+            fallback.extend(extra.unplaceable);
+        }
+
+        // Hedging deadline: the host stops waiting for a straggler once its
+        // estimated completion exceeds this multiple of the predicted
+        // barrier (the scheduler's max heat).
+        let max_heat = plan.heat.iter().cloned().fold(0.0, f64::max);
+        let deadline = if max_heat > 0.0 {
+            rec.hedge_deadline_factor * max_heat
+        } else {
+            f64::INFINITY
+        };
+
+        let dpu_queries: VecSet<f32> = match &self.ivf.quant {
+            ann_core::ivf::PqModel::Rotated(o) => {
+                let mut rq = VecSet::with_capacity(queries.dim(), queries.len());
+                for q in queries.iter() {
+                    rq.push(&o.rotation.matvec(q));
+                }
+                rq
+            }
+            _ => queries.clone(),
+        };
+
+        // --- dispatch waves with recovery ---
+        let mut per_query_lists: Vec<Vec<Vec<Neighbor>>> = vec![Vec::new(); queries.len()];
+        let mut lock = LockStats::default();
+        let mut sqt_hits = (0u64, 0u64);
+        let mut push_bytes = 0u64;
+        let mut gather_bytes = 0u64;
+        let mut extra_host_s = 0.0f64;
+        let mut heat = plan.heat.clone();
+        // DPUs already hedged this batch never get the same work re-issued
+        let mut hedged = vec![false; ndpus];
+        let mut wave: Vec<(usize, Vec<Task>)> = plan
+            .per_dpu
+            .into_iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_empty())
+            .collect();
+        let mut attempt: u32 = 0;
+
+        loop {
+            let outputs: Vec<DpuOutput> = {
+                let this = &*self;
+                let dq = &dpu_queries;
+                wave.par_iter()
+                    .map(|(d, ts_)| this.run_dpu(*d, ts_, dq))
+                    .collect()
+            };
+
+            let mut to_recover: Vec<Task> = Vec::new();
+            for ((d, wtasks), out) in wave.iter().zip(outputs) {
+                let d = *d;
+                let outcome = injector.outcome(d, batch, attempt);
+                // Host-side integrity check: the link XORs the transmitted
+                // checksum on a corrupt dispatch, so recomputing it over
+                // the gathered payload exposes the damage.
+                let wire = out.checksum ^ injector.corrupt_mask(d, batch, attempt);
+                let corrupt_detected = wire != out.checksum;
+                match outcome {
+                    FaultOutcome::Healthy => {
+                        debug_assert!(!corrupt_detected);
+                        health.record_healthy(d);
+                    }
+                    FaultOutcome::FailStop => {
+                        // Unreachable under the allocation-time scan (dead
+                        // DPUs are pre-banned), kept as a defensive path
+                        // for injectors whose dead set is discovered late.
+                        health.record_fail_stop(d);
+                        stats.fail_stop_events += 1;
+                        stats.retried_tasks += wtasks.len();
+                        push_bytes += out.push_bytes; // the push happened
+                        to_recover.extend_from_slice(wtasks);
+                        continue;
+                    }
+                    FaultOutcome::Straggler(f) => {
+                        stats.stragglers += 1;
+                        health.record_transient(d, rec.quarantine_after);
+                        let wave_s = out.meter.time(&self.system.arch, self.system.tasklets);
+                        self.system.set_dpu_slowdown(d, f);
+                        if rec.hedge && wave_s * f > deadline {
+                            // hedge: stop waiting at the deadline, re-issue
+                            // on replicas; the straggler's energy is still
+                            // spent but its results never arrive
+                            self.system.cap_dpu_time(d, deadline);
+                            hedged[d] = true;
+                            stats.hedged_tasks += wtasks.len();
+                            self.system.dpus[d].meter.merge(&out.meter);
+                            push_bytes += out.push_bytes;
+                            to_recover.extend_from_slice(wtasks);
+                            continue;
+                        }
+                        // slow but worth waiting for: full accept below
+                    }
+                    FaultOutcome::Corrupt => {
+                        debug_assert!(corrupt_detected);
+                        stats.corruptions += 1;
+                        stats.retried_tasks += wtasks.len();
+                        health.record_transient(d, rec.quarantine_after);
+                        // charges stand: the DPU did the work and the
+                        // damaged payload crossed the link before the
+                        // checksum exposed it
+                        self.system.dpus[d].meter.merge(&out.meter);
+                        push_bytes += out.push_bytes;
+                        gather_bytes += out.gather_bytes;
+                        to_recover.extend_from_slice(wtasks);
+                        continue;
+                    }
+                }
+                // full accept (healthy, or a straggler the host waited out)
+                self.system.dpus[d].meter.merge(&out.meter);
+                lock.locked_updates += out.lock.locked_updates;
+                lock.pruned += out.lock.pruned;
+                sqt_hits.0 += out.sqt_hits.0;
+                sqt_hits.1 += out.sqt_hits.1;
+                push_bytes += out.push_bytes;
+                gather_bytes += out.gather_bytes;
+                for (q, list) in out.results {
+                    per_query_lists[q as usize].push(list);
+                }
+            }
+
+            if to_recover.is_empty() {
+                break;
+            }
+            attempt += 1;
+            if attempt as usize >= rec.max_retries {
+                fallback.extend_from_slice(&to_recover);
+                break;
+            }
+            // Re-dispatch to surviving replicas, also avoiding DPUs this
+            // batch already hedged away from. The host pays a small
+            // re-issue cost per task (descriptor re-pack + trigger).
+            let mut banned_now = health.banned();
+            for (b, &h) in banned_now.iter_mut().zip(&hedged) {
+                *b |= h;
+            }
+            let rplan = sched::schedule_filtered(
+                &to_recover,
+                &self.layout,
+                ndpus,
+                Policy::Greedy { th3: f64::INFINITY },
+                Some(&heat),
+                Some(&banned_now),
+            );
+            extra_host_s += self.host.time(
+                32.0 * to_recover.len() as f64,
+                16.0 * to_recover.len() as f64,
+            );
+            heat = rplan.heat;
+            fallback.extend(rplan.unplaceable);
+            wave = rplan
+                .per_dpu
+                .into_iter()
+                .enumerate()
+                .filter(|(_, t)| !t.is_empty())
+                .collect();
+            if wave.is_empty() {
+                break;
+            }
+        }
+
+        // --- escalation: host-side kernel replay, or graceful degradation ---
+        if !fallback.is_empty() {
+            if rec.host_fallback {
+                // Replay the exact DPU u8 kernel path on the host, so the
+                // recovered results are bit-identical to what the lost DPUs
+                // would have produced. The meter is converted to host
+                // seconds through the host's ProcModel and never touches
+                // the PIM-side accounting; no link bytes move.
+                stats.host_fallback_tasks += fallback.len();
+                let out = self.run_dpu(0, &fallback, &dpu_queries);
+                let total = out.meter.total();
+                extra_host_s += self
+                    .host
+                    .time(total.cycles as f64, total.total_bytes() as f64);
+                for (q, list) in out.results {
+                    per_query_lists[q as usize].push(list);
+                }
+            } else {
+                // Graceful degradation: complete on the surviving probe set
+                // and account the dropped candidate mass.
+                stats.dropped_tasks += fallback.len();
+                let mut degraded: std::collections::BTreeSet<u32> = Default::default();
+                for t in &fallback {
+                    stats.dropped_points += self.layout.slices[t.slice].len as u64;
+                    degraded.insert(t.query);
+                }
+                stats.degraded_queries += degraded.len();
+            }
+        }
+        stats.dead_dpus = health.dead_count();
+        stats.quarantined_dpus = health.quarantined_count();
+
+        // --- merge on host ---
+        let results: Vec<Vec<Neighbor>> = per_query_lists
+            .into_iter()
+            .map(|lists| merge_topk(&lists, k))
+            .collect();
+
+        // --- timing & report ---
+        let timing =
+            self.system
+                .batch_timing(cl_out.host_s + extra_host_s, push_bytes, gather_bytes);
+        let energy = self.system.batch_energy(&timing, self.host.power_w);
+        let sqt_rate = if sqt_hits.0 + sqt_hits.1 == 0 {
+            1.0
+        } else {
+            sqt_hits.0 as f64 / (sqt_hits.0 + sqt_hits.1) as f64
+        };
+        let report = BatchReport::new(
+            queries.len(),
+            timing,
+            energy,
+            postponed_count,
+            lock,
+            sqt_rate,
+        )
+        .with_fault_stats(stats);
         (results, report)
     }
 
@@ -537,6 +915,14 @@ impl DrimEngine {
             .map(|s| (s.hits_wram, s.hits_mram))
             .unwrap_or((0, 0));
 
+        // Integrity header transmitted alongside the gather (folded into
+        // the gather DMA, so it charges no extra cycles or bytes) — the
+        // recovery layer recomputes it host-side to detect corruption.
+        let checksum = result_checksum(results.iter().flat_map(|(q, list)| {
+            std::iter::once(*q as u64)
+                .chain(list.iter().flat_map(|n| [n.id, n.dist.to_bits() as u64]))
+        }));
+
         DpuOutput {
             dpu,
             results,
@@ -545,6 +931,7 @@ impl DrimEngine {
             sqt_hits,
             push_bytes,
             gather_bytes,
+            checksum,
         }
     }
 }
@@ -569,6 +956,9 @@ struct DpuOutput {
     sqt_hits: (u64, u64),
     push_bytes: u64,
     gather_bytes: u64,
+    /// Detection checksum over the result payload (see
+    /// [`upmem_sim::fault::result_checksum`]); charged zero.
+    checksum: u64,
 }
 
 #[cfg(test)]
@@ -719,6 +1109,105 @@ mod tests {
             report.sqt_wram_hit_rate > 0.99,
             "8-bit SQT always hits WRAM"
         );
+    }
+
+    #[test]
+    fn recovery_with_host_fallback_is_lossless() {
+        let (data, queries) = small_workload();
+        let mut clean =
+            DrimEngine::build(&data, small_cfg(), PimArch::upmem_sc25(), 8, None).unwrap();
+        // the CI fault matrix arms every engine via DRIM_ANN_FAULT_SEED;
+        // this baseline must be genuinely fault-free
+        clean.clear_faults();
+        let (r0, rep0) = clean.search_batch(&queries);
+        assert!(!rep0.fault.active(), "no injector, no fault accounting");
+
+        let mut faulty =
+            DrimEngine::build(&data, small_cfg(), PimArch::upmem_sc25(), 8, None).unwrap();
+        faulty
+            .inject_faults(FaultConfig::uniform(0xF00D, 0.2))
+            .unwrap();
+        assert!(faulty.fault_active());
+        let (r1, rep1) = faulty.search_batch(&queries);
+        assert!(
+            rep1.fault.active(),
+            "20% rates over 8 DPUs must fire something: {:?}",
+            rep1.fault
+        );
+        assert_eq!(rep1.fault.dropped_tasks, 0, "fallback path never drops");
+        assert_eq!(
+            format!("{r0:?}"),
+            format!("{r1:?}"),
+            "recovery + host fallback must reproduce the zero-fault results bit-for-bit"
+        );
+        // recovery work is charged, never free: faulted batches cost time
+        assert!(rep1.timing.total_s() >= rep0.timing.total_s());
+
+        // detaching the injector restores the zero-fault report bit-for-bit
+        faulty.clear_faults();
+        let (r2, rep2) = faulty.search_batch(&queries);
+        assert_eq!(format!("{r0:?}"), format!("{r2:?}"));
+        assert_eq!(format!("{rep0:?}"), format!("{rep2:?}"));
+    }
+
+    #[test]
+    fn degradation_without_fallback_is_accounted_and_bounded() {
+        let (data, queries) = small_workload();
+        let mut cfg = small_cfg();
+        cfg.recovery.host_fallback = false;
+        let mut engine =
+            DrimEngine::build(&data, cfg.clone(), PimArch::upmem_sc25(), 8, None).unwrap();
+        // heavy fail-stop: some slices are likely to lose every home
+        let mut fc = FaultConfig::none();
+        fc.seed = 0xDE6;
+        fc.fail_stop_rate = 0.45;
+        engine.inject_faults(fc).unwrap();
+        let (results, report) = engine.search_batch(&queries);
+        // every query still gets an answer, degraded or not
+        assert_eq!(results.len(), queries.len());
+        assert!(results.iter().all(|r| !r.is_empty()));
+        let f = &report.fault;
+        assert!(f.dead_dpus > 0, "45% fail-stop must kill some of 8 DPUs");
+        if f.degraded() {
+            assert!(f.dropped_points > 0 && f.degraded_queries > 0);
+            assert!(f.recall_loss_bound() > 0.0 && f.recall_loss_bound() <= 1.0);
+            // the dropped candidate mass is mirrored in the summary line
+            assert!(report.summary().contains("loss<="));
+        }
+        // and the loss bound is honest: recall against a clean engine drops
+        // by at most the bound (plus quantization noise already present)
+        let mut clean = DrimEngine::build(&data, cfg, PimArch::upmem_sc25(), 8, None).unwrap();
+        let (clean_results, _) = clean.search_batch(&queries);
+        let truth = ann_core::flat::ground_truth(&queries, &data, 10);
+        let degraded_recall = ann_core::recall::mean_recall(&results, &truth, 10);
+        let clean_recall = ann_core::recall::mean_recall(&clean_results, &truth, 10);
+        assert!(
+            degraded_recall >= clean_recall - f.recall_loss_bound() - 0.05,
+            "degraded {degraded_recall} clean {clean_recall} bound {}",
+            f.recall_loss_bound()
+        );
+    }
+
+    #[test]
+    fn build_rejects_misconfiguration_without_panicking() {
+        let (data, _) = small_workload();
+        let mut cfg = small_cfg();
+        cfg.index.nprobe = 1000; // > nlist
+        assert!(matches!(
+            DrimEngine::build(&data, cfg, PimArch::upmem_sc25(), 4, None),
+            Err(BuildError::Config(
+                crate::config::ConfigError::BadNprobe { .. }
+            ))
+        ));
+        assert!(matches!(
+            DrimEngine::build(&data, small_cfg(), PimArch::upmem_sc25(), 0, None),
+            Err(BuildError::Sim(upmem_sim::SimConfigError::ZeroDpus))
+        ));
+        let mut engine =
+            DrimEngine::build(&data, small_cfg(), PimArch::upmem_sc25(), 4, None).unwrap();
+        let mut fc = FaultConfig::none();
+        fc.fail_stop_rate = 2.0;
+        assert!(engine.inject_faults(fc).is_err());
     }
 
     #[test]

@@ -112,6 +112,25 @@ pub fn extra_bytes_per_dpu(
     extra as f64 / ndpus.max(1) as f64
 }
 
+/// Fraction of slices with at least one copy on a surviving (non-banned)
+/// DPU — the quantity that decides whether a fault pattern is recoverable
+/// by re-dispatch alone or needs the host fallback. Duplication is what
+/// pushes this toward 1.0 under fail-stop faults.
+pub fn replica_coverage(slice_homes: &[Vec<usize>], banned: &[bool]) -> f64 {
+    if slice_homes.is_empty() {
+        return 1.0;
+    }
+    let covered = slice_homes
+        .iter()
+        .filter(|homes| {
+            homes
+                .iter()
+                .any(|&d| !banned.get(d).copied().unwrap_or(false))
+        })
+        .count();
+    covered as f64 / slice_homes.len() as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +194,19 @@ mod tests {
         let e = extra_bytes_per_dpu(&slices, &[3], 4, 2);
         // 2 extra copies x 100 points x 2 B / 4 dpus = 100
         assert!((e - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replica_coverage_counts_surviving_homes() {
+        let homes = vec![vec![0, 2], vec![1], vec![3, 1]];
+        assert_eq!(replica_coverage(&homes, &[false; 4]), 1.0);
+        // kill DPU 1: slice 1 loses every copy, slice 2 survives on DPU 3
+        let banned = vec![false, true, false, false];
+        let cov = replica_coverage(&homes, &banned);
+        assert!((cov - 2.0 / 3.0).abs() < 1e-12, "cov {cov}");
+        // out-of-range homes count as alive (banned mask shorter than fleet)
+        assert_eq!(replica_coverage(&[vec![9]], &banned), 1.0);
+        assert_eq!(replica_coverage(&[], &banned), 1.0);
     }
 
     #[test]

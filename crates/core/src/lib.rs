@@ -21,6 +21,10 @@
 //! * **Runtime scheduling** — [`sched`]: greedy coldest-replica assignment
 //!   with `th3` postponement.
 //!
+//! On top of the paper's design, [`recovery`] and the fault-aware dispatch
+//! in [`engine`] tolerate fail-stop DPUs, stragglers, and result corruption
+//! injected by [`upmem_sim::fault`] — see `docs/FAULT_MODEL.md`.
+//!
 //! [`engine::DrimEngine`] assembles everything for functional runs on real
 //! vectors; [`trace`] drives the identical layout/scheduling/costing code
 //! with full-scale statistical workloads (100M–1B points) that no test
@@ -49,13 +53,14 @@ pub mod engine;
 pub mod kernels;
 pub mod layout;
 pub mod perf_model;
+pub mod recovery;
 pub mod report;
 pub mod sched;
 pub mod sqt;
 pub mod trace;
 pub mod wram;
 
-pub use config::{EngineConfig, IndexConfig};
+pub use config::{ConfigError, EngineConfig, IndexConfig, RecoveryConfig};
 pub use engine::DrimEngine;
-pub use report::BatchReport;
+pub use report::{BatchReport, FaultStats};
 pub use upmem_sim::meter::Phase;

@@ -5,6 +5,65 @@ use upmem_sim::meter::Phase;
 use upmem_sim::system::BatchTiming;
 use upmem_sim::tasklet::LockStats;
 
+/// Fault and recovery accounting for one batch (all-zero when the fault
+/// layer is disabled or nothing fired).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultStats {
+    /// Known fail-stopped DPUs (allocation-time scan + runtime discovery).
+    pub dead_dpus: usize,
+    /// DPUs quarantined during this batch after repeated transient faults.
+    pub quarantined_dpus: usize,
+    /// Dispatch waves that hit a dead DPU at runtime (0 when the dead set
+    /// was scanned up front).
+    pub fail_stop_events: usize,
+    /// Straggler faults observed.
+    pub stragglers: usize,
+    /// Corruption faults detected by the result checksum.
+    pub corruptions: usize,
+    /// Tasks re-dispatched to a replica after a fault.
+    pub retried_tasks: usize,
+    /// Straggler tasks the host re-issued before completion (hedging).
+    pub hedged_tasks: usize,
+    /// Tasks replayed on the host through the exact DPU kernel path.
+    pub host_fallback_tasks: usize,
+    /// Tasks dropped because no replica survived and the host fallback is
+    /// off — the source of recall degradation.
+    pub dropped_tasks: usize,
+    /// Queries that lost at least one probe task.
+    pub degraded_queries: usize,
+    /// Candidate points in dropped tasks.
+    pub dropped_points: u64,
+    /// Candidate points across all scheduled tasks (the degradation
+    /// denominator).
+    pub scheduled_points: u64,
+}
+
+impl FaultStats {
+    /// Did anything fault-related happen this batch?
+    pub fn active(&self) -> bool {
+        *self != FaultStats::default()
+    }
+
+    /// True when results were completed on a reduced probe set.
+    pub fn degraded(&self) -> bool {
+        self.dropped_tasks > 0
+    }
+
+    /// Upper bound on the expected recall loss of this batch: the fraction
+    /// of scheduled candidate mass that was dropped. A true neighbor is
+    /// lost only if it lived in a dropped slice, so the expected recall@k
+    /// drop cannot exceed the dropped candidate fraction (measured recall
+    /// typically sits well below the bound because probe ranks correlate
+    /// with neighbor mass).
+    pub fn recall_loss_bound(&self) -> f64 {
+        if self.scheduled_points == 0 {
+            0.0
+        } else {
+            self.dropped_points as f64 / self.scheduled_points as f64
+        }
+    }
+}
+
 /// Summary of one executed query batch.
 #[derive(Debug, Clone)]
 pub struct BatchReport {
@@ -29,6 +88,8 @@ pub struct BatchReport {
     pub lock: LockStats,
     /// SQT WRAM hit rate (1.0 for the 8-bit table).
     pub sqt_wram_hit_rate: f64,
+    /// Fault/recovery accounting (all-zero without injected faults).
+    pub fault: FaultStats,
 }
 
 impl BatchReport {
@@ -55,7 +116,15 @@ impl BatchReport {
             postponed,
             lock,
             sqt_wram_hit_rate,
+            fault: FaultStats::default(),
         }
+    }
+
+    /// Attach fault/recovery accounting (builder-style, keeps [`Self::new`]
+    /// signature stable for fault-free callers).
+    pub fn with_fault_stats(mut self, fault: FaultStats) -> Self {
+        self.fault = fault;
+        self
     }
 
     /// Fraction of the critical DPU's time spent in `p`.
@@ -76,8 +145,24 @@ impl BatchReport {
 
     /// Pretty single-line summary for harness output.
     pub fn summary(&self) -> String {
+        let fault = if self.fault.active() {
+            format!(
+                " faults[dead={} quar={} straggle={} corrupt={} retried={} hedged={} fallback={} dropped={} loss<={:.4}]",
+                self.fault.dead_dpus,
+                self.fault.quarantined_dpus,
+                self.fault.stragglers,
+                self.fault.corruptions,
+                self.fault.retried_tasks,
+                self.fault.hedged_tasks,
+                self.fault.host_fallback_tasks,
+                self.fault.dropped_tasks,
+                self.fault.recall_loss_bound(),
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "q={} qps={:.0} total={:.3}ms pim={:.3}ms host={:.3}ms imb={:.2} postponed={} RC/LC/DC/TS = {:.0}%/{:.0}%/{:.0}%/{:.0}% E={:.2}J qpj={:.1}",
+            "q={} qps={:.0} total={:.3}ms pim={:.3}ms host={:.3}ms imb={:.2} postponed={} RC/LC/DC/TS = {:.0}%/{:.0}%/{:.0}%/{:.0}% E={:.2}J qpj={:.1}{fault}",
             self.queries,
             self.qps,
             self.timing.total_s() * 1e3,
@@ -154,5 +239,43 @@ mod tests {
         assert!(s.contains("q=64"));
         assert!(s.contains("postponed=3"));
         assert!(s.contains("qpj="));
+        // no fault layer: no fault clutter in the summary
+        assert!(!s.contains("faults["));
+    }
+
+    #[test]
+    fn fault_stats_default_is_inert() {
+        let f = FaultStats::default();
+        assert!(!f.active());
+        assert!(!f.degraded());
+        assert_eq!(f.recall_loss_bound(), 0.0);
+        let r = BatchReport::new(64, timing(), energy(), 0, LockStats::default(), 1.0);
+        assert_eq!(r.fault, FaultStats::default());
+    }
+
+    #[test]
+    fn fault_stats_bound_and_summary() {
+        let f = FaultStats {
+            dead_dpus: 1,
+            stragglers: 2,
+            corruptions: 1,
+            retried_tasks: 4,
+            hedged_tasks: 3,
+            dropped_tasks: 2,
+            degraded_queries: 2,
+            dropped_points: 250,
+            scheduled_points: 10_000,
+            ..FaultStats::default()
+        };
+        assert!(f.active());
+        assert!(f.degraded());
+        assert!((f.recall_loss_bound() - 0.025).abs() < 1e-12);
+        let r = BatchReport::new(64, timing(), energy(), 0, LockStats::default(), 1.0)
+            .with_fault_stats(f);
+        let s = r.summary();
+        assert!(s.contains("faults["), "summary: {s}");
+        assert!(s.contains("dead=1"));
+        assert!(s.contains("hedged=3"));
+        assert!(s.contains("loss<=0.0250"));
     }
 }

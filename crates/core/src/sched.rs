@@ -27,6 +27,10 @@ pub struct SchedulePlan {
     pub per_dpu: Vec<Vec<Task>>,
     /// Tasks postponed to the next batch (th3 overflow).
     pub postponed: Vec<Task>,
+    /// Tasks whose every home DPU is banned (dead or quarantined) — the
+    /// recovery layer routes these to the host fallback or degrades.
+    /// Always empty when scheduling without a ban mask.
+    pub unplaceable: Vec<Task>,
     /// Final predicted heat per DPU.
     pub heat: Vec<f64>,
 }
@@ -72,23 +76,58 @@ pub fn schedule_with_heat(
     policy: Policy,
     initial_heat: Option<&[f64]>,
 ) -> SchedulePlan {
+    schedule_filtered(tasks, layout, ndpus, policy, initial_heat, None)
+}
+
+/// [`schedule_with_heat`] with an optional per-DPU ban mask: banned DPUs
+/// (fail-stopped or quarantined) receive no work, and tasks whose every
+/// replica home is banned land in [`SchedulePlan::unplaceable`]. With
+/// `banned = None` the arithmetic is identical to the unfiltered scheduler,
+/// so the zero-fault path stays bit-for-bit unchanged.
+pub fn schedule_filtered(
+    tasks: &[Task],
+    layout: &LayoutPlan,
+    ndpus: usize,
+    policy: Policy,
+    initial_heat: Option<&[f64]>,
+    banned: Option<&[bool]>,
+) -> SchedulePlan {
     match policy {
-        Policy::Static => schedule_static(tasks, layout, ndpus),
-        Policy::Greedy { th3 } => schedule_greedy(tasks, layout, ndpus, th3, initial_heat),
+        Policy::Static => schedule_static(tasks, layout, ndpus, banned),
+        Policy::Greedy { th3 } => schedule_greedy(tasks, layout, ndpus, th3, initial_heat, banned),
     }
 }
 
-fn schedule_static(tasks: &[Task], layout: &LayoutPlan, ndpus: usize) -> SchedulePlan {
+fn is_banned(banned: Option<&[bool]>, d: usize) -> bool {
+    banned.map(|b| b[d]).unwrap_or(false)
+}
+
+fn schedule_static(
+    tasks: &[Task],
+    layout: &LayoutPlan,
+    ndpus: usize,
+    banned: Option<&[bool]>,
+) -> SchedulePlan {
     let mut per_dpu = vec![Vec::new(); ndpus];
     let mut heat = vec![0.0f64; ndpus];
+    let mut unplaceable = Vec::new();
     for &t in tasks {
-        let home = layout.slice_homes[t.slice][0];
-        per_dpu[home].push(t);
-        heat[home] += t.cost;
+        // first surviving home (the primary, unless it is banned)
+        match layout.slice_homes[t.slice]
+            .iter()
+            .find(|&&d| !is_banned(banned, d))
+        {
+            Some(&home) => {
+                per_dpu[home].push(t);
+                heat[home] += t.cost;
+            }
+            None => unplaceable.push(t),
+        }
     }
     SchedulePlan {
         per_dpu,
         postponed: Vec::new(),
+        unplaceable,
         heat,
     }
 }
@@ -99,6 +138,7 @@ fn schedule_greedy(
     ndpus: usize,
     th3: f64,
     initial_heat: Option<&[f64]>,
+    banned: Option<&[bool]>,
 ) -> SchedulePlan {
     let mut per_dpu: Vec<Vec<Task>> = vec![Vec::new(); ndpus];
     let mut heat = match initial_heat {
@@ -120,15 +160,20 @@ fn schedule_greedy(
     };
 
     let mut postponed = Vec::new();
+    let mut unplaceable = Vec::new();
     for idx in order {
         let t = tasks[idx];
         let homes = &layout.slice_homes[t.slice];
-        // coldest replica
-        let (best, best_heat) = homes
+        // coldest surviving replica
+        let best = homes
             .iter()
+            .filter(|&&d| !is_banned(banned, d))
             .map(|&d| (d, heat[d]))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .expect("slice has at least one home");
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let Some((best, best_heat)) = best else {
+            unplaceable.push(t);
+            continue;
+        };
         if best_heat + t.cost > limit && best_heat > 0.0 {
             postponed.push(t);
             continue;
@@ -140,6 +185,7 @@ fn schedule_greedy(
     SchedulePlan {
         per_dpu,
         postponed,
+        unplaceable,
         heat,
     }
 }
@@ -329,6 +375,73 @@ mod tests {
             + plan.cluster_slices[5].len();
         assert_eq!(tasks.len(), expected);
         assert!(tasks.iter().all(|t| t.cost <= 100.0));
+    }
+
+    #[test]
+    fn ban_mask_routes_around_dead_dpus() {
+        let (_, plan) = layout(4, true);
+        let hot_slice = plan.cluster_slices[0][0];
+        let homes = plan.slice_homes[hot_slice].clone();
+        assert!(homes.len() > 1);
+        // ban the primary home: greedy must use the surviving replicas only
+        let mut banned = vec![false; 4];
+        banned[homes[0]] = true;
+        let tasks = hot_tasks(10, hot_slice);
+        let sp = schedule_filtered(
+            &tasks,
+            &plan,
+            4,
+            Policy::Greedy { th3: f64::INFINITY },
+            None,
+            Some(&banned),
+        );
+        assert!(sp.per_dpu[homes[0]].is_empty(), "banned DPU got work");
+        assert_eq!(sp.scheduled(), 10);
+        assert!(sp.unplaceable.is_empty());
+        // ban every home: the tasks become unplaceable, never silently lost
+        let all_banned = vec![true; 4];
+        let sp = schedule_filtered(
+            &tasks,
+            &plan,
+            4,
+            Policy::Greedy { th3: f64::INFINITY },
+            None,
+            Some(&all_banned),
+        );
+        assert_eq!(sp.scheduled(), 0);
+        assert_eq!(sp.unplaceable.len(), 10);
+        // static policy falls back to the first surviving home
+        let sp = schedule_filtered(&tasks, &plan, 4, Policy::Static, None, Some(&banned));
+        assert_eq!(sp.scheduled(), 10);
+        assert!(sp.per_dpu[homes[0]].is_empty());
+    }
+
+    #[test]
+    fn no_ban_mask_matches_unfiltered_schedule() {
+        let (_, plan) = layout(4, true);
+        let mut tasks = Vec::new();
+        for q in 0..12u32 {
+            for s in 0..plan.slices.len() {
+                tasks.push(Task {
+                    query: q,
+                    slice: s,
+                    cost: 0.3 + (s as f64) * 0.05,
+                });
+            }
+        }
+        let a = schedule(&tasks, &plan, 4, Policy::Greedy { th3: 0.2 });
+        let b = schedule_filtered(&tasks, &plan, 4, Policy::Greedy { th3: 0.2 }, None, None);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let none_banned = vec![false; 4];
+        let c = schedule_filtered(
+            &tasks,
+            &plan,
+            4,
+            Policy::Greedy { th3: 0.2 },
+            None,
+            Some(&none_banned),
+        );
+        assert_eq!(format!("{a:?}"), format!("{c:?}"));
     }
 
     #[test]

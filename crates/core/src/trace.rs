@@ -11,18 +11,20 @@
 //! the same closed-form `charge` functions the functional kernels use —
 //! unit tests in [`crate::kernels`] pin the two to produce identical totals.
 
-use crate::config::{EngineConfig, SchedPolicy};
+use crate::config::{ConfigError, EngineConfig, SchedPolicy};
 use crate::kernels::{cl, dc, lc, rc, ts, KernelCtx};
 use crate::layout::{ClusterInfo, LayoutPlan};
 use crate::perf_model::{BitWidths, WorkloadShape};
-use crate::report::BatchReport;
-use crate::sched::{self, Policy};
+use crate::recovery::DpuHealth;
+use crate::report::{BatchReport, FaultStats};
+use crate::sched::{self, Policy, Task};
 use crate::sqt::Sqt;
 use crate::wram::{plan as wram_plan, WramPlacement};
 use datasets::zipf::{zipf_partition, Discrete};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
+use upmem_sim::fault::{FaultConfig, FaultInjector, FaultOutcome};
 use upmem_sim::meter::{DpuMeter, Phase};
 use upmem_sim::proc::ProcModel;
 use upmem_sim::system::PimSystem;
@@ -199,6 +201,21 @@ impl TraceRunner {
             .collect()
     }
 
+    /// Attach a fault injector: subsequent batches run through the same
+    /// recovery policy as the functional engine, in charge-only form
+    /// (faulted work re-charged on replicas, stragglers slowed or hedged,
+    /// unplaceable work replayed on the host or dropped with the loss
+    /// accounted). The batch's transient draws key on `batch_seed`.
+    pub fn inject_faults(&mut self, cfg: FaultConfig) -> Result<(), ConfigError> {
+        self.system.fault = Some(FaultInjector::new(cfg)?);
+        Ok(())
+    }
+
+    /// Detach the fault injector.
+    pub fn clear_faults(&mut self) {
+        self.system.fault = None;
+    }
+
     /// Scheduler heat unit (same formula as the functional engine).
     fn task_cost(&self, slice_len: usize) -> f64 {
         sched::task_cost_s(
@@ -226,27 +243,38 @@ impl TraceRunner {
             &self.host,
         );
 
-        // schedule
+        // schedule (routing around the injector's dead set when one is
+        // armed; `banned = None` keeps the arithmetic bit-identical)
+        let ndpus = self.system.len();
         let tasks = sched::expand_tasks(&probes, &self.layout, |len| self.task_cost(len));
         let policy = match self.cfg.scheduling {
             SchedPolicy::Static => Policy::Static,
             SchedPolicy::Greedy => Policy::Greedy { th3: self.cfg.th3 },
         };
-        let mut plan = sched::schedule(&tasks, &self.layout, self.system.len(), policy);
+        let injector = self.system.fault.clone().filter(|f| !f.is_inert());
+        let mut health = injector
+            .as_ref()
+            .map(|inj| DpuHealth::from_injector(inj, ndpus));
+        let banned = health.as_ref().map(|h| h.banned());
+        let mut plan =
+            sched::schedule_filtered(&tasks, &self.layout, ndpus, policy, None, banned.as_deref());
         let postponed_count = plan.postponed.len();
+        let mut fallback: Vec<Task> = std::mem::take(&mut plan.unplaceable);
         while !plan.postponed.is_empty() {
-            let extra = sched::schedule_with_heat(
+            let extra = sched::schedule_filtered(
                 &plan.postponed,
                 &self.layout,
-                self.system.len(),
+                ndpus,
                 Policy::Greedy { th3: f64::INFINITY },
                 Some(&plan.heat),
+                banned.as_deref(),
             );
             for (d, ts_) in extra.per_dpu.into_iter().enumerate() {
                 plan.per_dpu[d].extend(ts_);
             }
             plan.heat = extra.heat;
             plan.postponed = extra.postponed;
+            fallback.extend(extra.unplaceable);
         }
 
         // charge DPUs (parallel)
@@ -280,78 +308,228 @@ impl TraceRunner {
         let lock_policy = self.cfg.lock_policy;
         let layout = &self.layout;
 
-        let charged: Vec<(usize, DpuMeter, LockStats, u64, u64)> = plan
-            .per_dpu
-            .par_iter()
-            .enumerate()
-            .map(|(dpu, tasks)| {
-                let mut meter = DpuMeter::new();
-                let mut lock = LockStats::default();
-                let mut push_bytes = 0u64;
-                let mut gather_bytes = 0u64;
+        // Per-DPU charge function (unchanged arithmetic) — reused by the
+        // retry waves and the host fallback replay.
+        let charge_tasks = |tasks: &[Task]| -> (DpuMeter, LockStats, u64, u64) {
+            let mut meter = DpuMeter::new();
+            let mut lock = LockStats::default();
+            let mut push_bytes = 0u64;
+            let mut gather_bytes = 0u64;
 
-                // group by (query, cluster) exactly like the engine
-                let mut groups: std::collections::BTreeMap<(u32, u32), Vec<usize>> =
-                    Default::default();
-                for t in tasks {
-                    let cluster = layout.slices[t.slice].cluster;
-                    groups.entry((t.query, cluster)).or_default().push(t.slice);
-                }
-                let mut queries_seen = std::collections::HashSet::new();
-                for ((q, _cluster), slices) in groups {
-                    queries_seen.insert(q);
-                    push_bytes += d * 4 + 8 * slices.len() as u64;
-                    rc::charge(&ctx, meter.phase_mut(Phase::Rc), d);
-                    lc::charge(&ctx, meter.phase_mut(Phase::Lc), m, cb, dsub, square);
-                    for &si in &slices {
-                        let n = layout.slices[si].len as u64;
-                        dc::charge(&ctx, meter.phase_mut(Phase::Dc), n, m, cb);
-                        let (locked, retained) = match lock_policy {
-                            LockPolicy::LockAlways => (n, ts::expected_updates(n, k)),
-                            LockPolicy::Forwarding => {
-                                let u = ts::expected_updates(n, k);
-                                (u, u)
-                            }
-                        };
-                        ts::charge(
-                            &ctx,
-                            meter.phase_mut(Phase::Ts),
-                            n,
-                            k,
-                            lock_policy,
-                            locked,
-                            retained,
-                        );
-                        match lock_policy {
-                            LockPolicy::LockAlways => lock.locked_updates += n,
-                            LockPolicy::Forwarding => {
-                                let u = ts::expected_updates(n, k);
-                                lock.locked_updates += u;
-                                lock.pruned += n - u.min(n);
-                            }
+            // group by (query, cluster) exactly like the engine
+            let mut groups: std::collections::BTreeMap<(u32, u32), Vec<usize>> = Default::default();
+            for t in tasks {
+                let cluster = layout.slices[t.slice].cluster;
+                groups.entry((t.query, cluster)).or_default().push(t.slice);
+            }
+            let mut queries_seen = std::collections::HashSet::new();
+            for ((q, _cluster), slices) in groups {
+                queries_seen.insert(q);
+                push_bytes += d * 4 + 8 * slices.len() as u64;
+                rc::charge(&ctx, meter.phase_mut(Phase::Rc), d);
+                lc::charge(&ctx, meter.phase_mut(Phase::Lc), m, cb, dsub, square);
+                for &si in &slices {
+                    let n = layout.slices[si].len as u64;
+                    dc::charge(&ctx, meter.phase_mut(Phase::Dc), n, m, cb);
+                    let (locked, retained) = match lock_policy {
+                        LockPolicy::LockAlways => (n, ts::expected_updates(n, k)),
+                        LockPolicy::Forwarding => {
+                            let u = ts::expected_updates(n, k);
+                            (u, u)
+                        }
+                    };
+                    ts::charge(
+                        &ctx,
+                        meter.phase_mut(Phase::Ts),
+                        n,
+                        k,
+                        lock_policy,
+                        locked,
+                        retained,
+                    );
+                    match lock_policy {
+                        LockPolicy::LockAlways => lock.locked_updates += n,
+                        LockPolicy::Forwarding => {
+                            let u = ts::expected_updates(n, k);
+                            lock.locked_updates += u;
+                            lock.pruned += n - u.min(n);
                         }
                     }
                 }
-                gather_bytes += queries_seen.len() as u64 * k as u64 * 8;
-                (dpu, meter, lock, push_bytes, gather_bytes)
-            })
-            .collect();
+            }
+            gather_bytes += queries_seen.len() as u64 * k as u64 * 8;
+            (meter, lock, push_bytes, gather_bytes)
+        };
 
+        // Dispatch waves: a single all-healthy wave without an injector
+        // (sums are integer merges, so this path is bit-identical to the
+        // pre-fault code), the engine's recovery policy with one.
+        let rec = self.cfg.recovery;
+        let mut stats = FaultStats::default();
+        if injector.is_some() {
+            stats.scheduled_points = tasks
+                .iter()
+                .map(|t| layout.slices[t.slice].len as u64)
+                .sum();
+        }
+        let max_heat = plan.heat.iter().cloned().fold(0.0, f64::max);
+        let deadline = if max_heat > 0.0 {
+            rec.hedge_deadline_factor * max_heat
+        } else {
+            f64::INFINITY
+        };
+        let mut heat = plan.heat.clone();
+        let mut hedged = vec![false; ndpus];
         let mut lock = LockStats::default();
         let mut push_bytes = 0u64;
         let mut gather_bytes = 0u64;
-        for (dpu, meter, l, p, g) in charged {
-            self.system.dpus[dpu].meter.merge(&meter);
-            lock.locked_updates += l.locked_updates;
-            lock.pruned += l.pruned;
-            push_bytes += p;
-            gather_bytes += g;
+        let mut extra_host_s = 0.0f64;
+        let mut wave: Vec<(usize, Vec<Task>)> = plan
+            .per_dpu
+            .into_iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_empty())
+            .collect();
+        let mut attempt: u32 = 0;
+
+        loop {
+            let charged: Vec<(DpuMeter, LockStats, u64, u64)> =
+                wave.par_iter().map(|(_, ts_)| charge_tasks(ts_)).collect();
+
+            let mut to_recover: Vec<Task> = Vec::new();
+            for ((dd, wtasks), (meter, l, p, g)) in wave.iter().zip(charged) {
+                let dd = *dd;
+                let outcome = injector
+                    .as_ref()
+                    .map(|i| i.outcome(dd, batch_seed, attempt))
+                    .unwrap_or(FaultOutcome::Healthy);
+                match outcome {
+                    FaultOutcome::Healthy => {
+                        if let Some(h) = health.as_mut() {
+                            h.record_healthy(dd);
+                        }
+                    }
+                    FaultOutcome::FailStop => {
+                        // defensive: dead DPUs are pre-banned by the scan
+                        health
+                            .as_mut()
+                            .expect("injector present")
+                            .record_fail_stop(dd);
+                        stats.fail_stop_events += 1;
+                        stats.retried_tasks += wtasks.len();
+                        push_bytes += p;
+                        to_recover.extend_from_slice(wtasks);
+                        continue;
+                    }
+                    FaultOutcome::Straggler(f) => {
+                        stats.stragglers += 1;
+                        health
+                            .as_mut()
+                            .expect("injector present")
+                            .record_transient(dd, rec.quarantine_after);
+                        let wave_s = meter.time(&self.system.arch, self.system.tasklets);
+                        self.system.set_dpu_slowdown(dd, f);
+                        if rec.hedge && wave_s * f > deadline {
+                            self.system.cap_dpu_time(dd, deadline);
+                            hedged[dd] = true;
+                            stats.hedged_tasks += wtasks.len();
+                            self.system.dpus[dd].meter.merge(&meter);
+                            push_bytes += p;
+                            to_recover.extend_from_slice(wtasks);
+                            continue;
+                        }
+                    }
+                    FaultOutcome::Corrupt => {
+                        stats.corruptions += 1;
+                        stats.retried_tasks += wtasks.len();
+                        health
+                            .as_mut()
+                            .expect("injector present")
+                            .record_transient(dd, rec.quarantine_after);
+                        self.system.dpus[dd].meter.merge(&meter);
+                        push_bytes += p;
+                        gather_bytes += g;
+                        to_recover.extend_from_slice(wtasks);
+                        continue;
+                    }
+                }
+                // full accept
+                self.system.dpus[dd].meter.merge(&meter);
+                lock.locked_updates += l.locked_updates;
+                lock.pruned += l.pruned;
+                push_bytes += p;
+                gather_bytes += g;
+            }
+
+            if to_recover.is_empty() {
+                break;
+            }
+            attempt += 1;
+            if attempt as usize >= rec.max_retries {
+                fallback.extend_from_slice(&to_recover);
+                break;
+            }
+            let mut banned_now = health.as_ref().expect("injector present").banned();
+            for (b, &hd) in banned_now.iter_mut().zip(&hedged) {
+                *b |= hd;
+            }
+            let rplan = sched::schedule_filtered(
+                &to_recover,
+                layout,
+                ndpus,
+                Policy::Greedy { th3: f64::INFINITY },
+                Some(&heat),
+                Some(&banned_now),
+            );
+            extra_host_s += self.host.time(
+                32.0 * to_recover.len() as f64,
+                16.0 * to_recover.len() as f64,
+            );
+            heat = rplan.heat;
+            fallback.extend(rplan.unplaceable);
+            wave = rplan
+                .per_dpu
+                .into_iter()
+                .enumerate()
+                .filter(|(_, t)| !t.is_empty())
+                .collect();
+            if wave.is_empty() {
+                break;
+            }
         }
 
-        let timing = self.system.batch_timing(host_s, push_bytes, gather_bytes);
+        // escalation: host-side replay (charged through the host's
+        // ProcModel), or graceful degradation with the loss accounted
+        if !fallback.is_empty() {
+            if rec.host_fallback {
+                stats.host_fallback_tasks += fallback.len();
+                let (meter, _, _, _) = charge_tasks(&fallback);
+                let total = meter.total();
+                extra_host_s += self
+                    .host
+                    .time(total.cycles as f64, total.total_bytes() as f64);
+            } else {
+                stats.dropped_tasks += fallback.len();
+                let mut degraded: std::collections::BTreeSet<u32> = Default::default();
+                for t in &fallback {
+                    stats.dropped_points += layout.slices[t.slice].len as u64;
+                    degraded.insert(t.query);
+                }
+                stats.degraded_queries += degraded.len();
+            }
+        }
+        if let Some(h) = &health {
+            stats.dead_dpus = h.dead_count();
+            stats.quarantined_dpus = h.quarantined_count();
+        }
+
+        let timing = self
+            .system
+            .batch_timing(host_s + extra_host_s, push_bytes, gather_bytes);
         let energy = self.system.batch_energy(&timing, self.host.power_w);
 
         BatchReport::new(self.spec.batch, timing, energy, postponed_count, lock, 1.0)
+            .with_fault_stats(stats)
     }
 
     /// Run `batches` batches and return the mean QPS (steady-state estimate).
@@ -453,6 +631,42 @@ mod tests {
         let rb = b.run_batch(3);
         assert_eq!(ra.timing.pim_s(), rb.timing.pim_s());
         assert_eq!(ra.qps, rb.qps);
+    }
+
+    #[test]
+    fn trace_faults_are_deterministic_and_detachable() {
+        let build = || TraceRunner::build(spec(500_000), cfg(), PimArch::upmem_sc25(), 32);
+        let mut clean = build();
+        let base = clean.run_batch(5);
+        assert!(!base.fault.active());
+
+        let mut a = build();
+        a.inject_faults(FaultConfig::uniform(0xBEEF, 0.12)).unwrap();
+        let ra = a.run_batch(5);
+        assert!(ra.fault.active());
+        assert!(ra.fault.dead_dpus > 0, "12% fail-stop over 32 DPUs");
+        // same seed, fresh runner: bit-identical report
+        let mut b = build();
+        b.inject_faults(FaultConfig::uniform(0xBEEF, 0.12)).unwrap();
+        let rb = b.run_batch(5);
+        assert_eq!(format!("{ra:?}"), format!("{rb:?}"));
+        // recovery work is charged: the faulted batch is never cheaper on
+        // energy than the clean one (retries + fallback add work; static
+        // power runs for at least as long)
+        assert!(
+            ra.energy_j >= base.energy_j,
+            "faulty {} vs clean {}",
+            ra.energy_j,
+            base.energy_j
+        );
+        // detaching restores the zero-fault report bit-for-bit
+        a.clear_faults();
+        let r2 = a.run_batch(5);
+        assert_eq!(format!("{base:?}"), format!("{r2:?}"));
+        // malformed configs are rejected, not installed
+        let mut bad = FaultConfig::none();
+        bad.straggler_rate = -1.0;
+        assert!(a.inject_faults(bad).is_err());
     }
 
     #[test]

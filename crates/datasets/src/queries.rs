@@ -62,6 +62,39 @@ pub fn generate_queries(
     out
 }
 
+/// Seeded Zipfian index trace: `len` draws from `0..pool`, where a random
+/// (seeded) permutation assigns each index a Zipf(`s`) rank. Popularity is
+/// thus uncorrelated with index order — the realistic shape of production
+/// query traffic, where a few queries repeat very often.
+///
+/// `s = 0` degenerates to uniform sampling with repetition.
+pub fn zipfian_indices(pool: usize, len: usize, s: f64, seed: u64) -> Vec<usize> {
+    assert!(pool > 0, "pool must be non-empty");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x21BF_1A2E);
+    // rank -> index permutation (Fisher-Yates over the pool)
+    let mut rank_to_idx: Vec<usize> = (0..pool).collect();
+    for i in (1..pool).rev() {
+        let j = rand::Rng::gen_range(&mut rng, 0..=i);
+        rank_to_idx.swap(i, j);
+    }
+    let sampler = Zipf::new(pool, s);
+    (0..len)
+        .map(|_| rank_to_idx[sampler.sample(&mut rng)])
+        .collect()
+}
+
+/// Resample an existing query set into a `len`-query *traffic trace* with
+/// Zipf(`s`)-skewed repetition: hot queries recur, which concentrates probe
+/// heat on their clusters. This is the workload regime the fault-tolerance
+/// benchmarks use to stress replica scheduling under stragglers.
+pub fn zipfian_query_trace(queries: &VecSet<f32>, len: usize, s: f64, seed: u64) -> VecSet<f32> {
+    let mut out = VecSet::with_capacity(queries.dim(), len);
+    for i in zipfian_indices(queries.len(), len, s, seed) {
+        out.push(queries.get(i));
+    }
+    out
+}
+
 /// Empirical heat (sample counts) each component receives under `skew`,
 /// normalized to sum to 1. Used by trace-mode experiments to drive layout
 /// decisions without materializing queries.
@@ -116,6 +149,46 @@ mod tests {
         // top-5 hot components carry the majority of hot traffic
         let top5: f64 = heat_hot.iter().take(5).sum();
         assert!(top5 > 0.5, "top5 {top5}");
+    }
+
+    #[test]
+    fn zipfian_trace_is_seeded_and_skewed() {
+        // determinism
+        let a = zipfian_indices(100, 2000, 1.2, 7);
+        let b = zipfian_indices(100, 2000, 1.2, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, zipfian_indices(100, 2000, 1.2, 8));
+        assert!(a.iter().all(|&i| i < 100));
+
+        // skew: the hottest index dominates a uniform draw's expectation
+        let mut counts = vec![0usize; 100];
+        for &i in &a {
+            counts[i] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(max > 5 * (a.len() / 100), "hottest count {max}");
+        // s = 0 degenerates to roughly uniform
+        let u = zipfian_indices(100, 2000, 0.0, 7);
+        let mut ucounts = vec![0usize; 100];
+        for &i in &u {
+            ucounts[i] += 1;
+        }
+        let umax = *ucounts.iter().max().unwrap();
+        assert!(umax < 3 * (u.len() / 100), "uniform hottest {umax}");
+
+        // the vector trace replays rows of the pool verbatim
+        let s = spec();
+        let pool = generate_queries(&s, 16, QuerySkew::InDistribution, 3);
+        let trace = zipfian_query_trace(&pool, 64, 1.1, 9);
+        assert_eq!(trace.len(), 64);
+        assert_eq!(trace.dim(), pool.dim());
+        let rows: std::collections::HashSet<Vec<u32>> = (0..pool.len())
+            .map(|i| pool.get(i).iter().map(|v| v.to_bits()).collect())
+            .collect();
+        for i in 0..trace.len() {
+            let row: Vec<u32> = trace.get(i).iter().map(|v| v.to_bits()).collect();
+            assert!(rows.contains(&row), "trace row {i} not from the pool");
+        }
     }
 
     #[test]

@@ -2,6 +2,28 @@
 
 use crate::isa::IsaCosts;
 
+/// Rejected simulator construction parameters — the typed alternative to
+/// panicking on user-reachable misconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimConfigError {
+    /// A system needs at least one DPU.
+    ZeroDpus,
+    /// An architecture parameter is physically meaningless; the payload
+    /// names the offending field.
+    BadArch(&'static str),
+}
+
+impl std::fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimConfigError::ZeroDpus => write!(f, "a PIM system needs at least one DPU"),
+            SimConfigError::BadArch(field) => write!(f, "invalid architecture parameter: {field}"),
+        }
+    }
+}
+
+impl std::error::Error for SimConfigError {}
+
 /// Complete architectural description of a DRAM-PIM platform.
 ///
 /// The default constructors mirror the hardware used in the DRIM-ANN paper;
@@ -141,6 +163,49 @@ impl PimArch {
     pub fn wram_bw_per_dpu(&self) -> f64 {
         self.mram_bw_per_dpu * self.wram_amplification
     }
+
+    /// Reject architectures whose parameters make the timing and energy
+    /// laws meaningless (zero frequency, no memory, no tasklets, ...).
+    pub fn validate(&self) -> Result<(), SimConfigError> {
+        let bad = |field| Err(SimConfigError::BadArch(field));
+        if self.freq_hz <= 0.0 || !self.freq_hz.is_finite() {
+            return bad("freq_hz");
+        }
+        if self.mram_bytes == 0 {
+            return bad("mram_bytes");
+        }
+        if self.wram_bytes == 0 {
+            return bad("wram_bytes");
+        }
+        if self.max_tasklets == 0 {
+            return bad("max_tasklets");
+        }
+        if self.pipeline_depth == 0 {
+            return bad("pipeline_depth");
+        }
+        if self.simd_lanes == 0 {
+            return bad("simd_lanes");
+        }
+        if self.mram_bw_per_dpu <= 0.0 || !self.mram_bw_per_dpu.is_finite() {
+            return bad("mram_bw_per_dpu");
+        }
+        if self.wram_amplification <= 0.0 || self.wram_amplification.is_nan() {
+            return bad("wram_amplification");
+        }
+        if self.dma_burst_bytes == 0 {
+            return bad("dma_burst_bytes");
+        }
+        if self.host_link_fraction <= 0.0
+            || self.host_link_fraction.is_nan()
+            || self.host_link_fraction > 1.0
+        {
+            return bad("host_link_fraction");
+        }
+        if self.dpus_per_dimm == 0 {
+            return bad("dpus_per_dimm");
+        }
+        Ok(())
+    }
 }
 
 impl Default for PimArch {
@@ -181,6 +246,18 @@ mod tests {
         let a = PimArch::upmem_dimms(24);
         assert_eq!(a.num_dpus, 24 * 128);
         assert_eq!(a.num_dimms(), 24);
+    }
+
+    #[test]
+    fn presets_validate_and_broken_arches_do_not() {
+        PimArch::upmem_sc25().validate().unwrap();
+        PimArch::upmem_dimms(4).validate().unwrap();
+        let mut a = PimArch::upmem_sc25();
+        a.mram_bytes = 0;
+        assert_eq!(a.validate(), Err(SimConfigError::BadArch("mram_bytes")));
+        let mut a = PimArch::upmem_sc25();
+        a.host_link_fraction = 0.0;
+        assert!(a.validate().is_err());
     }
 
     #[test]

@@ -47,6 +47,7 @@
 
 pub mod config;
 pub mod energy;
+pub mod fault;
 pub mod host;
 pub mod isa;
 pub mod memory;
@@ -58,8 +59,9 @@ pub mod system;
 pub mod tasklet;
 pub mod timeline;
 
-pub use config::PimArch;
+pub use config::{PimArch, SimConfigError};
 pub use energy::{EnergyBreakdown, EnergyCosts, EnergyModel};
+pub use fault::{FaultConfig, FaultInjector, FaultOutcome, SlowdownDist};
 pub use host::HostLink;
 pub use isa::IsaCosts;
 pub use memory::MemTracker;

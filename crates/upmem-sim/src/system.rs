@@ -8,8 +8,9 @@
 //! so batch time is `max(host_time, pim_time)` with `pim_time = max over
 //! DPUs` (the synchronous barrier is what makes load balance critical).
 
-use crate::config::PimArch;
+use crate::config::{PimArch, SimConfigError};
 use crate::energy::EnergyModel;
+use crate::fault::{FaultInjector, FaultOutcome};
 use crate::host::HostLink;
 use crate::memory::MemTracker;
 use crate::meter::{DpuMeter, Phase};
@@ -107,6 +108,15 @@ pub struct PimSystem {
     pub link: HostLink,
     /// Tasklets resident per DPU for the current kernels.
     pub tasklets: usize,
+    /// Fault injector applied at dispatch (`None` = perfectly reliable
+    /// hardware, today's default).
+    pub fault: Option<FaultInjector>,
+    /// Per-DPU straggler slowdown factors for the current batch; empty when
+    /// no straggler fired (the common case takes no extra work).
+    slowdown: Vec<f64>,
+    /// Per-DPU barrier-time caps for the current batch (hedged stragglers:
+    /// the host stops waiting at the cap); empty when nothing was hedged.
+    time_cap: Vec<f64>,
 }
 
 impl PimSystem {
@@ -120,7 +130,21 @@ impl PimSystem {
             dpus,
             link,
             tasklets,
+            fault: None,
+            slowdown: Vec::new(),
+            time_cap: Vec::new(),
         }
+    }
+
+    /// [`Self::new`] with the misconfiguration checks callers can recover
+    /// from: at least one DPU, and an architecture whose parameters are
+    /// physically meaningful.
+    pub fn try_new(arch: PimArch, ndpus: usize) -> Result<Self, SimConfigError> {
+        if ndpus == 0 {
+            return Err(SimConfigError::ZeroDpus);
+        }
+        arch.validate()?;
+        Ok(Self::new(arch, ndpus))
     }
 
     /// Build with the architecture's full DPU count.
@@ -139,11 +163,40 @@ impl PimSystem {
         self.dpus.is_empty()
     }
 
-    /// Reset all meters (start of batch).
+    /// Reset all meters and per-batch fault modifiers (start of batch).
     pub fn reset_meters(&mut self) {
         for d in &mut self.dpus {
             d.meter.reset();
         }
+        self.slowdown.clear();
+        self.time_cap.clear();
+    }
+
+    /// Fault outcome of dispatching wave `attempt` of batch `batch` to DPU
+    /// `dpu` — [`FaultOutcome::Healthy`] when no injector is attached.
+    pub fn fault_outcome(&self, dpu: usize, batch: u64, attempt: u32) -> FaultOutcome {
+        match &self.fault {
+            Some(inj) => inj.outcome(dpu, batch, attempt),
+            None => FaultOutcome::Healthy,
+        }
+    }
+
+    /// Record a straggler: DPU `i`'s batch time is multiplied by `factor`.
+    pub fn set_dpu_slowdown(&mut self, i: usize, factor: f64) {
+        if self.slowdown.is_empty() {
+            self.slowdown = vec![1.0; self.dpus.len()];
+        }
+        self.slowdown[i] = self.slowdown[i].max(factor);
+    }
+
+    /// Cap DPU `i`'s contribution to the batch barrier at `seconds` — the
+    /// host stopped waiting (hedged re-dispatch) at that point. The DPU's
+    /// dynamic energy is still charged in full through its meter.
+    pub fn cap_dpu_time(&mut self, i: usize, seconds: f64) {
+        if self.time_cap.is_empty() {
+            self.time_cap = vec![f64::INFINITY; self.dpus.len()];
+        }
+        self.time_cap[i] = self.time_cap[i].min(seconds);
     }
 
     /// Time of DPU `i` for the current batch.
@@ -154,11 +207,25 @@ impl PimSystem {
     /// Collect the batch timing given host time and the *total* push and
     /// gather bytes across all DPUs (exact tallies, no per-DPU rounding).
     pub fn batch_timing(&self, host_s: f64, push_bytes: u64, gather_bytes: u64) -> BatchTiming {
-        let dpu_s: Vec<f64> = self
+        let mut dpu_s: Vec<f64> = self
             .dpus
             .iter()
             .map(|d| d.meter.time(&self.arch, self.tasklets))
             .collect();
+        // Fault modifiers: straggler slowdowns stretch a DPU's barrier
+        // contribution, hedging caps it (the host stopped waiting). Both
+        // vectors are empty in the zero-fault case, leaving the times
+        // bit-identical to the unmodified path.
+        if !self.slowdown.is_empty() {
+            for (t, &f) in dpu_s.iter_mut().zip(&self.slowdown) {
+                *t *= f;
+            }
+        }
+        if !self.time_cap.is_empty() {
+            for (t, &cap) in dpu_s.iter_mut().zip(&self.time_cap) {
+                *t = t.min(cap);
+            }
+        }
         let push_s = self.link.time_total(push_bytes);
         let gather_s = self.link.time_total(gather_bytes);
         // phase breakdown of the critical (slowest) DPU
@@ -347,6 +414,58 @@ mod tests {
         assert_eq!(t.gather_bytes, 1u64 << 12);
         // phase-resolved total stays below the flat upper bound
         assert!(e.total_j() <= sys.energy_model().energy_j(t.total_s()));
+    }
+
+    #[test]
+    fn slowdown_and_cap_reshape_the_barrier() {
+        let mut sys = small_sys();
+        for d in &mut sys.dpus {
+            d.meter.phase_mut(Phase::Dc).charge_add(350_000_000); // ~1 s each
+        }
+        let base = sys.batch_timing(0.0, 0, 0);
+        assert!((base.pim_s() - 1.0).abs() < 1e-6);
+        // straggler: DPU 1 runs 3x slower
+        sys.set_dpu_slowdown(1, 3.0);
+        let slowed = sys.batch_timing(0.0, 0, 0);
+        assert!((slowed.pim_s() - 3.0 * base.dpu_s[1]).abs() < 1e-9);
+        // hedged: the host stops waiting for DPU 1 at 1.5x the base time
+        let cap = 1.5 * base.dpu_s[1];
+        sys.cap_dpu_time(1, cap);
+        let hedged = sys.batch_timing(0.0, 0, 0);
+        assert!((hedged.dpu_s[1] - cap).abs() < 1e-12);
+        // reset clears both modifiers
+        sys.reset_meters();
+        let t = sys.batch_timing(0.0, 0, 0);
+        assert_eq!(t.pim_s(), 0.0);
+        for d in &mut sys.dpus {
+            d.meter.phase_mut(Phase::Dc).charge_add(1000);
+        }
+        let clean = sys.batch_timing(0.0, 0, 0);
+        assert!((clean.imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_outcome_defaults_to_healthy_without_injector() {
+        let sys = small_sys();
+        assert_eq!(
+            sys.fault_outcome(0, 0, 0),
+            crate::fault::FaultOutcome::Healthy
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_misconfiguration() {
+        assert_eq!(
+            PimSystem::try_new(PimArch::upmem_sc25(), 0).err(),
+            Some(SimConfigError::ZeroDpus)
+        );
+        let mut arch = PimArch::upmem_sc25();
+        arch.freq_hz = 0.0;
+        assert!(matches!(
+            PimSystem::try_new(arch, 4),
+            Err(SimConfigError::BadArch(_))
+        ));
+        assert!(PimSystem::try_new(PimArch::upmem_sc25(), 4).is_ok());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! * [`ann_core`] — k-means / PQ / OPQ / DPQ / IVF-PQ / top-k machinery;
 //! * [`datasets`] — synthetic corpora, query skew models, fvecs I/O;
 //! * [`drim_ann`] — the paper's engine: SQT, perf model, DSE, layout,
-//!   scheduling;
+//!   scheduling, fault-tolerant dispatch (`docs/FAULT_MODEL.md`);
 //! * [`baselines`] — Faiss-CPU/GPU models and the MemANNS datapoints.
 
 pub use ann_core;

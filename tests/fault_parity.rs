@@ -1,0 +1,288 @@
+//! Determinism contract of the fault-injection + recovery layer.
+//!
+//! Three bit-identity guarantees (see `docs/FAULT_MODEL.md`):
+//!
+//! 1. **Thread parity under faults** — a fixed fault seed produces
+//!    bit-identical results *and* bit-identical `BatchReport`s at any host
+//!    thread count: every fault draw is a stateless hash, never a shared
+//!    RNG stream.
+//! 2. **Disabled-layer parity** — no injector, an inert injector
+//!    (`FaultConfig::none()`), and a cleared injector are all bit-identical
+//!    to each other: the fault layer costs nothing when off.
+//! 3. **Purity** — `search_batch` is a pure function of
+//!    `(engine, queries, fault_batch)`: repeated calls replay the same
+//!    faults and the same recovery, bit-for-bit; advancing `fault_batch`
+//!    redraws the transient faults.
+
+use ann_core::topk::Neighbor;
+use ann_core::vector::VecSet;
+use drim_ann::config::{EngineConfig, IndexConfig};
+use drim_ann::engine::DrimEngine;
+use drim_ann::trace::{TraceRunner, TraceSpec};
+use rayon::with_num_threads;
+use upmem_sim::fault::{FaultConfig, SlowdownDist};
+use upmem_sim::PimArch;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const FAULT_SEED: u64 = 0xFA17_5EED;
+
+fn workload() -> (VecSet<f32>, VecSet<f32>) {
+    let spec = datasets::SynthSpec::small("fault-parity", 16, 3000, 31);
+    let data = datasets::generate(&spec);
+    let queries = datasets::queries::generate_queries(
+        &spec,
+        32,
+        datasets::queries::QuerySkew::InDistribution,
+        6,
+    );
+    (data, queries)
+}
+
+fn cfg() -> EngineConfig {
+    let mut cfg = EngineConfig::drim(IndexConfig {
+        k: 10,
+        nprobe: 12,
+        nlist: 64,
+        m: 8,
+        cb: 32,
+    });
+    cfg.batch = 32;
+    cfg
+}
+
+fn engine(data: &VecSet<f32>) -> DrimEngine {
+    let mut e = DrimEngine::build(data, cfg(), PimArch::upmem_sc25(), 8, None).unwrap();
+    // the CI fault matrix arms every engine via DRIM_ANN_FAULT_SEED; these
+    // tests control the injector themselves
+    e.clear_faults();
+    e
+}
+
+/// Bit-exact key for a result set: ids plus raw f32 distance bits.
+type ResultBits = Vec<Vec<(u64, u32)>>;
+
+fn result_bits(rs: &[Vec<Neighbor>]) -> ResultBits {
+    rs.iter()
+        .map(|l| l.iter().map(|n| (n.id, n.dist.to_bits())).collect())
+        .collect()
+}
+
+#[test]
+fn same_fault_seed_bit_identical_across_thread_counts() {
+    let (data, queries) = workload();
+    let mut reference: Option<(ResultBits, String)> = None;
+    for threads in THREAD_COUNTS {
+        let (bits, report, active) = with_num_threads(threads, || {
+            let mut e = engine(&data);
+            e.inject_faults(FaultConfig::uniform(FAULT_SEED, 0.15))
+                .unwrap();
+            e.set_fault_batch(3);
+            let (r, rep) = e.search_batch(&queries);
+            (result_bits(&r), format!("{rep:?}"), rep.fault.active())
+        });
+        match &reference {
+            None => {
+                // the reference run must actually exercise recovery
+                assert!(
+                    active,
+                    "15% rates over 8 DPUs must fire something: {report}"
+                );
+                reference = Some((bits, report));
+            }
+            Some((ref_bits, ref_report)) => {
+                assert_eq!(&bits, ref_bits, "results differ at {threads} threads");
+                assert_eq!(&report, ref_report, "report differs at {threads} threads");
+            }
+        }
+    }
+}
+
+#[test]
+fn disabled_fault_layer_is_bit_identical_to_no_injector() {
+    let (data, queries) = workload();
+    // no injector at all
+    let mut plain = engine(&data);
+    let (r0, rep0) = plain.search_batch(&queries);
+    // wired but inert injector
+    let mut inert = engine(&data);
+    inert.inject_faults(FaultConfig::none()).unwrap();
+    assert!(!inert.fault_active());
+    let (r1, rep1) = inert.search_batch(&queries);
+    assert_eq!(result_bits(&r0), result_bits(&r1));
+    assert_eq!(format!("{rep0:?}"), format!("{rep1:?}"));
+    // armed then cleared
+    let mut cleared = engine(&data);
+    cleared
+        .inject_faults(FaultConfig::uniform(FAULT_SEED, 0.2))
+        .unwrap();
+    let _ = cleared.search_batch(&queries);
+    cleared.clear_faults();
+    let (r2, rep2) = cleared.search_batch(&queries);
+    assert_eq!(result_bits(&r0), result_bits(&r2));
+    assert_eq!(format!("{rep0:?}"), format!("{rep2:?}"));
+}
+
+#[test]
+fn search_batch_is_pure_in_engine_queries_and_fault_batch() {
+    let (data, queries) = workload();
+    let mut e = engine(&data);
+    e.inject_faults(FaultConfig::uniform(FAULT_SEED, 0.15))
+        .unwrap();
+    // repeated calls at a fixed fault_batch replay the same faults
+    let (r1, rep1) = e.search_batch(&queries);
+    let (r2, rep2) = e.search_batch(&queries);
+    assert_eq!(result_bits(&r1), result_bits(&r2));
+    assert_eq!(format!("{rep1:?}"), format!("{rep2:?}"));
+    // advancing fault_batch redraws the transient faults: across enough
+    // batches the accounting must vary (the dead set stays fixed)
+    let mut transient_signatures = std::collections::HashSet::new();
+    let mut dead = std::collections::HashSet::new();
+    for b in 0..12 {
+        e.set_fault_batch(b);
+        let (_, rep) = e.search_batch(&queries);
+        transient_signatures.insert((
+            rep.fault.stragglers,
+            rep.fault.corruptions,
+            rep.fault.hedged_tasks,
+            rep.fault.retried_tasks,
+        ));
+        dead.insert(rep.fault.dead_dpus);
+    }
+    assert!(
+        transient_signatures.len() > 1,
+        "transient faults must vary across batches: {transient_signatures:?}"
+    );
+    assert_eq!(dead.len(), 1, "the fail-stop set is static across batches");
+}
+
+#[test]
+fn recovery_results_match_zero_fault_results() {
+    // with the host fallback on, every recovery path is lossless: the
+    // faulted engine returns the exact zero-fault answer
+    let (data, queries) = workload();
+    let mut clean = engine(&data);
+    let (r0, _) = clean.search_batch(&queries);
+    for seed in [1u64, 99, 0xABCD] {
+        let mut faulty = engine(&data);
+        faulty
+            .inject_faults(FaultConfig::uniform(seed, 0.25))
+            .unwrap();
+        let (r1, rep) = faulty.search_batch(&queries);
+        assert_eq!(
+            result_bits(&r0),
+            result_bits(&r1),
+            "seed {seed:#x} lost results ({:?})",
+            rep.fault
+        );
+    }
+}
+
+#[test]
+fn repeated_transients_quarantine_a_dpu() {
+    let (data, queries) = workload();
+    let mut cfg = cfg();
+    cfg.recovery.quarantine_after = 1; // one strike and you're out
+    cfg.recovery.hedge = false;
+    let mut e = DrimEngine::build(&data, cfg, PimArch::upmem_sc25(), 8, None).unwrap();
+    // corruption-only: every corrupt wave is one strike on that DPU
+    let mut fc = FaultConfig::none();
+    fc.seed = 0xC0DE;
+    fc.corruption_rate = 0.6;
+    e.inject_faults(fc).unwrap();
+    let (_, rep) = e.search_batch(&queries);
+    assert!(
+        rep.fault.corruptions > 0,
+        "60% corruption must fire: {:?}",
+        rep.fault
+    );
+    assert!(
+        rep.fault.quarantined_dpus > 0,
+        "quarantine_after=1 must quarantine every corrupting DPU: {:?}",
+        rep.fault
+    );
+    // quarantine is per-batch state: the next batch starts clean
+    e.set_fault_batch(1_000_000);
+    let (_, rep2) = e.search_batch(&queries);
+    assert!(rep2.fault.quarantined_dpus <= rep.fault.quarantined_dpus + 8);
+}
+
+#[test]
+fn hedging_caps_straggler_tail_latency() {
+    let (data, queries) = workload();
+    // straggler-heavy, brutal slowdowns, no fail-stop/corruption noise
+    let mut fc = FaultConfig::none();
+    fc.seed = 0x57A6;
+    fc.straggler_rate = 0.3;
+    fc.slowdown = SlowdownDist::Pareto {
+        scale: 4.0,
+        alpha: 1.1,
+        cap: 64.0,
+    };
+    let mut hedged_cfg = cfg();
+    hedged_cfg.recovery.hedge = true;
+    let mut retry_cfg = cfg();
+    retry_cfg.recovery.hedge = false;
+
+    let mut hedged_engine =
+        DrimEngine::build(&data, hedged_cfg, PimArch::upmem_sc25(), 8, None).unwrap();
+    hedged_engine.inject_faults(fc).unwrap();
+    let mut retry_engine =
+        DrimEngine::build(&data, retry_cfg, PimArch::upmem_sc25(), 8, None).unwrap();
+    retry_engine.inject_faults(fc).unwrap();
+
+    let mut hedged_worst = 0.0f64;
+    let mut retry_worst = 0.0f64;
+    let mut total_hedged = 0usize;
+    for b in 0..24 {
+        hedged_engine.set_fault_batch(b);
+        retry_engine.set_fault_batch(b);
+        let (rh, reph) = hedged_engine.search_batch(&queries);
+        let (rr, repr) = retry_engine.search_batch(&queries);
+        // hedging changes *when* results arrive, never *what* they are
+        assert_eq!(result_bits(&rh), result_bits(&rr), "batch {b}");
+        hedged_worst = hedged_worst.max(reph.timing.total_s());
+        retry_worst = retry_worst.max(repr.timing.total_s());
+        total_hedged += reph.fault.hedged_tasks;
+    }
+    assert!(total_hedged > 0, "Pareto tail at 30% must trigger hedging");
+    assert!(
+        hedged_worst < retry_worst,
+        "hedging must beat waiting on the tail: hedged {hedged_worst} vs retry {retry_worst}"
+    );
+}
+
+#[test]
+fn trace_runner_fault_reports_are_thread_invariant() {
+    let spec = TraceSpec {
+        name: "fault-parity-trace".into(),
+        n_points: 400_000,
+        dim: 32,
+        batch: 64,
+        cluster_size_zipf: 0.35,
+        heat_zipf: 1.1,
+        seed: 77,
+    };
+    let mut cfg = EngineConfig::drim(IndexConfig {
+        k: 10,
+        nprobe: 8,
+        nlist: 128,
+        m: 8,
+        cb: 64,
+    });
+    cfg.batch = 64;
+    let mut reference: Option<String> = None;
+    for threads in THREAD_COUNTS {
+        let report = with_num_threads(threads, || {
+            let mut runner =
+                TraceRunner::build(spec.clone(), cfg.clone(), PimArch::upmem_sc25(), 32);
+            runner
+                .inject_faults(FaultConfig::uniform(FAULT_SEED, 0.1))
+                .unwrap();
+            format!("{:?}", runner.run_batch(9))
+        });
+        match &reference {
+            None => reference = Some(report),
+            Some(r) => assert_eq!(&report, r, "trace report differs at {threads} threads"),
+        }
+    }
+}
