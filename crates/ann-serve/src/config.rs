@@ -1,0 +1,190 @@
+//! Serving-layer configuration.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Per-tenant admission settings.
+///
+/// Tenants are identified by their index into [`ServeConfig::tenants`];
+/// the id a producer passes to `submit` is that index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantConfig {
+    /// Weighted-fair share: in each drain cycle a backlogged tenant
+    /// contributes up to `weight` queries to the forming micro-batch, so
+    /// two saturated tenants with weights 3 and 1 split a batch 3:1.
+    /// Must be at least 1.
+    pub weight: u32,
+}
+
+impl TenantConfig {
+    /// A tenant with the given fair-share weight.
+    pub fn with_weight(weight: u32) -> Self {
+        TenantConfig { weight }
+    }
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        TenantConfig { weight: 1 }
+    }
+}
+
+/// Configuration of the micro-batching server.
+///
+/// The two-knob batching rule: a forming batch closes as soon as
+/// [`max_batch`](Self::max_batch) queries are queued **or**
+/// [`max_delay`](Self::max_delay) has elapsed since the oldest queued
+/// query arrived, whichever comes first. `max_delay` therefore bounds the
+/// coalescing latency any admitted query can pay before dispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Size trigger: close the batch once this many queries are queued.
+    pub max_batch: usize,
+    /// Deadline trigger: close the batch this long after its oldest query
+    /// arrived, even if fewer than `max_batch` queries are queued.
+    /// `Duration::ZERO` is valid and means "dispatch immediately"
+    /// (pure latency mode, batches of whatever is present).
+    pub max_delay: Duration,
+    /// Bounded-queue backpressure: per-tenant cap on queued-but-undispatched
+    /// queries. A submit that would exceed it is rejected with
+    /// [`ServeError::QueueFull`](crate::ServeError::QueueFull) instead of
+    /// blocking the producer.
+    pub queue_cap: usize,
+    /// The tenant table. Index = tenant id.
+    pub tenants: Vec<TenantConfig>,
+    /// Host threads the driver uses for each `search_batch` call.
+    /// `None` inherits the process-wide setting (`DRIM_ANN_THREADS` /
+    /// `RAYON_NUM_THREADS`). The rayon shim's thread override is
+    /// thread-local, so the driver re-applies this on its own thread —
+    /// callers cannot use `rayon::with_num_threads` around `start` and
+    /// expect it to propagate.
+    pub host_threads: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 32,
+            max_delay: Duration::from_micros(500),
+            queue_cap: 1024,
+            tenants: vec![TenantConfig::default()],
+            host_threads: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A single-tenant config with the given batching knobs.
+    pub fn single_tenant(max_batch: usize, max_delay: Duration) -> Self {
+        ServeConfig {
+            max_batch,
+            max_delay,
+            ..ServeConfig::default()
+        }
+    }
+
+    /// Validate the configuration. Called by
+    /// [`AnnServer::start`](crate::AnnServer::start).
+    pub fn validate(&self) -> Result<(), ServeConfigError> {
+        if self.max_batch == 0 {
+            return Err(ServeConfigError::ZeroMaxBatch);
+        }
+        if self.queue_cap == 0 {
+            return Err(ServeConfigError::ZeroQueueCap);
+        }
+        if self.tenants.is_empty() {
+            return Err(ServeConfigError::NoTenants);
+        }
+        if let Some(t) = self.tenants.iter().position(|t| t.weight == 0) {
+            return Err(ServeConfigError::ZeroWeight { tenant: t });
+        }
+        if self.host_threads == Some(0) {
+            return Err(ServeConfigError::ZeroHostThreads);
+        }
+        Ok(())
+    }
+}
+
+/// A rejected [`ServeConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeConfigError {
+    /// `max_batch` was 0 — no batch could ever close.
+    ZeroMaxBatch,
+    /// `queue_cap` was 0 — every submit would be rejected.
+    ZeroQueueCap,
+    /// The tenant table was empty — no producer could ever be admitted.
+    NoTenants,
+    /// A tenant had fair-share weight 0 and would starve forever.
+    ZeroWeight {
+        /// Index of the offending tenant.
+        tenant: usize,
+    },
+    /// `host_threads` was `Some(0)`; the pool needs at least one thread.
+    ZeroHostThreads,
+}
+
+impl fmt::Display for ServeConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeConfigError::ZeroMaxBatch => write!(f, "max_batch must be at least 1"),
+            ServeConfigError::ZeroQueueCap => write!(f, "queue_cap must be at least 1"),
+            ServeConfigError::NoTenants => write!(f, "tenant table must be non-empty"),
+            ServeConfigError::ZeroWeight { tenant } => {
+                write!(
+                    f,
+                    "tenant {tenant} has weight 0; weights must be at least 1"
+                )
+            }
+            ServeConfigError::ZeroHostThreads => {
+                write!(f, "host_threads must be at least 1 when set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert_eq!(ServeConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn zero_knobs_are_rejected() {
+        let with = |f: &dyn Fn(&mut ServeConfig)| {
+            let mut c = ServeConfig::default();
+            f(&mut c);
+            c
+        };
+        assert_eq!(
+            with(&|c| c.max_batch = 0).validate(),
+            Err(ServeConfigError::ZeroMaxBatch)
+        );
+        assert_eq!(
+            with(&|c| c.queue_cap = 0).validate(),
+            Err(ServeConfigError::ZeroQueueCap)
+        );
+        assert_eq!(
+            with(&|c| c.tenants.clear()).validate(),
+            Err(ServeConfigError::NoTenants)
+        );
+        assert_eq!(
+            with(&|c| c.tenants.push(TenantConfig::with_weight(0))).validate(),
+            Err(ServeConfigError::ZeroWeight { tenant: 1 })
+        );
+        assert_eq!(
+            with(&|c| c.host_threads = Some(0)).validate(),
+            Err(ServeConfigError::ZeroHostThreads)
+        );
+    }
+
+    #[test]
+    fn zero_delay_is_valid_latency_mode() {
+        let c = ServeConfig::single_tenant(8, Duration::ZERO);
+        assert_eq!(c.validate(), Ok(()));
+    }
+}

@@ -1,0 +1,72 @@
+//! Typed serving errors.
+
+use std::fmt;
+
+use crate::config::ServeConfigError;
+
+/// Why a query could not be served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The tenant's bounded queue is at `queue_cap`; the submit was
+    /// rejected immediately (backpressure — retry later or shed load).
+    QueueFull {
+        /// The tenant whose queue is full.
+        tenant: usize,
+    },
+    /// The tenant id is not in the server's tenant table.
+    UnknownTenant {
+        /// The offending tenant id.
+        tenant: usize,
+        /// Number of configured tenants (valid ids are `0..tenants`).
+        tenants: usize,
+    },
+    /// The query's dimensionality does not match the engine's.
+    WrongDim {
+        /// Dimensionality the engine was built for.
+        expected: usize,
+        /// Dimensionality of the submitted query.
+        got: usize,
+    },
+    /// The server is shutting down and no longer admits queries.
+    /// Queries admitted *before* shutdown are still served (drained).
+    ShuttingDown,
+    /// The engine panicked while serving a batch; the server closed and
+    /// failed all in-flight queries with this error.
+    EngineFailed,
+    /// The [`ServeConfig`](crate::ServeConfig) was invalid.
+    Config(ServeConfigError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { tenant } => {
+                write!(f, "tenant {tenant}'s queue is full (backpressure)")
+            }
+            ServeError::UnknownTenant { tenant, tenants } => {
+                write!(f, "unknown tenant {tenant} (configured: 0..{tenants})")
+            }
+            ServeError::WrongDim { expected, got } => {
+                write!(f, "query has dim {got}, engine expects {expected}")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::EngineFailed => write!(f, "engine failed while serving a batch"),
+            ServeError::Config(e) => write!(f, "invalid serve config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ServeConfigError> for ServeError {
+    fn from(e: ServeConfigError) -> Self {
+        ServeError::Config(e)
+    }
+}

@@ -1,0 +1,322 @@
+//! The micro-batching server: admission, the batch driver, and result
+//! demultiplexing.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use ann_core::topk::Neighbor;
+use ann_core::vector::VecSet;
+use drim_ann::engine::DrimEngine;
+use rayon::sync::{lock_unpoisoned, OneShot};
+
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::inbox::{drain_fair, CloseReason, InboxState, Request};
+use crate::stats::ServeStats;
+
+/// State shared between producer handles and the driver thread.
+#[derive(Debug)]
+struct Shared {
+    inbox: Mutex<InboxState>,
+    /// Driver parks here; producers notify on every admission.
+    arrivals: Condvar,
+    stats: Mutex<ServeStats>,
+}
+
+/// A claim on one submitted query's result.
+///
+/// The producer thread parks in [`Ticket::wait`] on a
+/// [`OneShot`] slot — no polling — until the driver
+/// deposits the result after the query's micro-batch completes.
+#[derive(Debug)]
+#[must_use = "a Ticket that is never waited on discards its query's result"]
+pub struct Ticket {
+    slot: Arc<OneShot<Result<Vec<Neighbor>, ServeError>>>,
+}
+
+impl Ticket {
+    /// Park until the result arrives, then return it.
+    pub fn wait(self) -> Result<Vec<Neighbor>, ServeError> {
+        self.slot.wait()
+    }
+
+    /// Non-blocking probe: `Some(result)` once the query's batch has
+    /// completed, else `None`. Taking the result consumes it.
+    pub fn try_take(&self) -> Option<Result<Vec<Neighbor>, ServeError>> {
+        self.slot.try_take()
+    }
+}
+
+/// A cloneable producer-side handle: submit queries, read stats.
+///
+/// Handles are cheap to clone and safe to share across any number of
+/// producer threads; all synchronisation happens inside.
+#[derive(Debug, Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+    dim: usize,
+    queue_cap: usize,
+    ntenants: usize,
+}
+
+impl ServeHandle {
+    /// Admit one query for `tenant`, returning a [`Ticket`] for its
+    /// result.
+    ///
+    /// Non-blocking: the query is copied into the tenant's bounded queue
+    /// and the call returns immediately. Rejections are immediate and
+    /// typed — [`ServeError::QueueFull`] when the tenant's queue is at
+    /// `queue_cap` (backpressure), [`ServeError::UnknownTenant`] /
+    /// [`ServeError::WrongDim`] for malformed submits,
+    /// [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, tenant: usize, query: &[f32]) -> Result<Ticket, ServeError> {
+        if tenant >= self.ntenants {
+            return Err(ServeError::UnknownTenant {
+                tenant,
+                tenants: self.ntenants,
+            });
+        }
+        if query.len() != self.dim {
+            return Err(ServeError::WrongDim {
+                expected: self.dim,
+                got: query.len(),
+            });
+        }
+        let slot = Arc::new(OneShot::new());
+        {
+            let mut g = lock_unpoisoned(&self.shared.inbox);
+            if !g.open {
+                return Err(ServeError::ShuttingDown);
+            }
+            if g.queues[tenant].len() >= self.queue_cap {
+                drop(g);
+                lock_unpoisoned(&self.shared.stats).rejected += 1;
+                return Err(ServeError::QueueFull { tenant });
+            }
+            let now = Instant::now();
+            // First query into an empty inbox opens the forming batch:
+            // its arrival starts the max_delay clock.
+            if g.opened_at.is_none() {
+                g.opened_at = Some(now);
+            }
+            g.queues[tenant].push_back(Request {
+                query: query.to_vec(),
+                tenant,
+                admitted_at: now,
+                slot: Arc::clone(&slot),
+            });
+            g.queued += 1;
+        }
+        self.shared.arrivals.notify_one();
+        Ok(Ticket { slot })
+    }
+
+    /// Submit and park until the result arrives — the one-call form of
+    /// `submit(..)?.wait()`.
+    pub fn search(&self, tenant: usize, query: &[f32]) -> Result<Vec<Neighbor>, ServeError> {
+        self.submit(tenant, query)?.wait()
+    }
+
+    /// Snapshot the serving counters.
+    pub fn stats(&self) -> ServeStats {
+        lock_unpoisoned(&self.shared.stats).clone()
+    }
+
+    /// Query dimensionality the server validates against.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of configured tenants (valid ids are `0..tenants()`).
+    pub fn tenants(&self) -> usize {
+        self.ntenants
+    }
+}
+
+/// The serving front-end: owns the engine (via its driver thread) and the
+/// producer-facing [`ServeHandle`].
+///
+/// `AnnServer` is the online counterpart of the offline
+/// [`DrimEngine::search_batch`] path. Producers on any number of threads
+/// submit single queries; a dedicated driver thread coalesces them into
+/// micro-batches (close at `max_batch` queries or `max_delay` after the
+/// oldest arrival, whichever first), drains tenants weighted-fair, runs
+/// each batch through the engine on the persistent pinned pool, and
+/// demultiplexes per-query results back to parked producers. Everything
+/// is condvar-parking — no async runtime, no spinning.
+///
+/// Determinism: per-query results are bit-identical to an offline
+/// `search_batch` over the same queries, independent of how arrivals got
+/// grouped into micro-batches and of the host thread count (see
+/// `docs/SERVING.md` for why micro-batch composition cannot change
+/// results).
+#[derive(Debug)]
+pub struct AnnServer {
+    handle: ServeHandle,
+    driver: JoinHandle<DrimEngine>,
+}
+
+impl AnnServer {
+    /// Start serving: validate `cfg`, move `engine` onto a dedicated
+    /// driver thread, and return the server.
+    pub fn start(engine: DrimEngine, cfg: ServeConfig) -> Result<AnnServer, ServeError> {
+        cfg.validate()?;
+        let dim = engine.dim();
+        let shared = Arc::new(Shared {
+            inbox: Mutex::new(InboxState::new(cfg.tenants.len())),
+            arrivals: Condvar::new(),
+            stats: Mutex::new(ServeStats::new(cfg.tenants.len())),
+        });
+        let handle = ServeHandle {
+            shared: Arc::clone(&shared),
+            dim,
+            queue_cap: cfg.queue_cap,
+            ntenants: cfg.tenants.len(),
+        };
+        let driver = std::thread::Builder::new()
+            .name("ann-serve-driver".into())
+            .spawn(move || drive(engine, shared, cfg))
+            .expect("failed to spawn ann-serve driver thread");
+        Ok(AnnServer { handle, driver })
+    }
+
+    /// A cloneable producer handle.
+    pub fn handle(&self) -> ServeHandle {
+        self.handle.clone()
+    }
+
+    /// Stop admitting, flush every already-admitted query (producers get
+    /// real results, not errors), and return the engine plus final stats.
+    ///
+    /// Panics only if the driver thread itself panicked (engine failure);
+    /// in that case all in-flight tickets were already failed with
+    /// [`ServeError::EngineFailed`], so no producer is left parked.
+    pub fn shutdown(self) -> (DrimEngine, ServeStats) {
+        {
+            let mut g = lock_unpoisoned(&self.handle.shared.inbox);
+            g.open = false;
+        }
+        self.handle.shared.arrivals.notify_all();
+        let engine = self
+            .driver
+            .join()
+            .expect("ann-serve driver panicked; in-flight tickets were failed");
+        let stats = lock_unpoisoned(&self.handle.shared.stats).clone();
+        (engine, stats)
+    }
+}
+
+/// The driver loop: park for work, close a micro-batch, execute,
+/// demultiplex. Returns the engine when the inbox is drained after
+/// shutdown.
+fn drive(mut engine: DrimEngine, shared: Arc<Shared>, cfg: ServeConfig) -> DrimEngine {
+    let weights: Vec<u32> = cfg.tenants.iter().map(|t| t.weight).collect();
+    // Each micro-batch advances the engine's fault-batch index so an
+    // env-armed injector (DRIM_ANN_FAULT_SEED/RATE) sees a fresh batch of
+    // transient draws per dispatch, exactly like an offline batch stream.
+    let mut batch_idx: u64 = 0;
+    loop {
+        let (reqs, reason) = {
+            let mut g = lock_unpoisoned(&shared.inbox);
+            let reason = loop {
+                if g.queued >= cfg.max_batch {
+                    break CloseReason::Size;
+                }
+                if !g.open {
+                    if g.queued == 0 {
+                        return engine;
+                    }
+                    // Shutdown flush: dispatch what is queued without
+                    // waiting out the deadline.
+                    break CloseReason::Drain;
+                }
+                match g.opened_at {
+                    None => {
+                        g = shared.arrivals.wait(g).unwrap_or_else(|p| p.into_inner());
+                    }
+                    Some(t0) => {
+                        let deadline = t0 + cfg.max_delay;
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break CloseReason::Deadline;
+                        }
+                        let (g2, _) = shared
+                            .arrivals
+                            .wait_timeout(g, deadline - now)
+                            .unwrap_or_else(|p| p.into_inner());
+                        g = g2;
+                    }
+                }
+            };
+            let reqs = drain_fair(&mut g.queues, &weights, cfg.max_batch);
+            g.queued -= reqs.len();
+            g.refresh_opened_at();
+            (reqs, reason)
+        };
+        debug_assert!(!reqs.is_empty(), "every close reason implies queued >= 1");
+
+        let mut queries = VecSet::with_capacity(engine.dim(), reqs.len());
+        for r in &reqs {
+            queries.push(&r.query);
+        }
+        engine.set_fault_batch(batch_idx);
+        batch_idx += 1;
+
+        let outcome = catch_unwind(AssertUnwindSafe(|| match cfg.host_threads {
+            // The shim's thread override is thread-local; re-apply it here
+            // on the driver thread where search_batch actually runs.
+            Some(n) => rayon::with_num_threads(n, || engine.search_batch(&queries)),
+            None => engine.search_batch(&queries),
+        }));
+
+        match outcome {
+            Ok((results, report)) => {
+                {
+                    let mut s = lock_unpoisoned(&shared.stats);
+                    s.batches += 1;
+                    s.served += reqs.len() as u64;
+                    match reason {
+                        CloseReason::Size => s.closed_by_size += 1,
+                        CloseReason::Deadline => s.closed_by_deadline += 1,
+                        CloseReason::Drain => s.closed_by_drain += 1,
+                    }
+                    s.largest_batch = s.largest_batch.max(reqs.len());
+                    s.smallest_batch = if s.smallest_batch == 0 {
+                        reqs.len()
+                    } else {
+                        s.smallest_batch.min(reqs.len())
+                    };
+                    for r in &reqs {
+                        s.per_tenant_served[r.tenant] += 1;
+                    }
+                    s.sim_time_s += report.timing.total_s();
+                    s.sim_energy_j += report.energy_j;
+                }
+                for (req, res) in reqs.into_iter().zip(results) {
+                    req.slot.put(Ok(res));
+                }
+            }
+            Err(payload) => {
+                // Engine panicked: fail every parked producer — the batch
+                // in flight and everything still queued — then close the
+                // inbox and propagate the panic to shutdown's join.
+                for req in reqs {
+                    req.slot.put(Err(ServeError::EngineFailed));
+                }
+                let mut g = lock_unpoisoned(&shared.inbox);
+                g.open = false;
+                for q in g.queues.iter_mut() {
+                    while let Some(r) = q.pop_front() {
+                        r.slot.put(Err(ServeError::EngineFailed));
+                    }
+                }
+                g.queued = 0;
+                g.opened_at = None;
+                drop(g);
+                resume_unwind(payload);
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Serving counters.
+
+/// Counters accumulated by the batch driver, snapshotted via
+/// [`ServeHandle::stats`](crate::ServeHandle::stats) and returned by
+/// [`AnnServer::shutdown`](crate::AnnServer::shutdown).
+///
+/// `closed_by_size + closed_by_deadline + closed_by_drain == batches`,
+/// which is what the batch-close tests pin down: a size-triggered run
+/// must show `closed_by_size` batches and zero deadline closes, and vice
+/// versa.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeStats {
+    /// Micro-batches dispatched to the engine.
+    pub batches: u64,
+    /// Queries served (results delivered to producers).
+    pub served: u64,
+    /// Submits rejected with `QueueFull` (backpressure).
+    pub rejected: u64,
+    /// Batches closed by the size trigger (`max_batch` queued).
+    pub closed_by_size: u64,
+    /// Batches closed by the deadline trigger (`max_delay` elapsed).
+    pub closed_by_deadline: u64,
+    /// Batches closed by the shutdown flush.
+    pub closed_by_drain: u64,
+    /// Largest micro-batch dispatched (0 if none).
+    pub largest_batch: usize,
+    /// Smallest micro-batch dispatched (0 if none).
+    pub smallest_batch: usize,
+    /// Queries served per tenant, indexed like the tenant table.
+    pub per_tenant_served: Vec<u64>,
+    /// Accumulated *simulated* DPU batch time across all dispatches, in
+    /// seconds (sum of each batch report's phase-total).
+    pub sim_time_s: f64,
+    /// Accumulated simulated energy across all dispatches, in joules.
+    pub sim_energy_j: f64,
+}
+
+impl ServeStats {
+    pub(crate) fn new(tenants: usize) -> Self {
+        ServeStats {
+            per_tenant_served: vec![0; tenants],
+            ..ServeStats::default()
+        }
+    }
+
+    /// Mean micro-batch size (0.0 if nothing was dispatched).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.served as f64 / self.batches as f64
+        }
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} queries in {} batches (mean {:.1}, min {}, max {}; \
+             closes: {} size / {} deadline / {} drain; {} rejected)",
+            self.served,
+            self.batches,
+            self.mean_batch(),
+            self.smallest_batch,
+            self.largest_batch,
+            self.closed_by_size,
+            self.closed_by_deadline,
+            self.closed_by_drain,
+            self.rejected,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_batch_handles_zero_batches() {
+        assert_eq!(ServeStats::new(1).mean_batch(), 0.0);
+    }
+
+    #[test]
+    fn summary_mentions_close_reasons() {
+        let mut s = ServeStats::new(2);
+        s.batches = 3;
+        s.served = 10;
+        s.closed_by_size = 2;
+        s.closed_by_deadline = 1;
+        let line = s.summary();
+        assert!(line.contains("2 size"), "{line}");
+        assert!(line.contains("1 deadline"), "{line}");
+    }
+}

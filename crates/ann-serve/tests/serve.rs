@@ -1,0 +1,256 @@
+//! End-to-end serving tests: batch-close semantics, backpressure,
+//! fairness under a hot tenant, and bit-parity with the offline path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ann_serve::{AnnServer, ServeConfig, ServeError, TenantConfig};
+use datasets::synth::{generate, SynthSpec};
+use drim_ann::config::{EngineConfig, IndexConfig};
+use drim_ann::engine::DrimEngine;
+
+fn small_engine() -> (DrimEngine, ann_core::VecSet<f32>) {
+    let data = generate(&SynthSpec::small("serve-e2e", 16, 512, 42));
+    let index = IndexConfig {
+        k: 5,
+        nprobe: 4,
+        nlist: 16,
+        m: 4,
+        cb: 16,
+    };
+    let engine = DrimEngine::build(
+        &data,
+        EngineConfig::drim(index),
+        Default::default(),
+        8,
+        None,
+    )
+    .expect("engine build");
+    (engine, data)
+}
+
+#[test]
+fn size_trigger_closes_full_batches() {
+    let (engine, data) = small_engine();
+    // Deadline far away: only the size trigger (or the final drain) can
+    // close a batch.
+    let mut cfg = ServeConfig::single_tenant(6, Duration::from_secs(60));
+    cfg.queue_cap = 64;
+    let server = AnnServer::start(engine, cfg).unwrap();
+    let handle = server.handle();
+
+    let tickets: Vec<_> = (0..12)
+        .map(|i| handle.submit(0, data.get(i)).unwrap())
+        .collect();
+    for t in tickets {
+        assert_eq!(t.wait().unwrap().len(), 5);
+    }
+
+    let (_engine, stats) = server.shutdown();
+    assert_eq!(stats.served, 12);
+    assert_eq!(stats.closed_by_size, 2, "{}", stats.summary());
+    assert_eq!(stats.closed_by_deadline, 0, "{}", stats.summary());
+    assert_eq!(stats.largest_batch, 6);
+    assert_eq!(stats.smallest_batch, 6);
+}
+
+#[test]
+fn deadline_trigger_closes_partial_batches() {
+    let (engine, data) = small_engine();
+    // Size trigger unreachable (100 > submitted queries): the 50 ms
+    // deadline must close the batch.
+    let mut cfg = ServeConfig::single_tenant(100, Duration::from_millis(50));
+    cfg.queue_cap = 128;
+    let server = AnnServer::start(engine, cfg).unwrap();
+    let handle = server.handle();
+
+    let tickets: Vec<_> = (0..3)
+        .map(|i| handle.submit(0, data.get(i)).unwrap())
+        .collect();
+    for t in tickets {
+        assert_eq!(t.wait().unwrap().len(), 5);
+    }
+
+    let stats = handle.stats();
+    assert_eq!(stats.served, 3);
+    assert_eq!(stats.closed_by_size, 0, "{}", stats.summary());
+    assert_eq!(stats.closed_by_deadline, 1, "{}", stats.summary());
+    assert_eq!(stats.largest_batch, 3);
+    server.shutdown();
+}
+
+#[test]
+fn backpressure_rejects_when_queue_full() {
+    let (engine, data) = small_engine();
+    // queue_cap below max_batch and an unreachable deadline: admitted
+    // queries sit queued, so the 5th submit must bounce.
+    let mut cfg = ServeConfig::single_tenant(8, Duration::from_secs(60));
+    cfg.queue_cap = 4;
+    let server = AnnServer::start(engine, cfg).unwrap();
+    let handle = server.handle();
+
+    let tickets: Vec<_> = (0..4)
+        .map(|i| handle.submit(0, data.get(i)).unwrap())
+        .collect();
+    match handle.submit(0, data.get(4)) {
+        Err(ServeError::QueueFull { tenant: 0 }) => {}
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+
+    // Shutdown flushes the four admitted queries with real results.
+    let (_engine, stats) = server.shutdown();
+    for t in tickets {
+        assert_eq!(t.wait().unwrap().len(), 5);
+    }
+    assert_eq!(stats.served, 4);
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.closed_by_drain, 1, "{}", stats.summary());
+}
+
+#[test]
+fn malformed_submits_are_typed_errors() {
+    let (engine, data) = small_engine();
+    let server = AnnServer::start(engine, ServeConfig::default()).unwrap();
+    let handle = server.handle();
+
+    match handle.submit(7, data.get(0)) {
+        Err(ServeError::UnknownTenant {
+            tenant: 7,
+            tenants: 1,
+        }) => {}
+        other => panic!("expected UnknownTenant, got {other:?}"),
+    }
+    match handle.submit(0, &[1.0; 3]) {
+        Err(ServeError::WrongDim {
+            expected: 16,
+            got: 3,
+        }) => {}
+        other => panic!("expected WrongDim, got {other:?}"),
+    }
+
+    server.shutdown();
+    match handle.submit(0, data.get(0)) {
+        Err(ServeError::ShuttingDown) => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+}
+
+#[test]
+fn cold_tenant_is_served_under_a_hot_flood() {
+    let (engine, data) = small_engine();
+    let cfg = ServeConfig {
+        max_batch: 16,
+        max_delay: Duration::from_millis(1),
+        queue_cap: 256,
+        tenants: vec![TenantConfig::with_weight(1), TenantConfig::with_weight(1)],
+        host_threads: None,
+    };
+    let server = AnnServer::start(engine, cfg).unwrap();
+
+    // Tenant 0 floods continuously from its own thread (QueueFull is
+    // expected and fine — that's backpressure doing its job); tenant 1
+    // issues ten blocking searches that must all complete promptly
+    // despite the flood.
+    let stop = Arc::new(AtomicBool::new(false));
+    let flooder = {
+        let handle = server.handle();
+        let stop = Arc::clone(&stop);
+        let q: Vec<f32> = data.get(0).to_vec();
+        std::thread::spawn(move || {
+            let mut admitted = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if let Ok(t) = handle.submit(0, &q) {
+                    admitted += 1;
+                    // Park only occasionally so the flood stays hot; a
+                    // dropped ticket just discards its result.
+                    if admitted.is_multiple_of(64) {
+                        let _ = t.wait();
+                    }
+                }
+            }
+            admitted
+        })
+    };
+
+    let handle = server.handle();
+    for i in 0..10 {
+        let got = handle
+            .search(1, data.get(100 + i))
+            .expect("cold tenant starved");
+        assert_eq!(got.len(), 5);
+    }
+    stop.store(true, Ordering::Relaxed);
+    let admitted = flooder.join().unwrap();
+    assert!(admitted > 0);
+
+    let (_engine, stats) = server.shutdown();
+    assert_eq!(stats.per_tenant_served[1], 10);
+    assert!(stats.per_tenant_served[0] > 0);
+}
+
+/// Acceptance criterion: a served micro-batch stream returns bit-identical
+/// per-query results to one offline `search_batch`, at host thread counts
+/// 1, 2, 4 and 8, with multiple concurrent producers and arbitrary
+/// micro-batch compositions.
+#[test]
+fn served_results_match_offline_bits_across_thread_counts() {
+    let (mut engine, data) = small_engine();
+
+    let n_queries = 32;
+    let mut queries = ann_core::VecSet::with_capacity(16, n_queries);
+    for i in 0..n_queries {
+        queries.push(data.get(i * 3));
+    }
+    let (offline, _report) = engine.search_batch(&queries);
+    let offline_bits: Vec<String> = offline.iter().map(|r| format!("{r:?}")).collect();
+
+    for threads in [1usize, 2, 4, 8] {
+        // Small batches + tight deadline force many different micro-batch
+        // compositions across producers; parity must hold regardless.
+        let cfg = ServeConfig {
+            max_batch: 5,
+            max_delay: Duration::from_micros(200),
+            queue_cap: 64,
+            tenants: vec![TenantConfig::default()],
+            host_threads: Some(threads),
+        };
+        let server = AnnServer::start(engine, cfg).unwrap();
+
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let handle = server.handle();
+                let chunk: Vec<Vec<f32>> = (p * 8..(p + 1) * 8)
+                    .map(|i| queries.get(i).to_vec())
+                    .collect();
+                std::thread::spawn(move || {
+                    let tickets: Vec<_> = chunk
+                        .iter()
+                        .map(|q| handle.submit(0, q).expect("submit"))
+                        .collect();
+                    tickets
+                        .into_iter()
+                        .map(|t| t.wait().expect("serve"))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+
+        for (p, producer) in producers.into_iter().enumerate() {
+            let got = producer.join().unwrap();
+            for (j, res) in got.iter().enumerate() {
+                let idx = p * 8 + j;
+                assert_eq!(
+                    format!("{res:?}"),
+                    offline_bits[idx],
+                    "query {idx} diverged at host_threads={threads}"
+                );
+            }
+        }
+
+        let (eng, stats) = server.shutdown();
+        engine = eng;
+        assert_eq!(stats.served, n_queries as u64);
+        assert!(stats.batches >= 7, "{}", stats.summary());
+    }
+}

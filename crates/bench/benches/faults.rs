@@ -55,15 +55,9 @@ fn result_bits(rs: &[Vec<Neighbor>]) -> Vec<Vec<(u64, u32)>> {
         .collect()
 }
 
-fn percentile(samples: &mut [f64], p: f64) -> f64 {
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let idx = ((samples.len() as f64 * p).ceil() as usize).clamp(1, samples.len()) - 1;
-    samples[idx]
-}
-
-fn mean(samples: &[f64]) -> f64 {
-    samples.iter().sum::<f64>() / samples.len() as f64
-}
+// Tail quantiles come from the shared stats helpers; nearest-rank keeps the
+// hedging criterion anchored to an actually-observed batch time.
+use upmem_sim::stats::{mean, percentile_nearest_rank};
 
 struct Arm {
     mean_total_s: f64,
@@ -96,7 +90,7 @@ fn run_arm(
     }
     Arm {
         mean_total_s: mean(&totals),
-        p99_total_s: percentile(&mut totals, 0.99),
+        p99_total_s: percentile_nearest_rank(&totals, 99.0),
         mean_energy_j: mean(&energies),
         hedged_tasks: hedged,
         retried_tasks: retried,
@@ -114,7 +108,7 @@ fn main() {
     );
     // the straggler arm stresses replica scheduling with a skewed trace of
     // repeated hot queries
-    let skewed = datasets::queries::zipfian_query_trace(&queries, 32, 1.2, 17);
+    let skewed = datasets::queries::zipfian_query_trace(&queries, 32, 1.2, 17).unwrap();
     let truth = ann_core::flat::ground_truth(&queries, &data, K);
 
     let mut engine = DrimEngine::build(&data, cfg(), PimArch::upmem_sc25(), NDPUS, None).unwrap();

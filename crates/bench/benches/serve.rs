@@ -1,0 +1,233 @@
+//! Online-serving load generator: end-to-end latency and saturation
+//! throughput of the `ann-serve` micro-batching front-end.
+//!
+//! Closed-loop producers hammer the server with single-query submits and
+//! park on their tickets; each request's wall-clock latency covers
+//! queueing, batching delay, and (simulated-pipeline) service. Two
+//! arrival mixes — uniform over a query pool and Zipf-skewed
+//! (`datasets::queries::zipfian_indices`, hot queries repeat) — are each
+//! run at two batch-deadline settings, so the JSON exposes the
+//! latency/throughput trade the `max_batch`/`max_delay` knobs buy.
+//!
+//! Tail quantiles use the interpolating `upmem_sim::stats::percentile`
+//! (p999 on a few thousand samples needs interpolation, not index
+//! rounding). Running this bench (`cargo bench --bench serve`) writes
+//! `BENCH_serve.json` at the workspace root.
+
+use std::time::{Duration, Instant};
+
+use ann_serve::{AnnServer, ServeConfig, TenantConfig};
+use drim_ann::config::{EngineConfig, IndexConfig};
+use drim_ann::engine::DrimEngine;
+use upmem_sim::stats::percentile;
+use upmem_sim::PimArch;
+
+const NDPUS: usize = 8;
+const K: usize = 10;
+const PRODUCERS: usize = 6;
+const REQS_PER_PRODUCER: usize = 250;
+/// Outstanding requests per producer (windowed closed loop). Depth 1
+/// would cap queued work at `PRODUCERS` and the size trigger could never
+/// fire; depth 8 drives the server to saturation so both close reasons
+/// are on the measured path.
+const PIPELINE_DEPTH: usize = 8;
+const QUERY_POOL: usize = 256;
+const ZIPF_S: f64 = 1.2;
+
+struct Scenario {
+    arrival: &'static str,
+    max_batch: usize,
+    max_delay: Duration,
+}
+
+// Two batch-deadline settings per arrival mix: a latency-oriented point
+// (small batches, tight deadline) and a throughput-oriented point (full
+// batches, loose deadline).
+const SCENARIOS: [Scenario; 4] = [
+    Scenario {
+        arrival: "uniform",
+        max_batch: 8,
+        max_delay: Duration::from_micros(200),
+    },
+    Scenario {
+        arrival: "uniform",
+        max_batch: 32,
+        max_delay: Duration::from_millis(2),
+    },
+    Scenario {
+        arrival: "zipf",
+        max_batch: 8,
+        max_delay: Duration::from_micros(200),
+    },
+    Scenario {
+        arrival: "zipf",
+        max_batch: 32,
+        max_delay: Duration::from_millis(2),
+    },
+];
+
+struct Outcome {
+    p50_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    throughput_qps: f64,
+    stats: ann_serve::ServeStats,
+}
+
+/// Run one scenario: spawn closed-loop producers over `trace` (request r
+/// of producer p queries pool row `trace[p * REQS_PER_PRODUCER + r]`),
+/// collect per-request wall latencies, and return the engine for the next
+/// scenario.
+fn run_scenario(
+    engine: DrimEngine,
+    pool: &ann_core::VecSet<f32>,
+    trace: &[usize],
+    sc: &Scenario,
+) -> (DrimEngine, Outcome) {
+    let cfg = ServeConfig {
+        max_batch: sc.max_batch,
+        max_delay: sc.max_delay,
+        queue_cap: 1024,
+        // Two equal-weight tenants; producers alternate between them so
+        // the weighted-fair drain path is on the measured path.
+        tenants: vec![TenantConfig::with_weight(1), TenantConfig::with_weight(1)],
+        host_threads: None,
+    };
+    let server = AnnServer::start(engine, cfg).expect("server start");
+
+    let started = Instant::now();
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let handle = server.handle();
+            let queries: Vec<Vec<f32>> = trace[p * REQS_PER_PRODUCER..(p + 1) * REQS_PER_PRODUCER]
+                .iter()
+                .map(|&row| pool.get(row).to_vec())
+                .collect();
+            let tenant = p % 2;
+            std::thread::spawn(move || {
+                let mut lat_s = Vec::with_capacity(queries.len());
+                let mut pending = std::collections::VecDeque::with_capacity(PIPELINE_DEPTH);
+                for q in &queries {
+                    if pending.len() == PIPELINE_DEPTH {
+                        let (t0, ticket): (Instant, ann_serve::Ticket) =
+                            pending.pop_front().unwrap();
+                        let res = ticket.wait().expect("serve");
+                        lat_s.push(t0.elapsed().as_secs_f64());
+                        assert_eq!(res.len(), K);
+                    }
+                    pending.push_back((Instant::now(), handle.submit(tenant, q).expect("submit")));
+                }
+                for (t0, ticket) in pending {
+                    let res = ticket.wait().expect("serve");
+                    lat_s.push(t0.elapsed().as_secs_f64());
+                    assert_eq!(res.len(), K);
+                }
+                lat_s
+            })
+        })
+        .collect();
+
+    let mut lat_ms: Vec<f64> = Vec::with_capacity(PRODUCERS * REQS_PER_PRODUCER);
+    for prod in producers {
+        lat_ms.extend(prod.join().unwrap().into_iter().map(|s| s * 1e3));
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let (engine, stats) = server.shutdown();
+    assert_eq!(stats.served as usize, PRODUCERS * REQS_PER_PRODUCER);
+    let outcome = Outcome {
+        p50_ms: percentile(&lat_ms, 50.0),
+        p99_ms: percentile(&lat_ms, 99.0),
+        p999_ms: percentile(&lat_ms, 99.9),
+        throughput_qps: lat_ms.len() as f64 / wall_s,
+        stats,
+    };
+    (engine, outcome)
+}
+
+fn main() {
+    let spec = datasets::SynthSpec::small("bench-serve", 16, 4000, 41);
+    let data = datasets::generate(&spec);
+    let pool = datasets::queries::generate_queries(
+        &spec,
+        QUERY_POOL,
+        datasets::queries::QuerySkew::InDistribution,
+        13,
+    );
+    let uniform: Vec<usize> = (0..PRODUCERS * REQS_PER_PRODUCER)
+        .map(|i| i % QUERY_POOL)
+        .collect();
+    let zipf =
+        datasets::queries::zipfian_indices(QUERY_POOL, PRODUCERS * REQS_PER_PRODUCER, ZIPF_S, 17)
+            .expect("non-empty pool");
+
+    let cfg = EngineConfig::drim(IndexConfig {
+        k: K,
+        nprobe: 12,
+        nlist: 64,
+        m: 8,
+        cb: 32,
+    });
+    let mut engine = DrimEngine::build(&data, cfg, PimArch::upmem_sc25(), NDPUS, None).unwrap();
+    // serving latency here characterises the clean path; the CI fault
+    // matrix exercises the armed path through the test suite instead
+    engine.clear_faults();
+
+    let mut rows = String::new();
+    for (i, sc) in SCENARIOS.iter().enumerate() {
+        let trace = if sc.arrival == "zipf" {
+            &zipf
+        } else {
+            &uniform
+        };
+        let (eng, o) = run_scenario(engine, &pool, trace, sc);
+        engine = eng;
+        let s = &o.stats;
+        eprintln!(
+            "serve/{} b={} d={:?}: p50 {:.3} ms, p99 {:.3} ms, p999 {:.3} ms, {:.0} qps ({})",
+            sc.arrival,
+            sc.max_batch,
+            sc.max_delay,
+            o.p50_ms,
+            o.p99_ms,
+            o.p999_ms,
+            o.throughput_qps,
+            s.summary()
+        );
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"arrival\": \"{}\", \"max_batch\": {}, \"max_delay_us\": {}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"p999_ms\": {:.4}, \"throughput_qps\": {:.1}, \"batches\": {}, \"mean_batch\": {:.2}, \"largest_batch\": {}, \"closed_by_size\": {}, \"closed_by_deadline\": {}, \"closed_by_drain\": {}, \"rejected\": {}, \"sim_time_s\": {:.6e}, \"sim_energy_j\": {:.6e}}}",
+            sc.arrival,
+            sc.max_batch,
+            sc.max_delay.as_micros(),
+            o.p50_ms,
+            o.p99_ms,
+            o.p999_ms,
+            o.throughput_qps,
+            s.batches,
+            s.mean_batch(),
+            s.largest_batch,
+            s.closed_by_size,
+            s.closed_by_deadline,
+            s.closed_by_drain,
+            s.rejected,
+            s.sim_time_s,
+            s.sim_energy_j,
+        ));
+    }
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"host_cores\": {host_cores},\n  \"ndpus\": {NDPUS},\n  \"producers\": {PRODUCERS},\n  \"pipeline_depth\": {PIPELINE_DEPTH},\n  \"requests_per_scenario\": {},\n  \"query_pool\": {QUERY_POOL},\n  \"zipf_s\": {ZIPF_S},\n  \"latency\": \"closed-loop wall-clock per request: queueing + batching delay + simulated-pipeline service\",\n  \"scenarios\": [\n{rows}\n  ]\n}}\n",
+        PRODUCERS * REQS_PER_PRODUCER
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

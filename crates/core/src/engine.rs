@@ -348,6 +348,17 @@ impl DrimEngine {
         self.system.len()
     }
 
+    /// Query dimensionality this engine was built for. Serving front-ends
+    /// validate incoming queries against it before admission.
+    pub fn dim(&self) -> usize {
+        self.ivf.coarse.dim()
+    }
+
+    /// Neighbors returned per query (`cfg.index.k`).
+    pub fn k(&self) -> usize {
+        self.cfg.index.k
+    }
+
     /// Predicted per-task scan cost in seconds (the scheduler's heat unit,
     /// "estimated by the latency calculated by Equation 1-12").
     fn task_cost(&self, slice_len: usize) -> f64 {

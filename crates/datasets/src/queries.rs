@@ -62,14 +62,41 @@ pub fn generate_queries(
     out
 }
 
+/// Rejected query-trace request — returned instead of panicking so serving
+/// layers and benches can surface the misconfiguration (same convention as
+/// `drim_ann::config::ConfigError`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceError {
+    /// The sampled pool must contain at least one entry.
+    EmptyPool,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::EmptyPool => write!(f, "trace pool must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// Seeded Zipfian index trace: `len` draws from `0..pool`, where a random
 /// (seeded) permutation assigns each index a Zipf(`s`) rank. Popularity is
 /// thus uncorrelated with index order — the realistic shape of production
 /// query traffic, where a few queries repeat very often.
 ///
-/// `s = 0` degenerates to uniform sampling with repetition.
-pub fn zipfian_indices(pool: usize, len: usize, s: f64, seed: u64) -> Vec<usize> {
-    assert!(pool > 0, "pool must be non-empty");
+/// `s = 0` degenerates to uniform sampling with repetition. An empty pool
+/// is rejected with [`TraceError::EmptyPool`].
+pub fn zipfian_indices(
+    pool: usize,
+    len: usize,
+    s: f64,
+    seed: u64,
+) -> Result<Vec<usize>, TraceError> {
+    if pool == 0 {
+        return Err(TraceError::EmptyPool);
+    }
     let mut rng = StdRng::seed_from_u64(seed ^ 0x21BF_1A2E);
     // rank -> index permutation (Fisher-Yates over the pool)
     let mut rank_to_idx: Vec<usize> = (0..pool).collect();
@@ -78,30 +105,39 @@ pub fn zipfian_indices(pool: usize, len: usize, s: f64, seed: u64) -> Vec<usize>
         rank_to_idx.swap(i, j);
     }
     let sampler = Zipf::new(pool, s);
-    (0..len)
+    Ok((0..len)
         .map(|_| rank_to_idx[sampler.sample(&mut rng)])
-        .collect()
+        .collect())
 }
 
 /// Resample an existing query set into a `len`-query *traffic trace* with
 /// Zipf(`s`)-skewed repetition: hot queries recur, which concentrates probe
 /// heat on their clusters. This is the workload regime the fault-tolerance
 /// benchmarks use to stress replica scheduling under stragglers.
-pub fn zipfian_query_trace(queries: &VecSet<f32>, len: usize, s: f64, seed: u64) -> VecSet<f32> {
+pub fn zipfian_query_trace(
+    queries: &VecSet<f32>,
+    len: usize,
+    s: f64,
+    seed: u64,
+) -> Result<VecSet<f32>, TraceError> {
     let mut out = VecSet::with_capacity(queries.dim(), len);
-    for i in zipfian_indices(queries.len(), len, s, seed) {
+    for i in zipfian_indices(queries.len(), len, s, seed)? {
         out.push(queries.get(i));
     }
-    out
+    Ok(out)
 }
 
 /// Empirical heat (sample counts) each component receives under `skew`,
 /// normalized to sum to 1. Used by trace-mode experiments to drive layout
 /// decisions without materializing queries.
-pub fn component_heat(n_components: usize, skew: QuerySkew) -> Vec<f64> {
+///
+/// The in-distribution arm mirrors [`generate_queries`]: component heat
+/// follows the corpus' own mass skew `spec.zipf_s` (not a hardcoded
+/// default), so heat stays faithful for corpora with non-default skew.
+pub fn component_heat(spec: &SynthSpec, skew: QuerySkew) -> Vec<f64> {
     match skew {
-        QuerySkew::InDistribution => crate::zipf::zipf_weights(n_components, 0.9),
-        QuerySkew::Hot { s } => crate::zipf::zipf_weights(n_components, s),
+        QuerySkew::InDistribution => crate::zipf::zipf_weights(spec.n_components, spec.zipf_s),
+        QuerySkew::Hot { s } => crate::zipf::zipf_weights(spec.n_components, s),
     }
 }
 
@@ -143,8 +179,11 @@ mod tests {
 
     #[test]
     fn hot_skew_concentrates_mass() {
-        let heat_uniformish = component_heat(50, QuerySkew::InDistribution);
-        let heat_hot = component_heat(50, QuerySkew::Hot { s: 1.5 });
+        let mut s = spec();
+        s.n_components = 50;
+        let heat_uniformish = component_heat(&s, QuerySkew::InDistribution);
+        let heat_hot = component_heat(&s, QuerySkew::Hot { s: 1.5 });
+        assert_eq!(heat_uniformish.len(), 50);
         assert!(heat_hot[0] > heat_uniformish[0]);
         // top-5 hot components carry the majority of hot traffic
         let top5: f64 = heat_hot.iter().take(5).sum();
@@ -152,12 +191,30 @@ mod tests {
     }
 
     #[test]
+    fn in_distribution_heat_follows_corpus_skew() {
+        let mut flat = spec();
+        flat.n_components = 32;
+        flat.zipf_s = 0.2;
+        let mut steep = flat.clone();
+        steep.zipf_s = 1.3;
+        let h_flat = component_heat(&flat, QuerySkew::InDistribution);
+        let h_steep = component_heat(&steep, QuerySkew::InDistribution);
+        // the corpus' own mass skew must come through, not a hardcoded 0.9
+        assert_eq!(h_flat, crate::zipf::zipf_weights(32, 0.2));
+        assert_eq!(h_steep, crate::zipf::zipf_weights(32, 1.3));
+        assert!(h_steep[0] > h_flat[0]);
+        // Hot skew is independent of the corpus skew
+        let hot = component_heat(&flat, QuerySkew::Hot { s: 1.3 });
+        assert_eq!(hot, h_steep);
+    }
+
+    #[test]
     fn zipfian_trace_is_seeded_and_skewed() {
         // determinism
-        let a = zipfian_indices(100, 2000, 1.2, 7);
-        let b = zipfian_indices(100, 2000, 1.2, 7);
+        let a = zipfian_indices(100, 2000, 1.2, 7).unwrap();
+        let b = zipfian_indices(100, 2000, 1.2, 7).unwrap();
         assert_eq!(a, b);
-        assert_ne!(a, zipfian_indices(100, 2000, 1.2, 8));
+        assert_ne!(a, zipfian_indices(100, 2000, 1.2, 8).unwrap());
         assert!(a.iter().all(|&i| i < 100));
 
         // skew: the hottest index dominates a uniform draw's expectation
@@ -168,7 +225,7 @@ mod tests {
         let max = *counts.iter().max().unwrap();
         assert!(max > 5 * (a.len() / 100), "hottest count {max}");
         // s = 0 degenerates to roughly uniform
-        let u = zipfian_indices(100, 2000, 0.0, 7);
+        let u = zipfian_indices(100, 2000, 0.0, 7).unwrap();
         let mut ucounts = vec![0usize; 100];
         for &i in &u {
             ucounts[i] += 1;
@@ -179,7 +236,7 @@ mod tests {
         // the vector trace replays rows of the pool verbatim
         let s = spec();
         let pool = generate_queries(&s, 16, QuerySkew::InDistribution, 3);
-        let trace = zipfian_query_trace(&pool, 64, 1.1, 9);
+        let trace = zipfian_query_trace(&pool, 64, 1.1, 9).unwrap();
         assert_eq!(trace.len(), 64);
         assert_eq!(trace.dim(), pool.dim());
         let rows: std::collections::HashSet<Vec<u32>> = (0..pool.len())
@@ -189,6 +246,17 @@ mod tests {
             let row: Vec<u32> = trace.get(i).iter().map(|v| v.to_bits()).collect();
             assert!(rows.contains(&row), "trace row {i} not from the pool");
         }
+    }
+
+    #[test]
+    fn empty_pool_is_a_typed_error() {
+        assert_eq!(zipfian_indices(0, 10, 1.0, 1), Err(TraceError::EmptyPool));
+        let empty = VecSet::<f32>::new(8);
+        assert_eq!(
+            zipfian_query_trace(&empty, 10, 1.0, 1),
+            Err(TraceError::EmptyPool)
+        );
+        assert!(TraceError::EmptyPool.to_string().contains("non-empty"));
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 pub mod iter;
 pub mod pool;
+pub mod sync;
 
 pub use pool::{current_num_threads, join, with_num_threads};
 

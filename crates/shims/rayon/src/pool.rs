@@ -39,10 +39,11 @@
 //! the region record, and re-raised on the dispatching thread after the
 //! region barrier (never across it).
 
+use crate::sync::lock_unpoisoned;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Primary env knob for the pool width (`DRIM_ANN_THREADS=4 cargo test`).
 pub const THREADS_ENV: &str = "DRIM_ANN_THREADS";
@@ -131,12 +132,6 @@ fn enter_pool<R>(f: impl FnOnce() -> R) -> R {
 /// every thread count.
 pub(crate) fn chunk_size(len: usize, min_len: usize) -> usize {
     len.div_ceil(MAX_CHUNKS).max(min_len).max(1)
-}
-
-/// Lock a mutex, riding through poisoning (a panicking sibling worker
-/// should surface *its* payload, not a `PoisonError`).
-fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|p| p.into_inner())
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,105 @@
+//! Online serving: many producer threads submit single queries, the
+//! `ann-serve` front-end coalesces them into deadline-bounded
+//! micro-batches, and every producer gets back exactly what an offline
+//! `search_batch` would have returned.
+//!
+//! ```text
+//! cargo run --release --example serve
+//! ```
+
+use std::time::{Duration, Instant};
+
+use ann_serve::{AnnServer, ServeConfig, ServeError, TenantConfig};
+use drim_ann::config::{EngineConfig, IndexConfig};
+use drim_ann::engine::DrimEngine;
+use upmem_sim::PimArch;
+
+fn main() {
+    // 1. A corpus and an engine, exactly as in the quickstart.
+    let spec = datasets::SynthSpec::small("serve", 32, 20_000, 42);
+    let data = datasets::generate(&spec);
+    let index = IndexConfig {
+        k: 10,
+        nprobe: 16,
+        nlist: 128,
+        m: 16,
+        cb: 256,
+    };
+    let engine = DrimEngine::build(
+        &data,
+        EngineConfig::drim(index),
+        PimArch::upmem_sc25(),
+        64,
+        None,
+    )
+    .expect("engine build");
+
+    // 2. Start serving: batches close at 16 queries or 500 µs after the
+    //    oldest arrival, whichever comes first. Two tenants with a 3:1
+    //    fair share; each tenant's queue is bounded (overflow => typed
+    //    QueueFull rejection, not blocking).
+    let cfg = ServeConfig {
+        max_batch: 16,
+        max_delay: Duration::from_micros(500),
+        queue_cap: 256,
+        tenants: vec![TenantConfig::with_weight(3), TenantConfig::with_weight(1)],
+        host_threads: None,
+    };
+    let server = AnnServer::start(engine, cfg).expect("server start");
+
+    // 3. Producers: four threads, alternating tenants, each submitting
+    //    single queries and parking on its tickets.
+    let queries = datasets::queries::generate_queries(
+        &spec,
+        128,
+        datasets::queries::QuerySkew::InDistribution,
+        7,
+    );
+    let started = Instant::now();
+    let producers: Vec<_> = (0..4)
+        .map(|p| {
+            let handle = server.handle();
+            let mine: Vec<Vec<f32>> = (0..32).map(|i| queries.get(4 * i + p).to_vec()).collect();
+            std::thread::spawn(move || {
+                let tenant = p % 2;
+                let mut slowest = Duration::ZERO;
+                for q in &mine {
+                    let t0 = Instant::now();
+                    let neighbors = handle.search(tenant, q).expect("serve");
+                    slowest = slowest.max(t0.elapsed());
+                    assert_eq!(neighbors.len(), 10);
+                }
+                (tenant, slowest)
+            })
+        })
+        .collect();
+    for prod in producers {
+        let (tenant, slowest) = prod.join().unwrap();
+        println!("producer (tenant {tenant}): slowest query {slowest:?}");
+    }
+    println!("128 queries served in {:?}", started.elapsed());
+
+    // 4. Malformed submits are typed errors, not panics.
+    let handle = server.handle();
+    assert!(matches!(
+        handle.submit(9, queries.get(0)),
+        Err(ServeError::UnknownTenant { .. })
+    ));
+    assert!(matches!(
+        handle.submit(0, &[0.0; 3]),
+        Err(ServeError::WrongDim { .. })
+    ));
+
+    // 5. Shutdown flushes everything admitted and hands the engine back.
+    let (engine, stats) = server.shutdown();
+    println!("serve stats: {}", stats.summary());
+    println!(
+        "simulated cost of the served stream: {:.3} ms DPU time, {:.3} J",
+        stats.sim_time_s * 1e3,
+        stats.sim_energy_j
+    );
+    println!(
+        "engine returned: {} DPUs, ready for offline use",
+        engine.ndpus()
+    );
+}
