@@ -29,6 +29,35 @@ impl Default for TenantConfig {
     }
 }
 
+/// What the server does when the backlog projects past the batching
+/// deadline — i.e. when queued-but-undispatched queries exceed what the
+/// next [`max_queue_batches`](ServeConfig::max_queue_batches) dispatches
+/// can absorb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// No overload protection: admit until `queue_cap` (the default).
+    #[default]
+    None,
+    /// Shed load per-tenant: each tenant's queue is capped at its
+    /// weighted share of the projected backlog budget
+    /// (`max_queue_batches * max_batch`), and a submit beyond that share
+    /// is rejected with
+    /// [`ServeError::Overloaded`](crate::ServeError::Overloaded). A hot
+    /// tenant is shed while a cold one is still admitted.
+    Shed,
+    /// Degrade quality instead of availability: when the backlog left
+    /// *after* a drain still holds `b` full batches, the dispatched batch
+    /// runs with `nprobe >> b` (clamped below by `floor` and the engine's
+    /// configured nprobe above), and every query served at reduced nprobe
+    /// is counted in
+    /// [`ServeStats::nprobe_degraded`](crate::ServeStats::nprobe_degraded).
+    /// The override clears as soon as the backlog drains.
+    DegradeNprobe {
+        /// Lowest nprobe the degradation may reach (must be at least 1).
+        floor: usize,
+    },
+}
+
 /// Configuration of the micro-batching server.
 ///
 /// The two-knob batching rule: a forming batch closes as soon as
@@ -59,6 +88,14 @@ pub struct ServeConfig {
     /// callers cannot use `rayon::with_num_threads` around `start` and
     /// expect it to propagate.
     pub host_threads: Option<usize>,
+    /// Overload protection: what to do when the backlog projects past the
+    /// batching deadline. See [`OverloadPolicy`].
+    pub overload: OverloadPolicy,
+    /// Backlog budget in batches: the queue is considered overloaded once
+    /// it holds more than this many `max_batch`-sized dispatches' worth of
+    /// queries. Sizes the per-tenant shares of [`OverloadPolicy::Shed`].
+    /// Must be at least 1.
+    pub max_queue_batches: usize,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +106,8 @@ impl Default for ServeConfig {
             queue_cap: 1024,
             tenants: vec![TenantConfig::default()],
             host_threads: None,
+            overload: OverloadPolicy::None,
+            max_queue_batches: 8,
         }
     }
 }
@@ -101,6 +140,12 @@ impl ServeConfig {
         if self.host_threads == Some(0) {
             return Err(ServeConfigError::ZeroHostThreads);
         }
+        if self.max_queue_batches == 0 {
+            return Err(ServeConfigError::ZeroQueueBatches);
+        }
+        if self.overload == (OverloadPolicy::DegradeNprobe { floor: 0 }) {
+            return Err(ServeConfigError::ZeroNprobeFloor);
+        }
         Ok(())
     }
 }
@@ -121,6 +166,12 @@ pub enum ServeConfigError {
     },
     /// `host_threads` was `Some(0)`; the pool needs at least one thread.
     ZeroHostThreads,
+    /// `max_queue_batches` was 0 — the overload budget would be empty and
+    /// every admission decision degenerate.
+    ZeroQueueBatches,
+    /// [`OverloadPolicy::DegradeNprobe`] had `floor: 0` — nprobe can never
+    /// drop below 1.
+    ZeroNprobeFloor,
 }
 
 impl fmt::Display for ServeConfigError {
@@ -137,6 +188,12 @@ impl fmt::Display for ServeConfigError {
             }
             ServeConfigError::ZeroHostThreads => {
                 write!(f, "host_threads must be at least 1 when set")
+            }
+            ServeConfigError::ZeroQueueBatches => {
+                write!(f, "max_queue_batches must be at least 1")
+            }
+            ServeConfigError::ZeroNprobeFloor => {
+                write!(f, "the nprobe degradation floor must be at least 1")
             }
         }
     }
@@ -180,6 +237,26 @@ mod tests {
             with(&|c| c.host_threads = Some(0)).validate(),
             Err(ServeConfigError::ZeroHostThreads)
         );
+        assert_eq!(
+            with(&|c| c.max_queue_batches = 0).validate(),
+            Err(ServeConfigError::ZeroQueueBatches)
+        );
+        assert_eq!(
+            with(&|c| c.overload = OverloadPolicy::DegradeNprobe { floor: 0 }).validate(),
+            Err(ServeConfigError::ZeroNprobeFloor)
+        );
+    }
+
+    #[test]
+    fn overload_defaults_to_none_and_policies_validate() {
+        assert_eq!(ServeConfig::default().overload, OverloadPolicy::None);
+        let mut c = ServeConfig {
+            overload: OverloadPolicy::Shed,
+            ..ServeConfig::default()
+        };
+        assert_eq!(c.validate(), Ok(()));
+        c.overload = OverloadPolicy::DegradeNprobe { floor: 2 };
+        assert_eq!(c.validate(), Ok(()));
     }
 
     #[test]

@@ -27,6 +27,15 @@ pub enum ServeError {
         /// Dimensionality of the submitted query.
         got: usize,
     },
+    /// Overload protection shed this submit: the tenant's queued work
+    /// already fills its weighted share of the backlog budget
+    /// (`max_queue_batches * max_batch`), so serving more of it would
+    /// push dispatches past the batching deadline. Distinct from
+    /// [`QueueFull`](Self::QueueFull), which is the hard per-tenant cap.
+    Overloaded {
+        /// The tenant whose share is exhausted.
+        tenant: usize,
+    },
     /// The server is shutting down and no longer admits queries.
     /// Queries admitted *before* shutdown are still served (drained).
     ShuttingDown,
@@ -48,6 +57,12 @@ impl fmt::Display for ServeError {
             }
             ServeError::WrongDim { expected, got } => {
                 write!(f, "query has dim {got}, engine expects {expected}")
+            }
+            ServeError::Overloaded { tenant } => {
+                write!(
+                    f,
+                    "tenant {tenant} shed: its backlog share projects past the batch deadline"
+                )
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::EngineFailed => write!(f, "engine failed while serving a batch"),

@@ -71,7 +71,7 @@ mod inbox;
 pub mod server;
 pub mod stats;
 
-pub use config::{ServeConfig, ServeConfigError, TenantConfig};
+pub use config::{OverloadPolicy, ServeConfig, ServeConfigError, TenantConfig};
 pub use error::ServeError;
 pub use server::{AnnServer, ServeHandle, Ticket};
 pub use stats::ServeStats;

@@ -11,7 +11,7 @@ use ann_core::vector::VecSet;
 use drim_ann::engine::DrimEngine;
 use rayon::sync::{lock_unpoisoned, OneShot};
 
-use crate::config::ServeConfig;
+use crate::config::{OverloadPolicy, ServeConfig};
 use crate::error::ServeError;
 use crate::inbox::{drain_fair, CloseReason, InboxState, Request};
 use crate::stats::ServeStats;
@@ -59,6 +59,9 @@ pub struct ServeHandle {
     dim: usize,
     queue_cap: usize,
     ntenants: usize,
+    /// Per-tenant overload caps (weighted shares of the backlog budget
+    /// under [`OverloadPolicy::Shed`]; `usize::MAX` otherwise).
+    tenant_caps: Arc<[usize]>,
 }
 
 impl ServeHandle {
@@ -92,8 +95,17 @@ impl ServeHandle {
             }
             if g.queues[tenant].len() >= self.queue_cap {
                 drop(g);
-                lock_unpoisoned(&self.shared.stats).rejected += 1;
+                let mut s = lock_unpoisoned(&self.shared.stats);
+                s.rejected += 1;
+                s.per_tenant_rejected[tenant] += 1;
                 return Err(ServeError::QueueFull { tenant });
+            }
+            if g.queues[tenant].len() >= self.tenant_caps[tenant] {
+                drop(g);
+                let mut s = lock_unpoisoned(&self.shared.stats);
+                s.shed += 1;
+                s.per_tenant_rejected[tenant] += 1;
+                return Err(ServeError::Overloaded { tenant });
             }
             let now = Instant::now();
             // First query into an empty inbox opens the forming batch:
@@ -169,11 +181,25 @@ impl AnnServer {
             arrivals: Condvar::new(),
             stats: Mutex::new(ServeStats::new(cfg.tenants.len())),
         });
+        let tenant_caps: Arc<[usize]> = match cfg.overload {
+            OverloadPolicy::Shed => {
+                // Weighted shares of the backlog budget, floored at 1 so
+                // every tenant can always queue at least one query.
+                let total: u64 = cfg.tenants.iter().map(|t| u64::from(t.weight)).sum();
+                let budget = (cfg.max_queue_batches * cfg.max_batch) as u64;
+                cfg.tenants
+                    .iter()
+                    .map(|t| ((budget * u64::from(t.weight) / total).max(1)) as usize)
+                    .collect()
+            }
+            _ => cfg.tenants.iter().map(|_| usize::MAX).collect(),
+        };
         let handle = ServeHandle {
             shared: Arc::clone(&shared),
             dim,
             queue_cap: cfg.queue_cap,
             ntenants: cfg.tenants.len(),
+            tenant_caps,
         };
         let driver = std::thread::Builder::new()
             .name("ann-serve-driver".into())
@@ -217,8 +243,11 @@ fn drive(mut engine: DrimEngine, shared: Arc<Shared>, cfg: ServeConfig) -> DrimE
     // env-armed injector (DRIM_ANN_FAULT_SEED/RATE) sees a fresh batch of
     // transient draws per dispatch, exactly like an offline batch stream.
     let mut batch_idx: u64 = 0;
+    // The nprobe the engine serves at when the queue is healthy; the
+    // overload degradation halves down from here and never above it.
+    let base_nprobe = engine.effective_nprobe();
     loop {
-        let (reqs, reason) = {
+        let (reqs, reason, backlog) = {
             let mut g = lock_unpoisoned(&shared.inbox);
             let reason = loop {
                 if g.queued >= cfg.max_batch {
@@ -226,6 +255,7 @@ fn drive(mut engine: DrimEngine, shared: Arc<Shared>, cfg: ServeConfig) -> DrimE
                 }
                 if !g.open {
                     if g.queued == 0 {
+                        let _ = engine.set_nprobe_override(None);
                         return engine;
                     }
                     // Shutdown flush: dispatch what is queued without
@@ -253,7 +283,8 @@ fn drive(mut engine: DrimEngine, shared: Arc<Shared>, cfg: ServeConfig) -> DrimE
             let reqs = drain_fair(&mut g.queues, &weights, cfg.max_batch);
             g.queued -= reqs.len();
             g.refresh_opened_at();
-            (reqs, reason)
+            let backlog = g.queued;
+            (reqs, reason, backlog)
         };
         debug_assert!(!reqs.is_empty(), "every close reason implies queued >= 1");
 
@@ -263,6 +294,24 @@ fn drive(mut engine: DrimEngine, shared: Arc<Shared>, cfg: ServeConfig) -> DrimE
         }
         engine.set_fault_batch(batch_idx);
         batch_idx += 1;
+
+        // Overload degradation: each full batch still waiting after this
+        // drain halves the probe set of the batch being dispatched,
+        // clamped below by the configured floor. The override clears on
+        // the first dispatch with an empty backlog, so quality recovers
+        // as soon as the queue drains.
+        let mut nprobe_degraded_now = 0u64;
+        if let OverloadPolicy::DegradeNprobe { floor } = cfg.overload {
+            let halvings = (backlog / cfg.max_batch).min(usize::BITS as usize - 1);
+            let degraded = (base_nprobe >> halvings).max(floor.min(base_nprobe)).max(1);
+            let over = (degraded < base_nprobe).then_some(degraded);
+            if over.is_some() {
+                nprobe_degraded_now = reqs.len() as u64;
+            }
+            engine
+                .set_nprobe_override(over)
+                .expect("degraded nprobe stays within 1..=nlist");
+        }
 
         let outcome = catch_unwind(AssertUnwindSafe(|| match cfg.host_threads {
             // The shim's thread override is thread-local; re-apply it here
@@ -293,6 +342,8 @@ fn drive(mut engine: DrimEngine, shared: Arc<Shared>, cfg: ServeConfig) -> DrimE
                     }
                     s.sim_time_s += report.timing.total_s();
                     s.sim_energy_j += report.energy_j;
+                    s.degraded_queries += report.fault.degraded_queries as u64;
+                    s.nprobe_degraded += nprobe_degraded_now;
                 }
                 for (req, res) in reqs.into_iter().zip(results) {
                     req.slot.put(Ok(res));

@@ -16,6 +16,18 @@ pub struct ServeStats {
     pub served: u64,
     /// Submits rejected with `QueueFull` (backpressure).
     pub rejected: u64,
+    /// Submits rejected with `Overloaded` by the shed policy.
+    pub shed: u64,
+    /// Rejections per tenant (`QueueFull` + `Overloaded`), indexed like
+    /// the tenant table.
+    pub per_tenant_rejected: Vec<u64>,
+    /// Queries the *engine* served on a reduced probe set because a fault
+    /// dropped tasks (sum of `FaultStats::degraded_queries` across
+    /// dispatches; 0 without an armed injector).
+    pub degraded_queries: u64,
+    /// Queries served at an overload-reduced nprobe by
+    /// `OverloadPolicy::DegradeNprobe`.
+    pub nprobe_degraded: u64,
     /// Batches closed by the size trigger (`max_batch` queued).
     pub closed_by_size: u64,
     /// Batches closed by the deadline trigger (`max_delay` elapsed).
@@ -39,6 +51,7 @@ impl ServeStats {
     pub(crate) fn new(tenants: usize) -> Self {
         ServeStats {
             per_tenant_served: vec![0; tenants],
+            per_tenant_rejected: vec![0; tenants],
             ..ServeStats::default()
         }
     }
@@ -56,7 +69,9 @@ impl ServeStats {
     pub fn summary(&self) -> String {
         format!(
             "{} queries in {} batches (mean {:.1}, min {}, max {}; \
-             closes: {} size / {} deadline / {} drain; {} rejected)",
+             closes: {} size / {} deadline / {} drain; \
+             {} rejected / {} shed, per-tenant {:?}; \
+             degraded: {} fault / {} nprobe)",
             self.served,
             self.batches,
             self.mean_batch(),
@@ -66,6 +81,10 @@ impl ServeStats {
             self.closed_by_deadline,
             self.closed_by_drain,
             self.rejected,
+            self.shed,
+            self.per_tenant_rejected,
+            self.degraded_queries,
+            self.nprobe_degraded,
         )
     }
 }
@@ -89,5 +108,19 @@ mod tests {
         let line = s.summary();
         assert!(line.contains("2 size"), "{line}");
         assert!(line.contains("1 deadline"), "{line}");
+    }
+
+    #[test]
+    fn summary_mentions_overload_counters() {
+        let mut s = ServeStats::new(2);
+        s.shed = 4;
+        s.per_tenant_rejected = vec![4, 0];
+        s.degraded_queries = 2;
+        s.nprobe_degraded = 6;
+        let line = s.summary();
+        assert!(line.contains("4 shed"), "{line}");
+        assert!(line.contains("per-tenant [4, 0]"), "{line}");
+        assert!(line.contains("2 fault"), "{line}");
+        assert!(line.contains("6 nprobe"), "{line}");
     }
 }

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use ann_serve::{AnnServer, ServeConfig, ServeError, TenantConfig};
+use ann_serve::{AnnServer, OverloadPolicy, ServeConfig, ServeError, TenantConfig};
 use datasets::synth::{generate, SynthSpec};
 use drim_ann::config::{EngineConfig, IndexConfig};
 use drim_ann::engine::DrimEngine;
@@ -144,7 +144,7 @@ fn cold_tenant_is_served_under_a_hot_flood() {
         max_delay: Duration::from_millis(1),
         queue_cap: 256,
         tenants: vec![TenantConfig::with_weight(1), TenantConfig::with_weight(1)],
-        host_threads: None,
+        ..ServeConfig::default()
     };
     let server = AnnServer::start(engine, cfg).unwrap();
 
@@ -189,6 +189,96 @@ fn cold_tenant_is_served_under_a_hot_flood() {
     assert!(stats.per_tenant_served[0] > 0);
 }
 
+#[test]
+fn shed_policy_caps_each_tenant_at_its_weighted_share() {
+    let (engine, data) = small_engine();
+    // Backlog budget = max_queue_batches * max_batch = 8; weights 3:1
+    // give tenant 0 a share of 6 and tenant 1 a share of 2. The deadline
+    // is unreachable and fewer than max_batch queries are admitted, so
+    // everything sits queued while we probe the admission decisions.
+    let cfg = ServeConfig {
+        max_batch: 8,
+        max_delay: Duration::from_secs(60),
+        queue_cap: 64,
+        tenants: vec![TenantConfig::with_weight(3), TenantConfig::with_weight(1)],
+        overload: OverloadPolicy::Shed,
+        max_queue_batches: 1,
+        ..ServeConfig::default()
+    };
+    let server = AnnServer::start(engine, cfg).unwrap();
+    let handle = server.handle();
+
+    let mut tickets = vec![
+        handle.submit(1, data.get(0)).unwrap(),
+        handle.submit(1, data.get(1)).unwrap(),
+    ];
+    // Tenant 1's share (2) is exhausted: the third submit is shed with a
+    // typed rejection, well below queue_cap.
+    match handle.submit(1, data.get(2)) {
+        Err(ServeError::Overloaded { tenant: 1 }) => {}
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    // Tenant 0 is unaffected — shedding is per-tenant, not global.
+    tickets.push(handle.submit(0, data.get(3)).unwrap());
+
+    let (_engine, stats) = server.shutdown();
+    for t in tickets {
+        assert_eq!(t.wait().unwrap().len(), 5);
+    }
+    assert_eq!(stats.served, 3);
+    assert_eq!(stats.shed, 1, "{}", stats.summary());
+    assert_eq!(stats.rejected, 0, "shed is not QueueFull");
+    assert_eq!(stats.per_tenant_rejected, vec![0, 1]);
+}
+
+#[test]
+fn degrade_policy_sheds_quality_under_backlog_and_recovers() {
+    let (mut engine, data) = small_engine();
+    let offline_bits = {
+        let mut q = ann_core::VecSet::with_capacity(16, 1);
+        q.push(data.get(400));
+        let (res, _) = engine.search_batch(&q);
+        format!("{:?}", res[0])
+    };
+
+    // max_batch = 1: every dispatch serves one query, so a burst of
+    // submissions leaves a backlog and the driver halves nprobe (4 -> 2
+    // at one waiting batch, floor 2 below that) until the queue drains.
+    let cfg = ServeConfig {
+        max_batch: 1,
+        max_delay: Duration::from_secs(60),
+        queue_cap: 256,
+        overload: OverloadPolicy::DegradeNprobe { floor: 2 },
+        ..ServeConfig::default()
+    };
+    let server = AnnServer::start(engine, cfg).unwrap();
+    let handle = server.handle();
+
+    let tickets: Vec<_> = (0..24)
+        .map(|i| handle.submit(0, data.get(i)).unwrap())
+        .collect();
+    for t in tickets {
+        // Degraded queries still get k results — quality is shed, not
+        // availability.
+        assert_eq!(t.wait().unwrap().len(), 5);
+    }
+
+    // The queue is empty now, so the override has cleared: a lone query
+    // is served at full nprobe, bit-identical to the offline path.
+    let recovered = handle.search(0, data.get(400)).unwrap();
+    assert_eq!(format!("{recovered:?}"), offline_bits);
+
+    let (_engine, stats) = server.shutdown();
+    assert_eq!(stats.served, 25);
+    assert!(
+        stats.nprobe_degraded > 0,
+        "a 24-query burst at max_batch=1 must leave a backlog: {}",
+        stats.summary()
+    );
+    assert!(stats.nprobe_degraded < 25, "{}", stats.summary());
+    assert_eq!(stats.shed, 0);
+}
+
 /// Acceptance criterion: a served micro-batch stream returns bit-identical
 /// per-query results to one offline `search_batch`, at host thread counts
 /// 1, 2, 4 and 8, with multiple concurrent producers and arbitrary
@@ -214,6 +304,7 @@ fn served_results_match_offline_bits_across_thread_counts() {
             queue_cap: 64,
             tenants: vec![TenantConfig::default()],
             host_threads: Some(threads),
+            ..ServeConfig::default()
         };
         let server = AnnServer::start(engine, cfg).unwrap();
 

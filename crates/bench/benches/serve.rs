@@ -92,6 +92,7 @@ fn run_scenario(
         // the weighted-fair drain path is on the measured path.
         tenants: vec![TenantConfig::with_weight(1), TenantConfig::with_weight(1)],
         host_threads: None,
+        ..ServeConfig::default()
     };
     let server = AnnServer::start(engine, cfg).expect("server start");
 

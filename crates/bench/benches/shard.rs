@@ -1,0 +1,319 @@
+//! Sharding benchmark: skew-aware placement + routing vs naive
+//! round-robin, and rank-kill survivability (see `docs/SHARDING.md`).
+//!
+//! Three experiments:
+//!
+//! * **Router sweep** — a Zipf(s=1.2) probe stream routed over 2/4/8
+//!   ranks: heat-balanced placement with replication and the LPT router
+//!   vs round-robin placement with primary-home routing. The skew-aware
+//!   arm must win on p99 makespan at 4 ranks — the acceptance criterion.
+//! * **Rank kill mid-run** — an engine whose layout spans every slice
+//!   across >= 2 of 4 ranks (`EngineConfig::ranks`) loses one whole rank
+//!   mid-stream; with the host fallback *off*, replication alone must
+//!   keep every query served (zero drops) and bit-identical to the
+//!   no-fault run.
+//! * **Re-replication** — after the kill, the background repair restores
+//!   the replication floor on the surviving ranks, and routing is
+//!   lossless again.
+//!
+//! Running this bench (`cargo bench --bench shard`) writes
+//! `BENCH_shard.json` at the workspace root.
+
+use ann_core::topk::Neighbor;
+use criterion::Criterion;
+use drim_ann::config::{EngineConfig, IndexConfig};
+use drim_ann::engine::DrimEngine;
+use drim_ann::shard::{self, ShardConfig, ShardPlan};
+use upmem_sim::fault::{FaultConfig, FaultInjector};
+use upmem_sim::stats::{mean, percentile_nearest_rank};
+use upmem_sim::PimArch;
+
+const NCLUSTERS: usize = 256;
+const NPROBE: usize = 12;
+const BATCHES: usize = 64;
+const QUERIES_PER_BATCH: usize = 64;
+const ZIPF_S: f64 = 1.2;
+const RANKS_SWEEP: [usize; 3] = [2, 4, 8];
+
+const NDPUS: usize = 8;
+const ENGINE_RANKS: usize = 4;
+const KILL_FROM_BATCH: u64 = 8;
+const ENGINE_BATCHES: u64 = 16;
+
+/// One batch of Zipf-skewed probe sets (distinct clusters per query).
+fn sample_batch(batch: u64) -> Vec<Vec<u32>> {
+    (0..QUERIES_PER_BATCH)
+        .map(|q| {
+            let seed = batch * 10_000 + q as u64;
+            let draws =
+                datasets::queries::zipfian_indices(NCLUSTERS, NPROBE * 4, ZIPF_S, seed).unwrap();
+            let mut probe: Vec<u32> = Vec::with_capacity(NPROBE);
+            for c in draws {
+                let c = c as u32;
+                if !probe.contains(&c) {
+                    probe.push(c);
+                    if probe.len() == NPROBE {
+                        break;
+                    }
+                }
+            }
+            let mut next = 0u32;
+            while probe.len() < NPROBE {
+                if !probe.contains(&next) {
+                    probe.push(next);
+                }
+                next += 1;
+            }
+            probe
+        })
+        .collect()
+}
+
+struct RouterArm {
+    p99_makespan: f64,
+    mean_makespan: f64,
+    mean_imbalance: f64,
+    /// Relative throughput: routed queries per makespan cost unit.
+    qps_rel: f64,
+}
+
+fn run_router(
+    batches: &[Vec<Vec<u32>>],
+    plan: &ShardPlan,
+    cost: &[f64],
+    balanced: bool,
+) -> RouterArm {
+    let mut makespans = Vec::with_capacity(batches.len());
+    let mut imbalances = Vec::with_capacity(batches.len());
+    for probes in batches {
+        let rp = if balanced {
+            shard::route(probes, plan, |c| cost[c as usize], None).unwrap()
+        } else {
+            shard::route_primary(probes, plan, |c| cost[c as usize], None).unwrap()
+        };
+        assert!(rp.lost.is_empty(), "no rank is dead in the sweep");
+        assert_eq!(
+            rp.assigned(),
+            probes.iter().map(Vec::len).sum::<usize>(),
+            "every probe routed exactly once"
+        );
+        makespans.push(rp.makespan());
+        imbalances.push(rp.imbalance());
+    }
+    let total: f64 = makespans.iter().sum();
+    RouterArm {
+        p99_makespan: percentile_nearest_rank(&makespans, 99.0),
+        mean_makespan: mean(&makespans),
+        mean_imbalance: mean(&imbalances),
+        qps_rel: (batches.len() * QUERIES_PER_BATCH) as f64 / total,
+    }
+}
+
+fn result_bits(rs: &[Vec<Neighbor>]) -> Vec<Vec<(u64, u32)>> {
+    rs.iter()
+        .map(|l| l.iter().map(|n| (n.id, n.dist.to_bits())).collect())
+        .collect()
+}
+
+fn main() {
+    // ---- router sweep: skew-aware vs naive round-robin --------------------
+    let batches: Vec<Vec<Vec<u32>>> = (0..BATCHES as u64).map(sample_batch).collect();
+    // placement heat = observed probe frequency; probe cost = cluster size
+    let mut heat = vec![0.0f64; NCLUSTERS];
+    for b in &batches {
+        for probes in b {
+            for &c in probes {
+                heat[c as usize] += 1.0;
+            }
+        }
+    }
+    let cost: Vec<f64> = datasets::zipf::zipf_partition(200_000, NCLUSTERS, 0.8)
+        .into_iter()
+        .map(|points| points as f64)
+        .collect();
+
+    let mut sweep_rows = String::new();
+    for (row, &ranks) in RANKS_SWEEP.iter().enumerate() {
+        let skew_plan = ShardPlan::build(&heat, &ShardConfig::replicated(ranks, 2)).unwrap();
+        let naive_plan = ShardPlan::build(&heat, &ShardConfig::naive(ranks)).unwrap();
+        let skew = run_router(&batches, &skew_plan, &cost, true);
+        let naive = run_router(&batches, &naive_plan, &cost, false);
+        if ranks == 4 {
+            assert!(
+                skew.p99_makespan < naive.p99_makespan,
+                "skew-aware routing must beat naive RR on p99 at 4 ranks: {} vs {}",
+                skew.p99_makespan,
+                naive.p99_makespan
+            );
+        }
+        if row > 0 {
+            sweep_rows.push_str(",\n");
+        }
+        sweep_rows.push_str(&format!(
+            "    {{\"ranks\": {ranks}, \"skew_aware\": {{\"p99_makespan\": {:.6e}, \"mean_makespan\": {:.6e}, \"mean_imbalance\": {:.3}, \"qps_rel\": {:.4}}}, \"naive_rr\": {{\"p99_makespan\": {:.6e}, \"mean_makespan\": {:.6e}, \"mean_imbalance\": {:.3}, \"qps_rel\": {:.4}}}, \"p99_speedup\": {:.2}}}",
+            skew.p99_makespan,
+            skew.mean_makespan,
+            skew.mean_imbalance,
+            skew.qps_rel,
+            naive.p99_makespan,
+            naive.mean_makespan,
+            naive.mean_imbalance,
+            naive.qps_rel,
+            naive.p99_makespan / skew.p99_makespan,
+        ));
+    }
+
+    // ---- rank kill mid-run through the engine -----------------------------
+    // Pick a rank-kill draw that takes exactly one of the four ranks, so
+    // the >= 2-rank slice coverage guarantees a surviving replica.
+    let dpus_per_rank = NDPUS.div_ceil(ENGINE_RANKS);
+    let kill_cfg = (0u64..256)
+        .map(|s| FaultConfig::rank_kill(0xD100 + s, 0.3, dpus_per_rank, KILL_FROM_BATCH))
+        .find(|fc| {
+            FaultInjector::new(*fc)
+                .unwrap()
+                .dead_ranks_at(NDPUS, KILL_FROM_BATCH)
+                == 1
+        })
+        .expect("some seed kills exactly one rank at 30%");
+
+    let spec = datasets::SynthSpec::small("bench-shard", 16, 4000, 43);
+    let data = datasets::generate(&spec);
+    let queries = datasets::queries::generate_queries(
+        &spec,
+        32,
+        datasets::queries::QuerySkew::InDistribution,
+        13,
+    );
+    // replication (not the host fallback) must absorb the rank loss
+    let mut cfg = EngineConfig::drim(IndexConfig {
+        k: 10,
+        nprobe: 12,
+        nlist: 64,
+        m: 8,
+        cb: 32,
+    });
+    cfg.batch = 32;
+    cfg.ranks = Some(ENGINE_RANKS);
+    cfg.recovery.host_fallback = false;
+
+    let mut clean =
+        DrimEngine::build(&data, cfg.clone(), PimArch::upmem_sc25(), NDPUS, None).unwrap();
+    clean.clear_faults();
+    let (r_clean, _) = clean.search_batch(&queries);
+    let clean_bits = result_bits(&r_clean);
+
+    let mut killed = DrimEngine::build(&data, cfg, PimArch::upmem_sc25(), NDPUS, None).unwrap();
+    killed.inject_faults(kill_cfg).unwrap();
+    let mut dropped = 0usize;
+    let mut degraded = 0usize;
+    let mut dead_ranks_seen = 0usize;
+    let mut identical = true;
+    for b in 0..ENGINE_BATCHES {
+        killed.set_fault_batch(b);
+        let (r, rep) = killed.search_batch(&queries);
+        dropped += rep.fault.dropped_tasks;
+        degraded += rep.fault.degraded_queries;
+        dead_ranks_seen = dead_ranks_seen.max(rep.fault.dead_ranks);
+        identical &= result_bits(&r) == clean_bits;
+    }
+    assert_eq!(dead_ranks_seen, 1, "the chosen draw kills exactly one rank");
+    assert_eq!(
+        dropped, 0,
+        "cross-rank replication must keep every probe served without the host fallback"
+    );
+    assert_eq!(degraded, 0, "zero failed or degraded queries");
+    assert!(
+        identical,
+        "rank-kill results must be bit-identical to the no-fault run"
+    );
+
+    // baseline: same kill, monolithic layout (no rank-coverage pass);
+    // reported, not asserted — the un-aware layout has no guarantee
+    let mut base_cfg = EngineConfig::drim(IndexConfig {
+        k: 10,
+        nprobe: 12,
+        nlist: 64,
+        m: 8,
+        cb: 32,
+    });
+    base_cfg.batch = 32;
+    base_cfg.recovery.host_fallback = false;
+    let mut baseline =
+        DrimEngine::build(&data, base_cfg, PimArch::upmem_sc25(), NDPUS, None).unwrap();
+    baseline.inject_faults(kill_cfg).unwrap();
+    let mut baseline_dropped = 0usize;
+    for b in 0..ENGINE_BATCHES {
+        baseline.set_fault_batch(b);
+        let (_, rep) = baseline.search_batch(&queries);
+        baseline_dropped += rep.fault.dropped_tasks;
+    }
+
+    // ---- re-replication after the kill (shard model) ----------------------
+    let mut plan = ShardPlan::build(&heat, &ShardConfig::replicated(4, 2)).unwrap();
+    let mut dead = vec![false; 4];
+    dead[1] = true;
+    let under = plan.under_replicated(&dead, 2).len();
+    let repair = plan.re_replicate(&dead, 2);
+    assert_eq!(repair.unrepairable, 0, "3 survivors can host a 2-floor");
+    let post = shard::route(&batches[0], &plan, |c| cost[c as usize], Some(&dead)).unwrap();
+    assert!(
+        post.lost.is_empty(),
+        "routing is lossless again after repair"
+    );
+
+    // ---- criterion timing rows --------------------------------------------
+    let mut c = Criterion::default();
+    {
+        let plan4 = ShardPlan::build(&heat, &ShardConfig::replicated(4, 2)).unwrap();
+        let naive4 = ShardPlan::build(&heat, &ShardConfig::naive(4)).unwrap();
+        let mut g = c.benchmark_group("shard");
+        g.sample_size(10);
+        g.bench_function("route_balanced_4ranks", |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    shard::route(&batches[0], &plan4, |c| cost[c as usize], None)
+                        .unwrap()
+                        .makespan(),
+                )
+            })
+        });
+        g.bench_function("route_primary_4ranks", |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    shard::route_primary(&batches[0], &naive4, |c| cost[c as usize], None)
+                        .unwrap()
+                        .makespan(),
+                )
+            })
+        });
+        g.finish();
+    }
+    c.final_summary();
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut rows = String::new();
+    for (i, s) in c.results().iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}}}",
+            s.id, s.median_ns
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"shard\",\n  \"host_cores\": {host_cores},\n  \"nclusters\": {NCLUSTERS},\n  \"nprobe\": {NPROBE},\n  \"batches\": {BATCHES},\n  \"queries_per_batch\": {QUERIES_PER_BATCH},\n  \"zipf_s\": {ZIPF_S},\n  \"router_sweep\": [\n{sweep_rows}\n  ],\n  \"rank_kill\": {{\n    \"ndpus\": {NDPUS},\n    \"ranks\": {ENGINE_RANKS},\n    \"kill_from_batch\": {KILL_FROM_BATCH},\n    \"batches\": {ENGINE_BATCHES},\n    \"dead_ranks\": {dead_ranks_seen},\n    \"host_fallback\": false,\n    \"dropped_tasks\": {dropped},\n    \"degraded_queries\": {degraded},\n    \"bit_identical_to_clean\": {identical},\n    \"baseline_monolithic_dropped_tasks\": {baseline_dropped}\n  }},\n  \"re_replication\": {{\n    \"under_replicated_after_kill\": {under},\n    \"repaired\": {},\n    \"added_homes\": {},\n    \"unrepairable\": {},\n    \"post_repair_lost_probes\": {}\n  }},\n  \"results\": [\n{rows}\n  ]\n}}\n",
+        repair.repaired.len(),
+        repair.new_homes,
+        repair.unrepairable,
+        post.lost.len(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -118,6 +118,8 @@ pub enum ConfigError {
     BadRecovery(&'static str),
     /// Fault-injection parameters were rejected by the simulator.
     BadFault(upmem_sim::fault::FaultConfigError),
+    /// `ranks` was `Some(0)` — a rank topology needs at least one rank.
+    ZeroRanks,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -136,6 +138,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroSqtWindow => write!(f, "sqt_window must be at least 1 entry"),
             ConfigError::BadRecovery(field) => write!(f, "invalid recovery parameter: {field}"),
             ConfigError::BadFault(e) => write!(f, "invalid fault configuration: {e}"),
+            ConfigError::ZeroRanks => write!(f, "ranks must be at least 1 when set"),
         }
     }
 }
@@ -238,6 +241,13 @@ pub struct EngineConfig {
     pub batch: usize,
     /// Fault-recovery policy (active only when faults are injected).
     pub recovery: RecoveryConfig,
+    /// Rank (DIMM) topology: DPUs are grouped into this many equal ranks
+    /// (`dpus_per_rank = ceil(ndpus / ranks)`), and the layout gains a
+    /// cross-rank replication post-pass so every slice keeps a home on at
+    /// least two distinct ranks when replicas exist — the property that
+    /// makes a whole-rank fail-stop lossless. `None` = monolithic system
+    /// (no post-pass; layouts stay bit-identical to earlier versions).
+    pub ranks: Option<usize>,
 }
 
 impl EngineConfig {
@@ -260,6 +270,7 @@ impl EngineConfig {
             tasklets: 16,
             batch: 256,
             recovery: RecoveryConfig::default(),
+            ranks: None,
         }
     }
 
@@ -283,6 +294,7 @@ impl EngineConfig {
             tasklets: 16,
             batch: 256,
             recovery: RecoveryConfig::default(),
+            ranks: None,
         }
     }
 
@@ -319,6 +331,9 @@ impl EngineConfig {
         }
         if self.sqt_window == 0 {
             return Err(ConfigError::ZeroSqtWindow);
+        }
+        if self.ranks == Some(0) {
+            return Err(ConfigError::ZeroRanks);
         }
         self.recovery.validate()
     }
@@ -415,6 +430,8 @@ mod tests {
             with(&|c| c.recovery.hedge_deadline_factor = 0.5),
             Err(ConfigError::BadRecovery("hedge_deadline_factor"))
         );
+        assert_eq!(with(&|c| c.ranks = Some(0)), Err(ConfigError::ZeroRanks));
+        assert!(with(&|c| c.ranks = Some(4)).is_ok());
     }
 
     #[test]

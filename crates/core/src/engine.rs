@@ -113,6 +113,11 @@ pub struct DrimEngine {
     /// `(engine, queries, fault_batch)` (the determinism contract of
     /// `docs/FAULT_MODEL.md`).
     fault_batch: u64,
+    /// Temporary `nprobe` override for adaptive degradation (ann-serve's
+    /// overload protection): when set, batches probe this many clusters
+    /// instead of `cfg.index.nprobe`. Never touches the stored config, so
+    /// clearing it restores bit-identical behavior.
+    nprobe_override: Option<usize>,
 }
 
 impl DrimEngine {
@@ -225,10 +230,31 @@ impl DrimEngine {
         let reserved =
             qcodebooks.len() as u64 + (dim as u64 * 4 * cfg.index.nlist as u64 / ndpus as u64);
         let mram_budget = arch.mram_bytes.saturating_sub(reserved);
-        let layout = LayoutPlan::build(&clusters, ndpus, &cfg, bytes_per_point, mram_budget);
+        let mut layout = LayoutPlan::build(&clusters, ndpus, &cfg, bytes_per_point, mram_budget);
         layout
             .validate(&clusters)
             .map_err(BuildError::MramOverflow)?;
+        // Rank topology: a cross-rank replication post-pass guarantees every
+        // slice keeps a home on >= 2 distinct ranks (budget permitting), the
+        // property that makes a whole-rank fail-stop lossless. Slices the
+        // budget could not cover stay single-rank and are accounted by the
+        // degradation path at runtime.
+        if let Some(ranks) = cfg.ranks {
+            let dpus_per_rank = ndpus.div_ceil(ranks);
+            crate::layout::duplication::ensure_rank_coverage(
+                &mut layout.slice_homes,
+                &layout.slices,
+                ndpus,
+                dpus_per_rank,
+                2,
+                bytes_per_point,
+                mram_budget,
+            );
+            layout.recompute_dpu_slices();
+            layout
+                .validate(&clusters)
+                .map_err(BuildError::MramOverflow)?;
+        }
 
         // Slice payloads.
         let slice_data: Vec<SliceData> = layout
@@ -291,19 +317,39 @@ impl DrimEngine {
             slice_data,
             dpu_centroids,
             fault_batch: 0,
+            nprobe_override: None,
         };
 
         // CI fault matrix: `DRIM_ANN_FAULT_SEED` arms the injector on every
         // engine so the whole test suite exercises the recovery path with
         // no per-test wiring; `DRIM_ANN_FAULT_RATE` tunes severity (1% by
-        // default). Unset (the normal case) leaves the engine untouched.
+        // default). `DRIM_ANN_FAULT_RANKS` additionally attaches a rank
+        // topology with seeded whole-rank fail-stop (rate
+        // `DRIM_ANN_FAULT_RANK_RATE`, default 25%, active from batch
+        // `DRIM_ANN_FAULT_RANK_FROM`, default 0) — the CI rank-failure
+        // matrix. Unset (the normal case) leaves the engine untouched.
         if let Ok(seed) = std::env::var("DRIM_ANN_FAULT_SEED") {
             if let Ok(seed) = seed.trim().parse::<u64>() {
-                let rate = std::env::var("DRIM_ANN_FAULT_RATE")
+                let envf = |key: &str| {
+                    std::env::var(key)
+                        .ok()
+                        .and_then(|v| v.trim().parse::<f64>().ok())
+                };
+                let rate = envf("DRIM_ANN_FAULT_RATE").unwrap_or(0.01);
+                let mut fc = FaultConfig::uniform(seed, rate);
+                if let Some(ranks) = std::env::var("DRIM_ANN_FAULT_RANKS")
                     .ok()
-                    .and_then(|r| r.trim().parse::<f64>().ok())
-                    .unwrap_or(0.01);
-                engine.inject_faults(FaultConfig::uniform(seed, rate))?;
+                    .and_then(|v| v.trim().parse::<usize>().ok())
+                    .filter(|&r| r > 0)
+                {
+                    fc.dpus_per_rank = engine.system.len().div_ceil(ranks);
+                    fc.rank_fail_stop_rate = envf("DRIM_ANN_FAULT_RANK_RATE").unwrap_or(0.25);
+                    fc.rank_kill_from_batch = std::env::var("DRIM_ANN_FAULT_RANK_FROM")
+                        .ok()
+                        .and_then(|v| v.trim().parse::<u64>().ok())
+                        .unwrap_or(0);
+                }
+                engine.inject_faults(fc)?;
             }
         }
         Ok(engine)
@@ -332,6 +378,37 @@ impl DrimEngine {
     /// The current fault batch index.
     pub fn fault_batch(&self) -> u64 {
         self.fault_batch
+    }
+
+    /// Set (or clear) the adaptive `nprobe` override. Serving layers use
+    /// this to degrade probe depth under overload instead of blowing the
+    /// batching deadline; `None` restores the configured `nprobe`.
+    /// Rejects values outside `1..=nlist`.
+    pub fn set_nprobe_override(&mut self, nprobe: Option<usize>) -> Result<(), ConfigError> {
+        if let Some(p) = nprobe {
+            if p == 0 || p > self.cfg.index.nlist {
+                return Err(ConfigError::BadNprobe {
+                    nprobe: p,
+                    nlist: self.cfg.index.nlist,
+                });
+            }
+        }
+        self.nprobe_override = nprobe;
+        Ok(())
+    }
+
+    /// The probe depth the next batch will use (override or configured).
+    pub fn effective_nprobe(&self) -> usize {
+        self.nprobe_override.unwrap_or(self.cfg.index.nprobe)
+    }
+
+    /// DPUs per rank under the configured rank topology (`cfg.ranks`);
+    /// `0` when the engine is monolithic.
+    pub fn dpus_per_rank(&self) -> usize {
+        self.cfg
+            .ranks
+            .map(|r| self.system.len().div_ceil(r))
+            .unwrap_or(0)
     }
 
     /// True when a non-inert fault injector is attached.
@@ -393,7 +470,7 @@ impl DrimEngine {
             queries,
             &self.ivf.coarse,
             &self.ivf.coarse_norms,
-            self.cfg.index.nprobe,
+            self.effective_nprobe(),
             &self.shape,
             &self.host,
         );
@@ -520,7 +597,7 @@ impl DrimEngine {
         // Health is rebuilt per batch (determinism contract); the
         // injector's static fail-stop set is the driver's allocation-time
         // rank scan, so dead DPUs never receive work in the first place.
-        let mut health = DpuHealth::from_injector(&injector, ndpus);
+        let mut health = DpuHealth::from_injector_at(&injector, ndpus, batch);
         let mut stats = FaultStats::default();
 
         // --- CL (host) ---
@@ -528,7 +605,7 @@ impl DrimEngine {
             queries,
             &self.ivf.coarse,
             &self.ivf.coarse_norms,
-            self.cfg.index.nprobe,
+            self.effective_nprobe(),
             &self.shape,
             &self.host,
         );
@@ -756,6 +833,7 @@ impl DrimEngine {
         }
         stats.dead_dpus = health.dead_count();
         stats.quarantined_dpus = health.quarantined_count();
+        stats.dead_ranks = injector.dead_ranks_at(ndpus, batch);
 
         // --- merge on host ---
         let results: Vec<Vec<Neighbor>> = per_query_lists

@@ -174,6 +174,21 @@ impl LayoutPlan {
         }
     }
 
+    /// Rebuild the per-DPU slice lists from `slice_homes` — required after
+    /// a post-pass (e.g. [`duplication::ensure_rank_coverage`]) rewrites
+    /// homes in place. DPU count is preserved; slice order within a DPU is
+    /// canonical (ascending slice index).
+    pub fn recompute_dpu_slices(&mut self) {
+        let ndpus = self.dpu_slices.len();
+        let mut dpu_slices = vec![Vec::new(); ndpus];
+        for (si, homes) in self.slice_homes.iter().enumerate() {
+            for &d in homes {
+                dpu_slices[d].push(si);
+            }
+        }
+        self.dpu_slices = dpu_slices;
+    }
+
     /// Total copies across all slices.
     pub fn total_copies(&self) -> usize {
         self.slice_homes.iter().map(|h| h.len()).sum()
@@ -299,6 +314,35 @@ mod tests {
             balanced.dpu_heat(),
             rr.dpu_heat()
         );
+    }
+
+    #[test]
+    fn rank_coverage_post_pass_keeps_the_plan_valid() {
+        let cs = clusters();
+        let mut plan = LayoutPlan::build(&cs, 8, &cfg(), 20, 1 << 20);
+        // 8 DPUs = 4 ranks of 2: force every slice onto >= 2 ranks
+        let rep = duplication::ensure_rank_coverage(
+            &mut plan.slice_homes,
+            &plan.slices,
+            8,
+            2,
+            2,
+            20,
+            1 << 20,
+        );
+        assert_eq!(
+            rep.uncovered, 0,
+            "plenty of headroom: all slices repairable"
+        );
+        plan.recompute_dpu_slices();
+        plan.validate(&cs).unwrap();
+        assert!(duplication::min_rank_span(&plan.slice_homes, 2) >= 2);
+        // dpu_slices is consistent with slice_homes again
+        for (d, ss) in plan.dpu_slices.iter().enumerate() {
+            for &si in ss {
+                assert!(plan.slice_homes[si].contains(&d));
+            }
+        }
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod perf_model;
 pub mod recovery;
 pub mod report;
 pub mod sched;
+pub mod shard;
 pub mod sqt;
 pub mod trace;
 pub mod wram;
@@ -63,4 +64,5 @@ pub mod wram;
 pub use config::{ConfigError, EngineConfig, IndexConfig, RecoveryConfig};
 pub use engine::DrimEngine;
 pub use report::{BatchReport, FaultStats};
+pub use shard::{RoutePlan, ShardConfig, ShardError, ShardPlan};
 pub use upmem_sim::meter::Phase;

@@ -51,9 +51,18 @@ impl DpuHealth {
     /// static fail-stop set is marked dead up front, so dispatch routes
     /// around dead DPUs instead of discovering them by timeout.
     pub fn from_injector(inj: &FaultInjector, ndpus: usize) -> Self {
+        Self::from_injector_at(inj, ndpus, 0)
+    }
+
+    /// [`Self::from_injector`] evaluated at batch `batch`: additionally
+    /// marks every DPU of a rank the injector's rank fail-stop draw has
+    /// killed by that batch (`rank_kill_from_batch` gates when drawn rank
+    /// deaths take effect, so a mid-run kill shows up here from its
+    /// activation batch onward).
+    pub fn from_injector_at(inj: &FaultInjector, ndpus: usize, batch: u64) -> Self {
         let mut h = Self::new(ndpus);
         for d in 0..ndpus {
-            h.dead[d] = inj.is_fail_stop(d);
+            h.dead[d] = inj.is_fail_stop_at(d, batch);
         }
         h
     }
@@ -149,6 +158,26 @@ mod tests {
         for d in 0..64 {
             assert_eq!(scanned.is_banned(d), dead.contains(&d));
         }
+    }
+
+    #[test]
+    fn rank_kill_bans_the_whole_rank_from_its_batch() {
+        // 8 DPUs in 4 ranks of 2; kill takes effect at batch 2
+        let inj = FaultInjector::new(FaultConfig::rank_kill(0xD1, 0.5, 2, 2)).unwrap();
+        let dead_ranks: Vec<usize> = (0..4).filter(|&r| inj.is_rank_fail_stop(r, 2)).collect();
+        assert!(!dead_ranks.is_empty() && dead_ranks.len() < 4);
+        let before = DpuHealth::from_injector_at(&inj, 8, 1);
+        assert_eq!(before.dead_count(), 0, "no deaths before the kill batch");
+        let after = DpuHealth::from_injector_at(&inj, 8, 2);
+        assert_eq!(after.dead_count(), 2 * dead_ranks.len());
+        for d in 0..8 {
+            assert_eq!(after.is_banned(d), dead_ranks.contains(&(d / 2)));
+        }
+        // batch 0 form is the batch-0 evaluation
+        assert_eq!(
+            DpuHealth::from_injector(&inj, 8),
+            DpuHealth::from_injector_at(&inj, 8, 0)
+        );
     }
 
     #[test]

@@ -11,6 +11,9 @@ use upmem_sim::tasklet::LockStats;
 pub struct FaultStats {
     /// Known fail-stopped DPUs (allocation-time scan + runtime discovery).
     pub dead_dpus: usize,
+    /// Whole ranks dead under the injector's rank topology this batch
+    /// (their DPUs are included in `dead_dpus`). 0 without a topology.
+    pub dead_ranks: usize,
     /// DPUs quarantined during this batch after repeated transient faults.
     pub quarantined_dpus: usize,
     /// Dispatch waves that hit a dead DPU at runtime (0 when the dead set
@@ -147,8 +150,9 @@ impl BatchReport {
     pub fn summary(&self) -> String {
         let fault = if self.fault.active() {
             format!(
-                " faults[dead={} quar={} straggle={} corrupt={} retried={} hedged={} fallback={} dropped={} loss<={:.4}]",
+                " faults[dead={} ranks={} quar={} straggle={} corrupt={} retried={} hedged={} fallback={} dropped={} loss<={:.4}]",
                 self.fault.dead_dpus,
+                self.fault.dead_ranks,
                 self.fault.quarantined_dpus,
                 self.fault.stragglers,
                 self.fault.corruptions,

@@ -1,0 +1,580 @@
+//! Rank-level sharding: partition the IVF index across R PIM ranks
+//! (DIMMs), replicate hot clusters UpANNS-style, and route each query's
+//! probe set to minimize the max-loaded rank.
+//!
+//! This module models the *scale-out* layer above the per-DPU layout: a
+//! rank is the fault and provisioning domain (a DIMM that can die or be
+//! added whole), so placement and routing here decide what a rank
+//! fail-stop costs. The pipeline:
+//!
+//! 1. [`ShardPlan::build`] — heat-ordered placement of clusters onto
+//!    ranks; the hottest `replicate_top` fraction gets `replicas` homes on
+//!    distinct ranks (each home carries `heat / copies`).
+//! 2. [`route`] — per batch, LPT-greedy assignment of every (query,
+//!    cluster) probe to the least-loaded surviving home rank.
+//! 3. Failover — a dead rank simply drops out of the candidate set. With
+//!    [`ShardPlan::min_replication`] `>= 2` any single rank death is
+//!    lossless; otherwise the probes whose every home died land in
+//!    [`RoutePlan::lost`] and bound the recall degradation.
+//! 4. [`ShardPlan::re_replicate`] — background repair: clusters left
+//!    under-replicated by a death get new homes on surviving ranks.
+//!
+//! **Determinism contract.** Every decision is a pure function of its
+//! inputs with fully specified tie-breaks (heat descending, then id
+//! ascending; ranks by load, then id). No RNG, no iteration-order
+//! dependence — routed batches are bit-identical across host thread
+//! counts and repeated runs.
+
+use std::collections::HashSet;
+
+/// A rejected sharding request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardError {
+    /// `ranks` must be at least 1.
+    ZeroRanks,
+    /// `replicas` must be at least 1 (a cluster needs a home).
+    ZeroReplicas,
+    /// `replicate_top` must lie in `[0, 1]`.
+    BadReplicateTop,
+    /// Routing found no surviving rank (every rank is dead).
+    NoSurvivingRank,
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::ZeroRanks => write!(f, "ranks must be at least 1"),
+            ShardError::ZeroReplicas => write!(f, "replicas must be at least 1"),
+            ShardError::BadReplicateTop => write!(f, "replicate_top must lie in [0, 1]"),
+            ShardError::NoSurvivingRank => write!(f, "every rank is dead; nothing can route"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Cluster-to-rank placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardPlacement {
+    /// Cluster `i` goes to rank `i % ranks` (heat-blind; replica homes on
+    /// the following ranks) — the naive baseline.
+    RoundRobin,
+    /// Heat-descending greedy: each cluster lands on the currently
+    /// least-loaded rank(s) — the skew-aware placement.
+    HeatBalanced,
+}
+
+/// Sharding configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardConfig {
+    /// Number of ranks to shard over.
+    pub ranks: usize,
+    /// Placement policy.
+    pub placement: ShardPlacement,
+    /// Homes per replicated cluster (capped at `ranks`; always on
+    /// distinct ranks).
+    pub replicas: usize,
+    /// Fraction of clusters (by heat rank) that get `replicas` homes;
+    /// the rest get one. `1.0` replicates everything — the lossless
+    /// configuration for single-rank failures when `replicas >= 2`.
+    pub replicate_top: f64,
+}
+
+impl ShardConfig {
+    /// Skew-aware placement with every cluster on `replicas` ranks — the
+    /// configuration under which any single rank death is lossless
+    /// (`replicas >= 2`).
+    pub fn replicated(ranks: usize, replicas: usize) -> Self {
+        ShardConfig {
+            ranks,
+            placement: ShardPlacement::HeatBalanced,
+            replicas,
+            replicate_top: 1.0,
+        }
+    }
+
+    /// The naive baseline: round-robin, no replication.
+    pub fn naive(ranks: usize) -> Self {
+        ShardConfig {
+            ranks,
+            placement: ShardPlacement::RoundRobin,
+            replicas: 1,
+            replicate_top: 0.0,
+        }
+    }
+
+    fn validate(&self) -> Result<(), ShardError> {
+        if self.ranks == 0 {
+            return Err(ShardError::ZeroRanks);
+        }
+        if self.replicas == 0 {
+            return Err(ShardError::ZeroReplicas);
+        }
+        if !(0.0..=1.0).contains(&self.replicate_top) || self.replicate_top.is_nan() {
+            return Err(ShardError::BadReplicateTop);
+        }
+        Ok(())
+    }
+}
+
+/// The cluster-to-rank placement.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// For every cluster, the ranks hosting a replica (>= 1, distinct,
+    /// ascending).
+    pub cluster_ranks: Vec<Vec<usize>>,
+    /// Placement-time heat per rank (each home carries `heat / copies`).
+    pub rank_heat: Vec<f64>,
+    /// The per-cluster heat the plan was built from.
+    pub cluster_heat: Vec<f64>,
+}
+
+impl ShardPlan {
+    /// Place `cluster_heat.len()` clusters onto ranks under `cfg`.
+    pub fn build(cluster_heat: &[f64], cfg: &ShardConfig) -> Result<ShardPlan, ShardError> {
+        cfg.validate()?;
+        let n = cluster_heat.len();
+        let copies_max = cfg.replicas.min(cfg.ranks);
+        // heat-descending order decides who counts as "hot"
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            cluster_heat[b]
+                .partial_cmp(&cluster_heat[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let hot_count = (cfg.replicate_top * n as f64).ceil() as usize;
+
+        let mut cluster_ranks = vec![Vec::new(); n];
+        let mut rank_heat = vec![0.0f64; cfg.ranks];
+        for (pos, &c) in order.iter().enumerate() {
+            let copies = if pos < hot_count { copies_max } else { 1 };
+            let share = cluster_heat[c] / copies as f64;
+            let mut homes: Vec<usize> = match cfg.placement {
+                ShardPlacement::RoundRobin => (0..copies).map(|k| (c + k) % cfg.ranks).collect(),
+                ShardPlacement::HeatBalanced => {
+                    // `copies` least-loaded ranks (ties by id)
+                    let mut by_load: Vec<usize> = (0..cfg.ranks).collect();
+                    by_load.sort_by(|&a, &b| {
+                        rank_heat[a]
+                            .partial_cmp(&rank_heat[b])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.cmp(&b))
+                    });
+                    by_load.into_iter().take(copies).collect()
+                }
+            };
+            homes.sort_unstable();
+            homes.dedup();
+            for &r in &homes {
+                rank_heat[r] += share;
+            }
+            cluster_ranks[c] = homes;
+        }
+        Ok(ShardPlan {
+            ranks: cfg.ranks,
+            cluster_ranks,
+            rank_heat,
+            cluster_heat: cluster_heat.to_vec(),
+        })
+    }
+
+    /// Smallest replica count over all clusters (`usize::MAX` when there
+    /// are no clusters). `>= 2` makes any single rank death lossless.
+    pub fn min_replication(&self) -> usize {
+        self.cluster_ranks
+            .iter()
+            .map(|h| h.len())
+            .min()
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Placement-time load imbalance over ranks (max/mean).
+    pub fn imbalance(&self) -> f64 {
+        upmem_sim::stats::imbalance(&self.rank_heat)
+    }
+
+    /// Clusters whose *surviving* replica count (homes outside `dead`) is
+    /// below `floor` — the re-replication work list, hottest first (ties
+    /// by id).
+    pub fn under_replicated(&self, dead: &[bool], floor: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .cluster_ranks
+            .iter()
+            .enumerate()
+            .filter(|(_, homes)| {
+                homes
+                    .iter()
+                    .filter(|&&r| !dead.get(r).copied().unwrap_or(false))
+                    .count()
+                    < floor
+            })
+            .map(|(c, _)| c)
+            .collect();
+        out.sort_by(|&a, &b| {
+            self.cluster_heat[b]
+                .partial_cmp(&self.cluster_heat[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        out
+    }
+
+    /// Background re-replication after a rank death: give every
+    /// under-replicated cluster new homes on surviving ranks until it has
+    /// `floor` surviving replicas (or no surviving rank remains to add).
+    /// Dead homes stay recorded — a repaired rank coming back would find
+    /// them — but carry no routed load. Deterministic: work list from
+    /// [`Self::under_replicated`], destinations by (load, id).
+    pub fn re_replicate(&mut self, dead: &[bool], floor: usize) -> ReplicationRepair {
+        let mut repair = ReplicationRepair::default();
+        for c in self.under_replicated(dead, floor) {
+            loop {
+                let alive: Vec<usize> = self.cluster_ranks[c]
+                    .iter()
+                    .copied()
+                    .filter(|&r| !dead.get(r).copied().unwrap_or(false))
+                    .collect();
+                if alive.len() >= floor {
+                    break;
+                }
+                let dest = (0..self.ranks)
+                    .filter(|&r| !dead.get(r).copied().unwrap_or(false))
+                    .filter(|r| !self.cluster_ranks[c].contains(r))
+                    .min_by(|&a, &b| {
+                        self.rank_heat[a]
+                            .partial_cmp(&self.rank_heat[b])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.cmp(&b))
+                    });
+                let Some(dest) = dest else {
+                    repair.unrepairable += 1;
+                    break;
+                };
+                let share = self.cluster_heat[c] / (self.cluster_ranks[c].len() + 1) as f64;
+                self.cluster_ranks[c].push(dest);
+                self.cluster_ranks[c].sort_unstable();
+                self.rank_heat[dest] += share;
+                repair.new_homes += 1;
+                repair.moved_heat += share;
+                repair.repaired.insert(c);
+            }
+        }
+        repair
+    }
+}
+
+/// Outcome of [`ShardPlan::re_replicate`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReplicationRepair {
+    /// Clusters that received at least one new home.
+    pub repaired: HashSet<usize>,
+    /// Total new homes created.
+    pub new_homes: usize,
+    /// Heat the new homes now carry (bytes copied is proportional).
+    pub moved_heat: f64,
+    /// Clusters that could not reach the floor (not enough surviving
+    /// ranks).
+    pub unrepairable: usize,
+}
+
+/// One routed batch: every (query, cluster) probe assigned to a rank.
+#[derive(Debug, Clone, Default)]
+pub struct RoutePlan {
+    /// Per rank, the `(query, cluster)` probes it scans this batch.
+    pub per_rank: Vec<Vec<(u32, u32)>>,
+    /// Accumulated probe cost per rank.
+    pub rank_load: Vec<f64>,
+    /// Probes whose every home rank is dead — the boundedly-degraded
+    /// remainder (empty whenever replication covers the death pattern).
+    pub lost: Vec<(u32, u32)>,
+}
+
+impl RoutePlan {
+    /// Probes assigned to surviving ranks.
+    pub fn assigned(&self) -> usize {
+        self.per_rank.iter().map(|p| p.len()).sum()
+    }
+
+    /// Max rank load — the rank-synchronous barrier time in cost units.
+    pub fn makespan(&self) -> f64 {
+        upmem_sim::stats::max(&self.rank_load).max(0.0)
+    }
+
+    /// Max/mean load over ranks.
+    pub fn imbalance(&self) -> f64 {
+        upmem_sim::stats::imbalance(&self.rank_load)
+    }
+}
+
+fn route_inner(
+    probes_per_query: &[Vec<u32>],
+    plan: &ShardPlan,
+    cost: impl Fn(u32) -> f64,
+    dead: Option<&[bool]>,
+    balance: bool,
+) -> Result<RoutePlan, ShardError> {
+    let is_dead = |r: usize| {
+        dead.map(|d| d.get(r).copied().unwrap_or(false))
+            .unwrap_or(false)
+    };
+    if (0..plan.ranks).all(is_dead) {
+        return Err(ShardError::NoSurvivingRank);
+    }
+    let mut probes: Vec<(u32, u32, f64)> = Vec::new();
+    for (qi, ps) in probes_per_query.iter().enumerate() {
+        for &c in ps {
+            probes.push((qi as u32, c, cost(c)));
+        }
+    }
+    if balance {
+        // LPT: heaviest probes first, ties by (query, cluster) for full
+        // determinism
+        probes.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then((a.0, a.1).cmp(&(b.0, b.1)))
+        });
+    }
+    let mut out = RoutePlan {
+        per_rank: vec![Vec::new(); plan.ranks],
+        rank_load: vec![0.0; plan.ranks],
+        lost: Vec::new(),
+    };
+    for (q, c, w) in probes {
+        let homes = &plan.cluster_ranks[c as usize];
+        let dest = if balance {
+            // least-loaded surviving home (ties by rank id)
+            homes
+                .iter()
+                .copied()
+                .filter(|&r| !is_dead(r))
+                .min_by(|&a, &b| {
+                    out.rank_load[a]
+                        .partial_cmp(&out.rank_load[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                })
+        } else {
+            // primary: first surviving home in placement order
+            homes.iter().copied().find(|&r| !is_dead(r))
+        };
+        match dest {
+            Some(r) => {
+                out.per_rank[r].push((q, c));
+                out.rank_load[r] += w;
+            }
+            None => out.lost.push((q, c)),
+        }
+    }
+    Ok(out)
+}
+
+/// Route a batch's probe sets onto ranks, minimizing the max-loaded rank:
+/// heaviest-probe-first greedy over each cluster's surviving home ranks.
+/// `dead` marks failed ranks (None = all alive); probes whose every home
+/// is dead land in [`RoutePlan::lost`] instead of failing the batch.
+/// Errors only when *every* rank is dead.
+pub fn route(
+    probes_per_query: &[Vec<u32>],
+    plan: &ShardPlan,
+    cost: impl Fn(u32) -> f64,
+    dead: Option<&[bool]>,
+) -> Result<RoutePlan, ShardError> {
+    route_inner(probes_per_query, plan, cost, dead, true)
+}
+
+/// The naive router: every probe to its cluster's first surviving home,
+/// in probe order — no load balancing. The baseline [`route`] is measured
+/// against.
+pub fn route_primary(
+    probes_per_query: &[Vec<u32>],
+    plan: &ShardPlan,
+    cost: impl Fn(u32) -> f64,
+    dead: Option<&[bool]>,
+) -> Result<RoutePlan, ShardError> {
+    route_inner(probes_per_query, plan, cost, dead, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zipf_heat(n: usize, s: f64) -> Vec<f64> {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(s)).collect()
+    }
+
+    #[test]
+    fn config_validation() {
+        assert_eq!(
+            ShardPlan::build(&[1.0], &ShardConfig::naive(0)).unwrap_err(),
+            ShardError::ZeroRanks
+        );
+        let mut c = ShardConfig::replicated(4, 2);
+        c.replicas = 0;
+        assert_eq!(
+            ShardPlan::build(&[1.0], &c).unwrap_err(),
+            ShardError::ZeroReplicas
+        );
+        let mut c = ShardConfig::replicated(4, 2);
+        c.replicate_top = 1.5;
+        assert_eq!(
+            ShardPlan::build(&[1.0], &c).unwrap_err(),
+            ShardError::BadReplicateTop
+        );
+        assert!(ShardError::ZeroRanks.to_string().contains("at least 1"));
+    }
+
+    #[test]
+    fn replicated_plan_spans_distinct_ranks() {
+        let heat = zipf_heat(32, 1.2);
+        let plan = ShardPlan::build(&heat, &ShardConfig::replicated(4, 2)).unwrap();
+        assert_eq!(plan.min_replication(), 2);
+        for homes in &plan.cluster_ranks {
+            assert_eq!(homes.len(), 2);
+            assert!(homes[0] < homes[1], "homes distinct and sorted: {homes:?}");
+            assert!(homes.iter().all(|&r| r < 4));
+        }
+        // replicas capped at rank count
+        let plan = ShardPlan::build(&heat, &ShardConfig::replicated(2, 8)).unwrap();
+        assert_eq!(plan.min_replication(), 2);
+    }
+
+    #[test]
+    fn heat_balanced_beats_round_robin_placement() {
+        let heat = zipf_heat(64, 1.2);
+        let hb = ShardPlan::build(&heat, &ShardConfig::replicated(4, 2)).unwrap();
+        let rr = ShardPlan::build(
+            &heat,
+            &ShardConfig {
+                placement: ShardPlacement::RoundRobin,
+                ..ShardConfig::replicated(4, 2)
+            },
+        )
+        .unwrap();
+        assert!(
+            hb.imbalance() <= rr.imbalance() + 1e-9,
+            "hb {} rr {}",
+            hb.imbalance(),
+            rr.imbalance()
+        );
+    }
+
+    #[test]
+    fn router_assigns_every_probe_exactly_once() {
+        let heat = zipf_heat(16, 1.0);
+        let plan = ShardPlan::build(&heat, &ShardConfig::replicated(4, 2)).unwrap();
+        let probes: Vec<Vec<u32>> = (0..10u32).map(|q| vec![q % 16, (q + 3) % 16]).collect();
+        let rp = route(&probes, &plan, |c| heat[c as usize], None).unwrap();
+        assert_eq!(rp.assigned() + rp.lost.len(), 20);
+        assert!(rp.lost.is_empty());
+        // every routed probe sits on a home of its cluster
+        for (r, ps) in rp.per_rank.iter().enumerate() {
+            for &(_, c) in ps {
+                assert!(plan.cluster_ranks[c as usize].contains(&r));
+            }
+        }
+        // determinism
+        let rp2 = route(&probes, &plan, |c| heat[c as usize], None).unwrap();
+        assert_eq!(format!("{rp:?}"), format!("{rp2:?}"));
+    }
+
+    #[test]
+    fn balanced_router_beats_primary_under_skew() {
+        let heat = zipf_heat(32, 1.3);
+        let plan = ShardPlan::build(&heat, &ShardConfig::replicated(4, 2)).unwrap();
+        // heavy skew: everyone probes the hottest clusters
+        let probes: Vec<Vec<u32>> = (0..64u32).map(|_| vec![0, 1, 2]).collect();
+        let balanced = route(&probes, &plan, |c| heat[c as usize], None).unwrap();
+        let primary = route_primary(&probes, &plan, |c| heat[c as usize], None).unwrap();
+        assert!(
+            balanced.makespan() <= primary.makespan() + 1e-12,
+            "balanced {} primary {}",
+            balanced.makespan(),
+            primary.makespan()
+        );
+        assert!(balanced.imbalance() <= primary.imbalance() + 1e-9);
+    }
+
+    #[test]
+    fn failover_is_lossless_at_replication_two() {
+        let heat = zipf_heat(24, 1.2);
+        let plan = ShardPlan::build(&heat, &ShardConfig::replicated(4, 2)).unwrap();
+        let probes: Vec<Vec<u32>> = (0..20u32).map(|q| vec![q % 24]).collect();
+        for dead_rank in 0..4 {
+            let mut dead = vec![false; 4];
+            dead[dead_rank] = true;
+            let rp = route(&probes, &plan, |c| heat[c as usize], Some(&dead)).unwrap();
+            assert!(rp.lost.is_empty(), "rank {dead_rank} death lost probes");
+            assert_eq!(rp.assigned(), 20);
+            assert!(rp.per_rank[dead_rank].is_empty(), "dead rank got work");
+        }
+        // all ranks dead is a typed error
+        assert_eq!(
+            route(&probes, &plan, |c| heat[c as usize], Some(&[true; 4])).unwrap_err(),
+            ShardError::NoSurvivingRank
+        );
+    }
+
+    #[test]
+    fn unreplicated_loss_is_accounted_not_dropped() {
+        let heat = zipf_heat(8, 1.0);
+        let plan = ShardPlan::build(&heat, &ShardConfig::naive(4)).unwrap();
+        assert_eq!(plan.min_replication(), 1);
+        let probes: Vec<Vec<u32>> = (0..8u32).map(|q| vec![q]).collect();
+        let mut dead = vec![false; 4];
+        dead[0] = true;
+        let rp = route(&probes, &plan, |c| heat[c as usize], Some(&dead)).unwrap();
+        // round-robin: clusters 0 and 4 lived only on rank 0
+        assert_eq!(rp.lost.len(), 2);
+        assert_eq!(rp.assigned(), 6);
+        let lost_clusters: Vec<u32> = rp.lost.iter().map(|&(_, c)| c).collect();
+        assert!(lost_clusters.contains(&0) && lost_clusters.contains(&4));
+    }
+
+    #[test]
+    fn re_replication_restores_the_floor() {
+        let heat = zipf_heat(16, 1.2);
+        let mut plan = ShardPlan::build(&heat, &ShardConfig::replicated(4, 2)).unwrap();
+        let mut dead = vec![false; 4];
+        dead[1] = true;
+        let before = plan.under_replicated(&dead, 2);
+        assert!(!before.is_empty(), "rank 1 hosted something");
+        // hottest first in the work list
+        for w in before.windows(2) {
+            assert!(heat[w[0]] >= heat[w[1]]);
+        }
+        let rep = plan.re_replicate(&dead, 2);
+        assert_eq!(rep.new_homes, before.len());
+        assert_eq!(rep.repaired.len(), before.len());
+        assert_eq!(rep.unrepairable, 0);
+        assert!(rep.moved_heat > 0.0);
+        assert!(plan.under_replicated(&dead, 2).is_empty());
+        // new homes are on surviving ranks only
+        for c in &rep.repaired {
+            let alive = plan.cluster_ranks[*c].iter().filter(|&&r| !dead[r]).count();
+            assert!(alive >= 2);
+        }
+        // an impossible floor reports unrepairable clusters
+        let mut tiny = ShardPlan::build(&heat, &ShardConfig::replicated(2, 2)).unwrap();
+        let rep = tiny.re_replicate(&[true, false], 2);
+        assert_eq!(rep.unrepairable, 16);
+    }
+
+    #[test]
+    fn routing_after_repair_is_lossless_again() {
+        let heat = zipf_heat(12, 1.1);
+        let mut plan = ShardPlan::build(&heat, &ShardConfig::naive(4)).unwrap();
+        let probes: Vec<Vec<u32>> = (0..12u32).map(|q| vec![q]).collect();
+        let mut dead = vec![false; 4];
+        dead[2] = true;
+        let broken = route(&probes, &plan, |c| heat[c as usize], Some(&dead)).unwrap();
+        assert!(!broken.lost.is_empty());
+        plan.re_replicate(&dead, 1);
+        let repaired = route(&probes, &plan, |c| heat[c as usize], Some(&dead)).unwrap();
+        assert!(repaired.lost.is_empty());
+        assert_eq!(repaired.assigned(), 12);
+    }
+}

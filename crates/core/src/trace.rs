@@ -254,7 +254,7 @@ impl TraceRunner {
         let injector = self.system.fault.clone().filter(|f| !f.is_inert());
         let mut health = injector
             .as_ref()
-            .map(|inj| DpuHealth::from_injector(inj, ndpus));
+            .map(|inj| DpuHealth::from_injector_at(inj, ndpus, batch_seed));
         let banned = health.as_ref().map(|h| h.banned());
         let mut plan =
             sched::schedule_filtered(&tasks, &self.layout, ndpus, policy, None, banned.as_deref());
@@ -521,6 +521,9 @@ impl TraceRunner {
         if let Some(h) = &health {
             stats.dead_dpus = h.dead_count();
             stats.quarantined_dpus = h.quarantined_count();
+            if let Some(inj) = &injector {
+                stats.dead_ranks = inj.dead_ranks_at(ndpus, batch_seed);
+            }
         }
 
         let timing = self
@@ -667,6 +670,34 @@ mod tests {
         let mut bad = FaultConfig::none();
         bad.straggler_rate = -1.0;
         assert!(a.inject_faults(bad).is_err());
+    }
+
+    #[test]
+    fn rank_kill_in_a_trace_is_survivable_and_accounted() {
+        let build = || TraceRunner::build(spec(500_000), cfg(), PimArch::upmem_sc25(), 32);
+        // 32 DPUs in 4 ranks of 8; a 60% rank draw kills some but not all
+        // ranks from batch 3 on.
+        let rank_cfg = FaultConfig::rank_kill(0xD1, 0.6, 8, 3);
+        let mut a = build();
+        a.inject_faults(rank_cfg).unwrap();
+        let before = a.run_batch(2);
+        assert_eq!(before.fault.dead_ranks, 0, "kill gated on batch 3");
+        let after = a.run_batch(5);
+        assert!(after.fault.dead_ranks > 0, "some rank dies at 60%");
+        assert!(after.fault.dead_ranks < 4, "not all ranks die at 60%");
+        assert_eq!(after.fault.dead_dpus, after.fault.dead_ranks * 8);
+        // the duplicated layout absorbs the loss: work lands on survivors,
+        // nothing is dropped, and the run stays deterministic
+        assert_eq!(after.fault.dropped_tasks, 0, "replicas cover dead ranks");
+        assert_eq!(after.queries, 64);
+        let mut b = build();
+        b.inject_faults(rank_cfg).unwrap();
+        b.run_batch(2);
+        let rb = b.run_batch(5);
+        assert_eq!(format!("{after:?}"), format!("{rb:?}"));
+        assert!(after
+            .summary()
+            .contains(&format!("ranks={}", after.fault.dead_ranks)));
     }
 
     #[test]

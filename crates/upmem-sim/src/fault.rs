@@ -12,6 +12,11 @@
 //! * **Corruption** — a DPU's gathered results arrive damaged; detectable
 //!   because every result block carries a [`result_checksum`]. Transient,
 //!   redrawn per `(batch, attempt)`.
+//! * **Rank fail-stop** — a whole rank (DIMM) of
+//!   [`FaultConfig::dpus_per_rank`] consecutive DPUs dies at once, from
+//!   batch [`FaultConfig::rank_kill_from_batch`] onward (a mid-run DIMM
+//!   loss). The dead-rank set is drawn once from the seed as a function of
+//!   the rank id only, so a killed rank stays dead for the rest of the run.
 //!
 //! **Determinism contract.** Every draw is a pure stateless hash of
 //! `(seed, salt, dpu, batch, attempt)` — there is no shared RNG stream, so
@@ -94,6 +99,16 @@ pub struct FaultConfig {
     pub slowdown: SlowdownDist,
     /// Per-wave probability a DPU's gathered results are corrupted.
     pub corruption_rate: f64,
+    /// Probability a whole rank fail-stops. Requires a rank topology
+    /// (`dpus_per_rank >= 1`) when nonzero.
+    pub rank_fail_stop_rate: f64,
+    /// Rank topology: DPU `d` belongs to rank `d / dpus_per_rank`.
+    /// `0` means "no rank topology" (valid only while
+    /// `rank_fail_stop_rate` is zero).
+    pub dpus_per_rank: usize,
+    /// Batch index from which drawn rank deaths take effect — the
+    /// "mid-run" knob. `0` kills them from the start.
+    pub rank_kill_from_batch: u64,
 }
 
 /// Rejected fault configuration.
@@ -103,6 +118,9 @@ pub enum FaultConfigError {
     BadRate,
     /// The slowdown distribution is malformed (factors must be >= 1).
     BadSlowdown,
+    /// `rank_fail_stop_rate` is nonzero but no rank topology was given
+    /// (`dpus_per_rank` is 0).
+    MissingRankTopology,
 }
 
 impl std::fmt::Display for FaultConfigError {
@@ -111,6 +129,12 @@ impl std::fmt::Display for FaultConfigError {
             FaultConfigError::BadRate => write!(f, "fault rates must lie in [0, 1]"),
             FaultConfigError::BadSlowdown => {
                 write!(f, "slowdown distribution must produce factors >= 1")
+            }
+            FaultConfigError::MissingRankTopology => {
+                write!(
+                    f,
+                    "rank_fail_stop_rate requires dpus_per_rank >= 1 (a rank topology)"
+                )
             }
         }
     }
@@ -127,11 +151,14 @@ impl FaultConfig {
             straggler_rate: 0.0,
             slowdown: SlowdownDist::default(),
             corruption_rate: 0.0,
+            rank_fail_stop_rate: 0.0,
+            dpus_per_rank: 0,
+            rank_kill_from_batch: 0,
         }
     }
 
     /// Every fault class at `rate` with the default slowdown distribution —
-    /// the CI fault-matrix configuration.
+    /// the CI fault-matrix configuration. Rank faults stay off.
     pub fn uniform(seed: u64, rate: f64) -> Self {
         FaultConfig {
             seed,
@@ -139,19 +166,36 @@ impl FaultConfig {
             straggler_rate: rate,
             slowdown: SlowdownDist::default(),
             corruption_rate: rate,
+            ..FaultConfig::none()
         }
     }
 
-    /// Check rates and the slowdown distribution.
+    /// Rank-failure-only configuration over a `dpus_per_rank` topology:
+    /// each rank dies with probability `rate`, from `from_batch` onward.
+    pub fn rank_kill(seed: u64, rate: f64, dpus_per_rank: usize, from_batch: u64) -> Self {
+        FaultConfig {
+            seed,
+            rank_fail_stop_rate: rate,
+            dpus_per_rank,
+            rank_kill_from_batch: from_batch,
+            ..FaultConfig::none()
+        }
+    }
+
+    /// Check rates, the slowdown distribution, and the rank topology.
     pub fn validate(&self) -> Result<(), FaultConfigError> {
         for r in [
             self.fail_stop_rate,
             self.straggler_rate,
             self.corruption_rate,
+            self.rank_fail_stop_rate,
         ] {
             if !(0.0..=1.0).contains(&r) || !r.is_finite() {
                 return Err(FaultConfigError::BadRate);
             }
+        }
+        if self.rank_fail_stop_rate > 0.0 && self.dpus_per_rank == 0 {
+            return Err(FaultConfigError::MissingRankTopology);
         }
         self.slowdown.validate()
     }
@@ -171,6 +215,7 @@ pub enum FaultOutcome {
 }
 
 const SALT_FAIL_STOP: u64 = 0xFA11_5707;
+const SALT_RANK_FAIL_STOP: u64 = 0xDEAD_D133;
 const SALT_STRAGGLER: u64 = 0x57A6_6153;
 const SALT_SLOWDOWN: u64 = 0x510E_D0E1;
 const SALT_CORRUPT: u64 = 0xC0EE_0B71;
@@ -216,6 +261,7 @@ impl FaultInjector {
         self.cfg.fail_stop_rate == 0.0
             && self.cfg.straggler_rate == 0.0
             && self.cfg.corruption_rate == 0.0
+            && self.cfg.rank_fail_stop_rate == 0.0
     }
 
     fn unit(&self, salt: u64, dpu: u64, batch: u64, attempt: u64) -> f64 {
@@ -230,10 +276,45 @@ impl FaultInjector {
             && self.unit(SALT_FAIL_STOP, dpu as u64, 0, 0) < self.cfg.fail_stop_rate
     }
 
+    /// The rank a DPU belongs to, or `None` without a rank topology.
+    pub fn rank_of(&self, dpu: usize) -> Option<usize> {
+        (self.cfg.dpus_per_rank > 0).then(|| dpu / self.cfg.dpus_per_rank)
+    }
+
+    /// Is `rank` fail-stopped as of batch `batch`? The dead-rank set is a
+    /// static draw (function of the seed and rank id only); `batch` decides
+    /// whether the mid-run kill has happened yet.
+    pub fn is_rank_fail_stop(&self, rank: usize, batch: u64) -> bool {
+        self.cfg.rank_fail_stop_rate > 0.0
+            && batch >= self.cfg.rank_kill_from_batch
+            && self.unit(SALT_RANK_FAIL_STOP, rank as u64, 0, 0) < self.cfg.rank_fail_stop_rate
+    }
+
+    /// Is `dpu` dead at batch `batch` — either individually fail-stopped or
+    /// resident on a rank that has been killed by then?
+    pub fn is_fail_stop_at(&self, dpu: usize, batch: u64) -> bool {
+        self.is_fail_stop(dpu)
+            || self
+                .rank_of(dpu)
+                .is_some_and(|r| self.is_rank_fail_stop(r, batch))
+    }
+
+    /// Dead ranks as of batch `batch` over a fleet of `ndpus` DPUs.
+    pub fn dead_ranks_at(&self, ndpus: usize, batch: u64) -> usize {
+        if self.cfg.dpus_per_rank == 0 {
+            return 0;
+        }
+        let ranks = ndpus.div_ceil(self.cfg.dpus_per_rank);
+        (0..ranks)
+            .filter(|&r| self.is_rank_fail_stop(r, batch))
+            .count()
+    }
+
     /// Outcome of dispatching to `dpu` in wave `attempt` of batch `batch`.
-    /// At most one fault fires per dispatch; fail-stop dominates.
+    /// At most one fault fires per dispatch; fail-stop (per-DPU or rank)
+    /// dominates.
     pub fn outcome(&self, dpu: usize, batch: u64, attempt: u32) -> FaultOutcome {
-        if self.is_fail_stop(dpu) {
+        if self.is_fail_stop_at(dpu, batch) {
             return FaultOutcome::FailStop;
         }
         let (d, b, a) = (dpu as u64, batch, attempt as u64);
@@ -374,6 +455,54 @@ mod tests {
     fn checksum_is_order_sensitive() {
         assert_ne!(result_checksum([1u64, 2, 3]), result_checksum([3u64, 2, 1]),);
         assert_eq!(result_checksum([]), result_checksum([]));
+    }
+
+    #[test]
+    fn rank_kill_takes_whole_ranks_from_its_batch() {
+        // 16 DPUs in 4 ranks; high rate so some rank dies for this seed
+        let inj = FaultInjector::new(FaultConfig::rank_kill(0xD1, 0.5, 4, 3)).unwrap();
+        assert!(!inj.is_inert());
+        let dead_ranks: Vec<usize> = (0..4).filter(|&r| inj.is_rank_fail_stop(r, 3)).collect();
+        assert!(!dead_ranks.is_empty(), "50% over 4 ranks should kill one");
+        assert!(dead_ranks.len() < 4, "and should not kill all of them");
+        assert_eq!(inj.dead_ranks_at(16, 3), dead_ranks.len());
+        // before the kill batch, nothing is dead
+        for d in 0..16 {
+            assert!(!inj.is_fail_stop_at(d, 2), "dpu {d} dead before the kill");
+            assert_eq!(inj.outcome(d, 2, 0), FaultOutcome::Healthy);
+        }
+        assert_eq!(inj.dead_ranks_at(16, 2), 0);
+        // from the kill batch on, every DPU of a dead rank is dead together
+        for d in 0..16 {
+            let rank_dead = dead_ranks.contains(&(d / 4));
+            assert_eq!(inj.is_fail_stop_at(d, 3), rank_dead);
+            assert_eq!(inj.is_fail_stop_at(d, 99), rank_dead, "dead stays dead");
+            if rank_dead {
+                assert_eq!(inj.outcome(d, 7, 1), FaultOutcome::FailStop);
+            }
+            // the per-DPU draw is untouched by rank faults
+            assert!(!inj.is_fail_stop(d));
+        }
+        assert_eq!(inj.rank_of(7), Some(1));
+        let no_topo = FaultInjector::new(FaultConfig::none()).unwrap();
+        assert_eq!(no_topo.rank_of(7), None);
+        assert_eq!(no_topo.dead_ranks_at(16, 9), 0);
+    }
+
+    #[test]
+    fn zero_rank_rate_leaves_dpu_draws_bit_identical() {
+        // attaching a rank topology without a rank rate must not change any
+        // outcome relative to the plain per-DPU configuration
+        let plain = injector(0.3);
+        let mut cfg = FaultConfig::uniform(0xDEAD, 0.3);
+        cfg.dpus_per_rank = 8;
+        let topo = FaultInjector::new(cfg).unwrap();
+        for d in 0..64 {
+            for b in 0..4 {
+                assert_eq!(plain.outcome(d, b, 0), topo.outcome(d, b, 0));
+                assert_eq!(plain.is_fail_stop_at(d, b), topo.is_fail_stop_at(d, b));
+            }
+        }
     }
 
     #[test]

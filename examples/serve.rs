@@ -44,6 +44,7 @@ fn main() {
         queue_cap: 256,
         tenants: vec![TenantConfig::with_weight(3), TenantConfig::with_weight(1)],
         host_threads: None,
+        ..ServeConfig::default()
     };
     let server = AnnServer::start(engine, cfg).expect("server start");
 

@@ -252,6 +252,53 @@ fn hedging_caps_straggler_tail_latency() {
 }
 
 #[test]
+fn rank_kill_mid_run_is_lossless_and_thread_invariant() {
+    let (data, queries) = workload();
+    let mut clean = engine(&data);
+    let (r0, _) = clean.search_batch(&queries);
+
+    // 8 DPUs in 4 ranks of 2; a 60% rank draw at this seed kills some but
+    // not all ranks, starting mid-run at batch 2.
+    let rank_cfg = FaultConfig::rank_kill(0xD1, 0.6, 2, 2);
+    let mut reference: Option<(ResultBits, String)> = None;
+    for threads in THREAD_COUNTS {
+        let (bits, report, fault) = with_num_threads(threads, || {
+            let mut e = engine(&data);
+            e.inject_faults(rank_cfg).unwrap();
+            e.set_fault_batch(5);
+            let (r, rep) = e.search_batch(&queries);
+            (result_bits(&r), format!("{rep:?}"), rep.fault)
+        });
+        assert!(fault.dead_ranks > 0, "60% must kill a rank: {fault:?}");
+        assert!(fault.dead_ranks < 4, "60% must spare a rank: {fault:?}");
+        assert_eq!(fault.dead_dpus, fault.dead_ranks * 2);
+        // the host fallback makes rank loss lossless: zero failed queries,
+        // results bit-identical to the no-fault run
+        assert_eq!(fault.dropped_tasks, 0, "{fault:?}");
+        assert_eq!(
+            bits,
+            result_bits(&r0),
+            "rank kill lost results at {threads} threads"
+        );
+        match &reference {
+            None => reference = Some((bits, report)),
+            Some((ref_bits, ref_report)) => {
+                assert_eq!(&bits, ref_bits, "results differ at {threads} threads");
+                assert_eq!(&report, ref_report, "report differs at {threads} threads");
+            }
+        }
+    }
+
+    // before the kill batch the same injector is inert rank-wise
+    let mut early = engine(&data);
+    early.inject_faults(rank_cfg).unwrap();
+    early.set_fault_batch(1);
+    let (r1, rep1) = early.search_batch(&queries);
+    assert_eq!(rep1.fault.dead_ranks, 0, "kill gated on batch 2");
+    assert_eq!(result_bits(&r1), result_bits(&r0));
+}
+
+#[test]
 fn trace_runner_fault_reports_are_thread_invariant() {
     let spec = TraceSpec {
         name: "fault-parity-trace".into(),
