@@ -29,6 +29,7 @@ pub mod blockscan;
 pub mod distance;
 pub mod dpq;
 pub mod flat;
+pub mod hash;
 pub mod ivf;
 pub mod kernels;
 pub mod kmeans;

@@ -3,6 +3,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use crate::cache::CacheConfig;
+
 /// Per-tenant admission settings.
 ///
 /// Tenants are identified by their index into [`ServeConfig::tenants`];
@@ -96,6 +98,12 @@ pub struct ServeConfig {
     /// queries. Sizes the per-tenant shares of [`OverloadPolicy::Shed`].
     /// Must be at least 1.
     pub max_queue_batches: usize,
+    /// Hot-query result cache: `Some(..)` enables exact-match caching and
+    /// single-flight collapsing of bit-identical queries (see
+    /// [`crate::cache`] and `docs/CACHING.md`). `None` (the default)
+    /// serves every submit through the engine — bit-identical to the
+    /// pre-cache behavior.
+    pub cache: Option<CacheConfig>,
 }
 
 impl Default for ServeConfig {
@@ -108,6 +116,7 @@ impl Default for ServeConfig {
             host_threads: None,
             overload: OverloadPolicy::None,
             max_queue_batches: 8,
+            cache: None,
         }
     }
 }
@@ -146,6 +155,14 @@ impl ServeConfig {
         if self.overload == (OverloadPolicy::DegradeNprobe { floor: 0 }) {
             return Err(ServeConfigError::ZeroNprobeFloor);
         }
+        if let Some(c) = &self.cache {
+            if c.capacity == 0 {
+                return Err(ServeConfigError::ZeroCacheCapacity);
+            }
+            if c.shards == 0 {
+                return Err(ServeConfigError::ZeroCacheShards);
+            }
+        }
         Ok(())
     }
 }
@@ -172,6 +189,11 @@ pub enum ServeConfigError {
     /// [`OverloadPolicy::DegradeNprobe`] had `floor: 0` — nprobe can never
     /// drop below 1.
     ZeroNprobeFloor,
+    /// The cache was enabled with `capacity: 0` — nothing could ever be
+    /// stored.
+    ZeroCacheCapacity,
+    /// The cache was enabled with `shards: 0` — no shard to store into.
+    ZeroCacheShards,
 }
 
 impl fmt::Display for ServeConfigError {
@@ -194,6 +216,12 @@ impl fmt::Display for ServeConfigError {
             }
             ServeConfigError::ZeroNprobeFloor => {
                 write!(f, "the nprobe degradation floor must be at least 1")
+            }
+            ServeConfigError::ZeroCacheCapacity => {
+                write!(f, "cache capacity must be at least 1 when enabled")
+            }
+            ServeConfigError::ZeroCacheShards => {
+                write!(f, "cache shard count must be at least 1 when enabled")
             }
         }
     }
@@ -244,6 +272,26 @@ mod tests {
         assert_eq!(
             with(&|c| c.overload = OverloadPolicy::DegradeNprobe { floor: 0 }).validate(),
             Err(ServeConfigError::ZeroNprobeFloor)
+        );
+        assert_eq!(
+            with(&|c| c.cache = Some(CacheConfig {
+                capacity: 0,
+                shards: 8
+            }))
+            .validate(),
+            Err(ServeConfigError::ZeroCacheCapacity)
+        );
+        assert_eq!(
+            with(&|c| c.cache = Some(CacheConfig {
+                capacity: 64,
+                shards: 0
+            }))
+            .validate(),
+            Err(ServeConfigError::ZeroCacheShards)
+        );
+        assert_eq!(
+            with(&|c| c.cache = Some(CacheConfig::default())).validate(),
+            Ok(())
         );
     }
 

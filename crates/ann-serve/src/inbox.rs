@@ -8,14 +8,19 @@
 //! is async — the same condvar-parking idiom the persistent worker pool
 //! uses (`rayon::sync`).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
 
 use ann_core::topk::Neighbor;
 use rayon::sync::OneShot;
 
+use crate::cache::CacheKey;
 use crate::error::ServeError;
+
+/// A producer-side result slot: the driver deposits exactly one result,
+/// the producer's ticket parks on the other side.
+pub(crate) type ResultSlot = Arc<OneShot<Result<Vec<Neighbor>, ServeError>>>;
 
 /// One admitted query waiting for dispatch.
 #[derive(Debug)]
@@ -29,7 +34,12 @@ pub(crate) struct Request {
     pub admitted_at: Instant,
     /// Where the driver deposits this query's result; the producer's
     /// [`Ticket`](crate::Ticket) parks on the other side.
-    pub slot: Arc<OneShot<Result<Vec<Neighbor>, ServeError>>>,
+    pub slot: ResultSlot,
+    /// With the result cache enabled: the key this request leads the
+    /// single-flight for (an entry in [`InboxState::inflight`]). The
+    /// driver fans the result out to the key's followers and inserts it
+    /// into the cache. `None` with the cache off.
+    pub cache_key: Option<CacheKey>,
 }
 
 /// Mutable inbox state, guarded by the server's mutex.
@@ -45,6 +55,12 @@ pub(crate) struct InboxState {
     /// False once shutdown begins: no new admissions, driver drains and
     /// exits.
     pub open: bool,
+    /// Single-flight registry (cache mode only): keys with a leader
+    /// request queued or dispatched, mapped to the follower slots parked
+    /// on the leader's computation. A submit finding its key here parks
+    /// as a follower instead of queueing a duplicate; the driver removes
+    /// the entry and fans the result out when the leader's batch lands.
+    pub inflight: HashMap<CacheKey, Vec<ResultSlot>>,
 }
 
 impl InboxState {
@@ -54,6 +70,7 @@ impl InboxState {
             queued: 0,
             opened_at: None,
             open: true,
+            inflight: HashMap::new(),
         }
     }
 

@@ -21,6 +21,13 @@
 //!   cold one, and idle tenants' shares flow to whoever has work.
 //! * **Demultiplexing** — per-query results are deposited into per-request
 //!   [`rayon::sync::OneShot`] slots where producers park ([`Ticket`]).
+//! * **Hot-query caching** (opt-in via [`ServeConfig::cache`]) — an
+//!   exact-match result cache answers repeated queries at admission,
+//!   single-flight collapsing parks duplicate submits on one computation,
+//!   and the engine dedups identical rows inside each micro-batch. All
+//!   three levels are invalidated by the engine's result-validity epoch,
+//!   so cached answers stay bit-identical to uncached ones (see
+//!   [`cache`] and `docs/CACHING.md`).
 //!
 //! Everything is futures-free: producers park on condvars, the driver
 //! parks on the inbox condvar with a deadline timeout, and the engine
@@ -65,12 +72,14 @@
 //!
 //! [`DrimEngine::search_batch`]: drim_ann::engine::DrimEngine::search_batch
 
+pub mod cache;
 pub mod config;
 pub mod error;
 mod inbox;
 pub mod server;
 pub mod stats;
 
+pub use cache::{CacheConfig, CacheKey, ResultCache};
 pub use config::{OverloadPolicy, ServeConfig, ServeConfigError, TenantConfig};
 pub use error::ServeError;
 pub use server::{AnnServer, ServeHandle, Ticket};

@@ -2,6 +2,7 @@
 //! demultiplexing.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -11,6 +12,7 @@ use ann_core::vector::VecSet;
 use drim_ann::engine::DrimEngine;
 use rayon::sync::{lock_unpoisoned, OneShot};
 
+use crate::cache::{CacheKey, ResultCache};
 use crate::config::{OverloadPolicy, ServeConfig};
 use crate::error::ServeError;
 use crate::inbox::{drain_fair, CloseReason, InboxState, Request};
@@ -23,6 +25,16 @@ struct Shared {
     /// Driver parks here; producers notify on every admission.
     arrivals: Condvar,
     stats: Mutex<ServeStats>,
+    /// The hot-query result cache (`None` with caching off).
+    cache: Option<ResultCache>,
+    /// The engine's result-validity epoch as of the last dispatch,
+    /// published by the driver so producers can build cache keys without
+    /// touching the engine. A torn `(epoch, nprobe)` read is harmless:
+    /// every nprobe change bumps the epoch, so a mixed pair matches no
+    /// state the driver would ever insert under — at worst a miss.
+    epoch: AtomicU64,
+    /// The engine's effective nprobe, published alongside `epoch`.
+    nprobe: AtomicU64,
 }
 
 /// A claim on one submitted query's result.
@@ -57,6 +69,8 @@ impl Ticket {
 pub struct ServeHandle {
     shared: Arc<Shared>,
     dim: usize,
+    /// Neighbors per query (`engine.k()`), a cache-key component.
+    k: usize,
     queue_cap: usize,
     ntenants: usize,
     /// Per-tenant overload caps (weighted shares of the backlog budget
@@ -74,6 +88,15 @@ impl ServeHandle {
     /// `queue_cap` (backpressure), [`ServeError::UnknownTenant`] /
     /// [`ServeError::WrongDim`] for malformed submits,
     /// [`ServeError::ShuttingDown`] after shutdown began.
+    ///
+    /// With [`ServeConfig::cache`] enabled, a submit whose exact query
+    /// was served before (same bit pattern, same engine state) is
+    /// answered from the cache here at admission — the returned ticket is
+    /// already resolved and the query never consumes micro-batch budget.
+    /// A miss whose identical twin is already queued or in flight parks
+    /// on that computation instead of queueing a duplicate
+    /// (single-flight); followers consume no queue slot, so they bypass
+    /// `queue_cap` and the shed policy.
     pub fn submit(&self, tenant: usize, query: &[f32]) -> Result<Ticket, ServeError> {
         if tenant >= self.ntenants {
             return Err(ServeError::UnknownTenant {
@@ -88,10 +111,41 @@ impl ServeHandle {
             });
         }
         let slot = Arc::new(OneShot::new());
+        // With the cache on: key the query against the driver's last
+        // published engine state and probe before taking the inbox lock.
+        let key = self.shared.cache.as_ref().map(|cache| {
+            let key = CacheKey::new(
+                query,
+                self.k,
+                self.shared.nprobe.load(Ordering::Acquire) as usize,
+                self.shared.epoch.load(Ordering::Acquire),
+            );
+            (cache, key)
+        });
+        if let Some((cache, key)) = &key {
+            if let Some(hit) = cache.get(key) {
+                lock_unpoisoned(&self.shared.stats).cache_hits += 1;
+                slot.put(Ok(hit));
+                return Ok(Ticket { slot });
+            }
+        }
         {
             let mut g = lock_unpoisoned(&self.shared.inbox);
             if !g.open {
                 return Err(ServeError::ShuttingDown);
+            }
+            // Single-flight: an identical query is already queued or in
+            // flight under the same engine state — park on its
+            // computation instead of queueing a duplicate.
+            if let Some((_, key)) = &key {
+                if let Some(followers) = g.inflight.get_mut(key) {
+                    followers.push(Arc::clone(&slot));
+                    drop(g);
+                    let mut s = lock_unpoisoned(&self.shared.stats);
+                    s.cache_misses += 1;
+                    s.collapsed += 1;
+                    return Ok(Ticket { slot });
+                }
             }
             if g.queues[tenant].len() >= self.queue_cap {
                 drop(g);
@@ -113,13 +167,22 @@ impl ServeHandle {
             if g.opened_at.is_none() {
                 g.opened_at = Some(now);
             }
+            let cache_key = key.map(|(_, k)| k);
+            if let Some(k) = &cache_key {
+                // This submit leads the single-flight for its key.
+                g.inflight.insert(k.clone(), Vec::new());
+            }
             g.queues[tenant].push_back(Request {
                 query: query.to_vec(),
                 tenant,
                 admitted_at: now,
                 slot: Arc::clone(&slot),
+                cache_key,
             });
             g.queued += 1;
+        }
+        if self.shared.cache.is_some() {
+            lock_unpoisoned(&self.shared.stats).cache_misses += 1;
         }
         self.shared.arrivals.notify_one();
         Ok(Ticket { slot })
@@ -176,10 +239,14 @@ impl AnnServer {
     pub fn start(engine: DrimEngine, cfg: ServeConfig) -> Result<AnnServer, ServeError> {
         cfg.validate()?;
         let dim = engine.dim();
+        let k = engine.k();
         let shared = Arc::new(Shared {
             inbox: Mutex::new(InboxState::new(cfg.tenants.len())),
             arrivals: Condvar::new(),
             stats: Mutex::new(ServeStats::new(cfg.tenants.len())),
+            cache: cfg.cache.as_ref().map(ResultCache::new),
+            epoch: AtomicU64::new(engine.epoch()),
+            nprobe: AtomicU64::new(engine.effective_nprobe() as u64),
         });
         let tenant_caps: Arc<[usize]> = match cfg.overload {
             OverloadPolicy::Shed => {
@@ -197,6 +264,7 @@ impl AnnServer {
         let handle = ServeHandle {
             shared: Arc::clone(&shared),
             dim,
+            k,
             queue_cap: cfg.queue_cap,
             ntenants: cfg.tenants.len(),
             tenant_caps,
@@ -246,6 +314,9 @@ fn drive(mut engine: DrimEngine, shared: Arc<Shared>, cfg: ServeConfig) -> DrimE
     // The nprobe the engine serves at when the queue is healthy; the
     // overload degradation halves down from here and never above it.
     let base_nprobe = engine.effective_nprobe();
+    // Last epoch the cache was purged at; a change drops stale entries
+    // eagerly instead of letting CLOCK churn them out one miss at a time.
+    let mut last_epoch = engine.epoch();
     loop {
         let (reqs, reason, backlog) = {
             let mut g = lock_unpoisoned(&shared.inbox);
@@ -313,6 +384,21 @@ fn drive(mut engine: DrimEngine, shared: Arc<Shared>, cfg: ServeConfig) -> DrimE
                 .expect("degraded nprobe stays within 1..=nlist");
         }
 
+        // Publish the state this dispatch runs under — producers build
+        // cache keys from these atomics — and drop cache entries from any
+        // superseded epoch.
+        let dispatch_epoch = engine.epoch();
+        if dispatch_epoch != last_epoch {
+            if let Some(cache) = &shared.cache {
+                cache.purge_stale(dispatch_epoch);
+            }
+            last_epoch = dispatch_epoch;
+        }
+        shared.epoch.store(dispatch_epoch, Ordering::Release);
+        shared
+            .nprobe
+            .store(engine.effective_nprobe() as u64, Ordering::Release);
+
         let outcome = catch_unwind(AssertUnwindSafe(|| match cfg.host_threads {
             // The shim's thread override is thread-local; re-apply it here
             // on the driver thread where search_batch actually runs.
@@ -344,6 +430,50 @@ fn drive(mut engine: DrimEngine, shared: Arc<Shared>, cfg: ServeConfig) -> DrimE
                     s.sim_energy_j += report.energy_j;
                     s.degraded_queries += report.fault.degraded_queries as u64;
                     s.nprobe_degraded += nprobe_degraded_now;
+                    s.deduped_in_batch += report.deduped as u64;
+                }
+                if let Some(cache) = &shared.cache {
+                    // Populate the cache *before* clearing single-flight
+                    // entries: a concurrent submit must find either the
+                    // cache entry or the inflight entry. The remaining
+                    // window (submit probes the cache just before the
+                    // insert, then finds no inflight entry and re-queues)
+                    // loses only the optimisation, never correctness.
+                    let epoch_now = engine.epoch();
+                    let nprobe_now = engine.effective_nprobe();
+                    let mut evicted = 0u64;
+                    for (req, res) in reqs.iter().zip(&results) {
+                        if let Some(key) = &req.cache_key {
+                            // A key from a superseded engine state (the
+                            // epoch or nprobe moved between its admission
+                            // and this dispatch) is not cached: the result
+                            // is valid for the producer but must not be
+                            // replayed under the old key.
+                            if key.epoch() == epoch_now && key.nprobe() == nprobe_now {
+                                evicted += cache.insert(key.clone(), res.clone());
+                            }
+                        }
+                    }
+                    let mut fanout = Vec::new();
+                    {
+                        let mut g = lock_unpoisoned(&shared.inbox);
+                        for (req, res) in reqs.iter().zip(&results) {
+                            if let Some(key) = &req.cache_key {
+                                if let Some(followers) = g.inflight.remove(key) {
+                                    for f in followers {
+                                        fanout.push((f, res.clone()));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    // Resolve follower slots outside the inbox lock.
+                    for (f, res) in fanout {
+                        f.put(Ok(res));
+                    }
+                    if evicted > 0 {
+                        lock_unpoisoned(&shared.stats).evictions += evicted;
+                    }
                 }
                 for (req, res) in reqs.into_iter().zip(results) {
                     req.slot.put(Ok(res));
@@ -361,6 +491,14 @@ fn drive(mut engine: DrimEngine, shared: Arc<Shared>, cfg: ServeConfig) -> DrimE
                 for q in g.queues.iter_mut() {
                     while let Some(r) = q.pop_front() {
                         r.slot.put(Err(ServeError::EngineFailed));
+                    }
+                }
+                // Single-flight followers parked on the failed batch (or
+                // on queued leaders just drained above) are failed too —
+                // no producer is left parked forever.
+                for (_, followers) in g.inflight.drain() {
+                    for f in followers {
+                        f.put(Err(ServeError::EngineFailed));
                     }
                 }
                 g.queued = 0;

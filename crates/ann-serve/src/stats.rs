@@ -45,6 +45,22 @@ pub struct ServeStats {
     pub sim_time_s: f64,
     /// Accumulated simulated energy across all dispatches, in joules.
     pub sim_energy_j: f64,
+    /// Submits answered from the hot-query result cache at admission
+    /// (never dispatched; not counted in `served`).
+    pub cache_hits: u64,
+    /// Cache-enabled submits that missed the cache. Every *admitted*
+    /// cache-enabled submit counts exactly one hit or one miss; rejected
+    /// submits count neither. 0 with the cache off.
+    pub cache_misses: u64,
+    /// Misses that collapsed onto an identical already-queued or
+    /// in-flight query (single-flight followers; a subset of
+    /// `cache_misses`, not counted in `served`).
+    pub collapsed: u64,
+    /// Queries the engine skipped by in-batch dedup across all dispatches
+    /// (sum of `BatchReport::deduped`).
+    pub deduped_in_batch: u64,
+    /// Entries the cache's CLOCK policy evicted to make room.
+    pub evictions: u64,
 }
 
 impl ServeStats {
@@ -65,13 +81,27 @@ impl ServeStats {
         }
     }
 
+    /// Cache hit rate: `cache_hits / (cache_hits + cache_misses)`, or
+    /// 0.0 before any cache-enabled submit (and always with the cache
+    /// off).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
     /// One-line human summary.
     pub fn summary(&self) -> String {
         format!(
             "{} queries in {} batches (mean {:.1}, min {}, max {}; \
              closes: {} size / {} deadline / {} drain; \
              {} rejected / {} shed, per-tenant {:?}; \
-             degraded: {} fault / {} nprobe)",
+             degraded: {} fault / {} nprobe; \
+             cache: {} hit / {} miss (rate {:.2}), {} collapsed, \
+             {} deduped, {} evicted)",
             self.served,
             self.batches,
             self.mean_batch(),
@@ -85,6 +115,12 @@ impl ServeStats {
             self.per_tenant_rejected,
             self.degraded_queries,
             self.nprobe_degraded,
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate(),
+            self.collapsed,
+            self.deduped_in_batch,
+            self.evictions,
         )
     }
 }
@@ -108,6 +144,23 @@ mod tests {
         let line = s.summary();
         assert!(line.contains("2 size"), "{line}");
         assert!(line.contains("1 deadline"), "{line}");
+    }
+
+    #[test]
+    fn hit_rate_handles_empty_and_counts() {
+        let mut s = ServeStats::new(1);
+        assert_eq!(s.hit_rate(), 0.0);
+        s.cache_hits = 3;
+        s.cache_misses = 1;
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        s.collapsed = 1;
+        s.deduped_in_batch = 2;
+        s.evictions = 5;
+        let line = s.summary();
+        assert!(line.contains("3 hit / 1 miss (rate 0.75)"), "{line}");
+        assert!(line.contains("1 collapsed"), "{line}");
+        assert!(line.contains("2 deduped"), "{line}");
+        assert!(line.contains("5 evicted"), "{line}");
     }
 
     #[test]

@@ -5,7 +5,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use ann_serve::{AnnServer, OverloadPolicy, ServeConfig, ServeError, TenantConfig};
+use ann_serve::{
+    AnnServer, CacheConfig, CacheKey, OverloadPolicy, ResultCache, ServeConfig, ServeError,
+    TenantConfig,
+};
 use datasets::synth::{generate, SynthSpec};
 use drim_ann::config::{EngineConfig, IndexConfig};
 use drim_ann::engine::DrimEngine;
@@ -344,4 +347,179 @@ fn served_results_match_offline_bits_across_thread_counts() {
         assert_eq!(stats.served, n_queries as u64);
         assert!(stats.batches >= 7, "{}", stats.summary());
     }
+}
+
+/// Tentpole acceptance: four concurrent producers replaying a 4-query hot
+/// set are served almost entirely without engine work — single-flight
+/// collapses duplicates submitted while a twin is queued or in flight,
+/// and the result cache answers later rounds at admission — while every
+/// producer still receives results bit-identical to the offline path.
+#[test]
+fn single_flight_and_cache_collapse_a_hot_set() {
+    let (mut engine, data) = small_engine();
+
+    let hot: Vec<Vec<f32>> = (0..4).map(|i| data.get(i * 7).to_vec()).collect();
+    let mut queries = ann_core::VecSet::with_capacity(16, hot.len());
+    for q in &hot {
+        queries.push(q);
+    }
+    let (offline, _) = engine.search_batch(&queries);
+    let offline_bits: Vec<String> = offline.iter().map(|r| format!("{r:?}")).collect();
+
+    // max_batch is unreachable for 4 distinct keys and the deadline is
+    // generous, so phase-1 submissions all land while their leaders are
+    // still queued: exactly one leader per distinct query, everyone else
+    // a single-flight follower.
+    let cfg = ServeConfig {
+        max_batch: 64,
+        max_delay: Duration::from_millis(250),
+        queue_cap: 256,
+        cache: Some(CacheConfig::default()),
+        ..ServeConfig::default()
+    };
+    let server = AnnServer::start(engine, cfg).unwrap();
+
+    let per_producer = 32usize;
+    let producers: Vec<_> = (0..4)
+        .map(|p| {
+            let handle = server.handle();
+            let hot = hot.clone();
+            std::thread::spawn(move || {
+                let tickets: Vec<_> = (0..per_producer)
+                    .map(|i| {
+                        let qi = (p + i) % hot.len();
+                        (qi, handle.submit(0, &hot[qi]).expect("submit"))
+                    })
+                    .collect();
+                tickets
+                    .into_iter()
+                    .map(|(qi, t)| (qi, format!("{:?}", t.wait().expect("serve"))))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    for producer in producers {
+        for (qi, bits) in producer.join().unwrap() {
+            assert_eq!(bits, offline_bits[qi], "hot query {qi} diverged");
+        }
+    }
+
+    // Phase 2: the hot set is cached now (inserts happen before any
+    // phase-1 ticket resolves), so these blocking searches are admission
+    // hits that never touch the batch queue.
+    for (qi, q) in hot.iter().enumerate() {
+        let res = handle_search(&server, q);
+        assert_eq!(format!("{res:?}"), offline_bits[qi]);
+        let res = handle_search(&server, q);
+        assert_eq!(format!("{res:?}"), offline_bits[qi]);
+    }
+
+    let (_engine, stats) = server.shutdown();
+    let submitted = (4 * per_producer + 2 * hot.len()) as u64;
+    // Every admitted submit is exactly one of: cache hit, single-flight
+    // follower, or dispatched leader.
+    assert_eq!(
+        stats.cache_hits + stats.cache_misses,
+        submitted,
+        "{}",
+        stats.summary()
+    );
+    assert_eq!(
+        stats.cache_hits + stats.collapsed + stats.served,
+        submitted,
+        "{}",
+        stats.summary()
+    );
+    // Single-flight: far fewer computations than submissions (exactly 4
+    // absent a scheduling hiccup; slack for loaded CI).
+    assert!(stats.served < submitted / 4, "{}", stats.summary());
+    assert!(stats.collapsed > 0, "{}", stats.summary());
+    assert!(
+        stats.cache_hits >= 2 * hot.len() as u64,
+        "{}",
+        stats.summary()
+    );
+    assert!(stats.hit_rate() > 0.0, "{}", stats.summary());
+}
+
+fn handle_search(server: &AnnServer, q: &[f32]) -> Vec<ann_core::topk::Neighbor> {
+    server.handle().search(0, q).expect("serve")
+}
+
+/// Epoch invalidation: a cached result from before a result-affecting
+/// engine mutation is unreachable after it. `set_nprobe_override` bumps
+/// the engine's epoch, the epoch is baked into the cache key, and the
+/// driver's `purge_stale` drops superseded entries outright.
+#[test]
+fn nprobe_override_invalidates_cached_results() {
+    let (mut engine, data) = small_engine();
+    let cache = ResultCache::new(&CacheConfig::default());
+
+    let q = data.get(123);
+    let mut queries = ann_core::VecSet::with_capacity(16, 1);
+    queries.push(q);
+    let (res, _) = engine.search_batch(&queries);
+
+    let key0 = CacheKey::new(q, engine.k(), engine.effective_nprobe(), engine.epoch());
+    assert_eq!(cache.insert(key0.clone(), res[0].clone()), 0);
+    assert!(cache.get(&key0).is_some());
+
+    let epoch0 = engine.epoch();
+    engine.set_nprobe_override(Some(2)).unwrap();
+    assert!(engine.epoch() > epoch0, "nprobe change must bump the epoch");
+
+    // The key for the new state differs, so the stale entry can never be
+    // returned for a post-override submit…
+    let key1 = CacheKey::new(q, engine.k(), engine.effective_nprobe(), engine.epoch());
+    assert_ne!(key0, key1);
+    assert!(cache.get(&key1).is_none());
+
+    // …and the driver's per-dispatch purge drops it outright.
+    cache.purge_stale(engine.epoch());
+    assert!(cache.is_empty());
+
+    // Epochs only move forward: reverting the override is itself a new
+    // state, so even the original key stays dead.
+    engine.set_nprobe_override(None).unwrap();
+    assert!(engine.epoch() > epoch0 + 1);
+    assert!(cache.get(&key0).is_none());
+}
+
+/// A cache-enabled server over a *duplicate-free* stream must behave
+/// exactly like the uncached one result-wise: all misses, no hits, no
+/// collapses, and bit-parity with the offline batch.
+#[test]
+fn unique_stream_with_cache_is_all_misses_and_bit_identical() {
+    let (mut engine, data) = small_engine();
+
+    let n = 24;
+    let mut queries = ann_core::VecSet::with_capacity(16, n);
+    for i in 0..n {
+        queries.push(data.get(i * 5));
+    }
+    let (offline, _) = engine.search_batch(&queries);
+    let offline_bits: Vec<String> = offline.iter().map(|r| format!("{r:?}")).collect();
+
+    let cfg = ServeConfig {
+        max_batch: 6,
+        max_delay: Duration::from_micros(200),
+        queue_cap: 64,
+        cache: Some(CacheConfig::default()),
+        ..ServeConfig::default()
+    };
+    let server = AnnServer::start(engine, cfg).unwrap();
+    let handle = server.handle();
+    let tickets: Vec<_> = (0..n)
+        .map(|i| handle.submit(0, queries.get(i)).unwrap())
+        .collect();
+    for (i, t) in tickets.into_iter().enumerate() {
+        assert_eq!(format!("{:?}", t.wait().unwrap()), offline_bits[i]);
+    }
+
+    let (_engine, stats) = server.shutdown();
+    assert_eq!(stats.served, n as u64);
+    assert_eq!(stats.cache_hits, 0, "{}", stats.summary());
+    assert_eq!(stats.collapsed, 0, "{}", stats.summary());
+    assert_eq!(stats.cache_misses, n as u64, "{}", stats.summary());
+    assert_eq!(stats.hit_rate(), 0.0);
 }

@@ -1,0 +1,396 @@
+//! Hot-query caching benchmark: what the serving-side result cache,
+//! single-flight collapsing, and in-batch dedup buy under skewed traffic.
+//!
+//! Closed-loop producers replay Zipf-skewed traces (s ∈ {0.8, 1.2}, pool
+//! ∈ {1k, 10k}) and a duplicate-free unique stream against the
+//! `ann-serve` front-end, once with the cache off (and in-batch dedup
+//! disabled — the pre-caching baseline) and once with the full caching
+//! stack on. Each leg reports hit rate, p50/p99 latency, saturation
+//! throughput, and simulated energy.
+//!
+//! In-bench acceptance assertions (the perf targets of the caching PR):
+//! at s = 1.2 over the 1k pool the cached run must reach ≥ 1.5x the
+//! uncached throughput and ≤ half the uncached p50; the unique stream
+//! must pay ≤ 5% throughput overhead for carrying the cache machinery.
+//! A final set of parity legs asserts that cached serving is
+//! *bit-identical* to the uncached path at 1/2/4/8 host threads, under a
+//! 1% uniform fault rate, and under a mid-run rank kill (host-fallback
+//! recovery is lossless, so the clean-path reference stays valid).
+//!
+//! Running this bench (`cargo bench --bench cache`) writes
+//! `BENCH_cache.json` at the workspace root.
+
+use std::time::{Duration, Instant};
+
+use ann_serve::{AnnServer, CacheConfig, ServeConfig};
+use drim_ann::config::{EngineConfig, IndexConfig};
+use drim_ann::engine::DrimEngine;
+use upmem_sim::stats::percentile;
+use upmem_sim::{FaultConfig, PimArch};
+
+const NDPUS: usize = 8;
+const K: usize = 10;
+const PRODUCERS: usize = 4;
+const REQS_PER_PRODUCER: usize = 200;
+/// Outstanding requests per producer — deep enough to saturate the
+/// driver, so the throughput numbers are saturation numbers.
+const PIPELINE_DEPTH: usize = 8;
+
+struct Scenario {
+    arrival: &'static str,
+    zipf_s: f64,
+    pool: usize,
+}
+
+const SCENARIOS: [Scenario; 5] = [
+    Scenario {
+        arrival: "zipf",
+        zipf_s: 0.8,
+        pool: 1_000,
+    },
+    Scenario {
+        arrival: "zipf",
+        zipf_s: 1.2,
+        pool: 1_000,
+    },
+    Scenario {
+        arrival: "zipf",
+        zipf_s: 0.8,
+        pool: 10_000,
+    },
+    Scenario {
+        arrival: "zipf",
+        zipf_s: 1.2,
+        pool: 10_000,
+    },
+    // One submission per pool row: zero reuse, so this leg measures pure
+    // cache overhead (key hashing, probes, inserts that never hit).
+    Scenario {
+        arrival: "unique",
+        zipf_s: 0.0,
+        pool: PRODUCERS * REQS_PER_PRODUCER,
+    },
+];
+
+struct Outcome {
+    p50_ms: f64,
+    p99_ms: f64,
+    throughput_qps: f64,
+    stats: ann_serve::ServeStats,
+}
+
+/// Drive one leg: closed-loop producers replay `trace` (request r of
+/// producer p queries pool row `trace[p * REQS_PER_PRODUCER + r]`).
+fn run_leg(
+    engine: DrimEngine,
+    pool: &ann_core::VecSet<f32>,
+    trace: &[usize],
+    cache: Option<CacheConfig>,
+) -> (DrimEngine, Outcome) {
+    let cfg = ServeConfig {
+        max_batch: 16,
+        max_delay: Duration::from_micros(500),
+        queue_cap: 2048,
+        cache,
+        ..ServeConfig::default()
+    };
+    let server = AnnServer::start(engine, cfg).expect("server start");
+
+    let started = Instant::now();
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let handle = server.handle();
+            let queries: Vec<Vec<f32>> = trace[p * REQS_PER_PRODUCER..(p + 1) * REQS_PER_PRODUCER]
+                .iter()
+                .map(|&row| pool.get(row).to_vec())
+                .collect();
+            std::thread::spawn(move || {
+                let mut lat_s = Vec::with_capacity(queries.len());
+                let mut pending: std::collections::VecDeque<(Instant, ann_serve::Ticket)> =
+                    std::collections::VecDeque::with_capacity(PIPELINE_DEPTH);
+                for q in &queries {
+                    if pending.len() == PIPELINE_DEPTH {
+                        let (t0, ticket) = pending.pop_front().unwrap();
+                        let res = ticket.wait().expect("serve");
+                        lat_s.push(t0.elapsed().as_secs_f64());
+                        assert_eq!(res.len(), K);
+                    }
+                    let t0 = Instant::now();
+                    let ticket = handle.submit(0, q).expect("submit");
+                    // A cache hit's result is available the moment submit
+                    // returns — record its true time-to-result instead of
+                    // parking it behind older in-flight misses in the
+                    // pipeline window.
+                    match ticket.try_take() {
+                        Some(res) => {
+                            lat_s.push(t0.elapsed().as_secs_f64());
+                            assert_eq!(res.expect("serve").len(), K);
+                        }
+                        None => pending.push_back((t0, ticket)),
+                    }
+                }
+                for (t0, ticket) in pending {
+                    let res = ticket.wait().expect("serve");
+                    lat_s.push(t0.elapsed().as_secs_f64());
+                    assert_eq!(res.len(), K);
+                }
+                lat_s
+            })
+        })
+        .collect();
+
+    let mut lat_ms: Vec<f64> = Vec::with_capacity(PRODUCERS * REQS_PER_PRODUCER);
+    for prod in producers {
+        lat_ms.extend(prod.join().unwrap().into_iter().map(|s| s * 1e3));
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let (engine, stats) = server.shutdown();
+    let outcome = Outcome {
+        p50_ms: percentile(&lat_ms, 50.0),
+        p99_ms: percentile(&lat_ms, 99.0),
+        throughput_qps: lat_ms.len() as f64 / wall_s,
+        stats,
+    };
+    (engine, outcome)
+}
+
+/// One bit-parity leg: serve a duplicate-heavy trace with the full
+/// caching stack on and assert every result matches the offline
+/// clean-path reference bits for its pool row.
+fn run_parity_leg(
+    mut engine: DrimEngine,
+    pool: &ann_core::VecSet<f32>,
+    trace: &[usize],
+    expected_bits: &[String],
+    host_threads: Option<usize>,
+    fault: Option<FaultConfig>,
+    leg: &str,
+) -> DrimEngine {
+    if let Some(f) = fault {
+        engine.inject_faults(f).expect("fault config");
+    }
+    let cfg = ServeConfig {
+        max_batch: 16,
+        max_delay: Duration::from_micros(200),
+        queue_cap: 2048,
+        host_threads,
+        cache: Some(CacheConfig::default()),
+        ..ServeConfig::default()
+    };
+    let server = AnnServer::start(engine, cfg).expect("server start");
+    let handle = server.handle();
+    let tickets: Vec<_> = trace
+        .iter()
+        .map(|&row| (row, handle.submit(0, pool.get(row)).expect("submit")))
+        .collect();
+    for (row, t) in tickets {
+        let got = format!("{:?}", t.wait().expect("serve"));
+        assert_eq!(
+            got, expected_bits[row],
+            "parity leg {leg}: pool row {row} diverged from the uncached reference"
+        );
+    }
+    let (mut engine, stats) = server.shutdown();
+    eprintln!("cache/parity {leg}: ok ({})", stats.summary());
+    engine.clear_faults();
+    engine
+}
+
+fn engine_with_dedup(data: &ann_core::VecSet<f32>, dedup: bool) -> DrimEngine {
+    let mut cfg = EngineConfig::drim(IndexConfig {
+        k: K,
+        nprobe: 12,
+        nlist: 64,
+        m: 8,
+        cb: 32,
+    });
+    cfg.dedup = dedup;
+    let mut engine = DrimEngine::build(data, cfg, PimArch::upmem_sc25(), NDPUS, None).unwrap();
+    engine.clear_faults();
+    engine
+}
+
+fn main() {
+    let spec = datasets::SynthSpec::small("bench-cache", 16, 4000, 43);
+    let data = datasets::generate(&spec);
+    let max_pool = SCENARIOS.iter().map(|s| s.pool).max().unwrap();
+    let pool = datasets::queries::generate_queries(
+        &spec,
+        max_pool,
+        datasets::queries::QuerySkew::InDistribution,
+        19,
+    );
+
+    // The baseline engine has in-batch dedup off too: it is the exact
+    // pre-caching serving stack. The cached engine is the drim default.
+    let mut engine_off = engine_with_dedup(&data, false);
+    let mut engine_on = engine_with_dedup(&data, true);
+
+    let nreqs = PRODUCERS * REQS_PER_PRODUCER;
+    let mut rows = String::new();
+    let mut key_outcomes: Vec<(&str, Outcome, Outcome)> = Vec::new();
+    for (i, sc) in SCENARIOS.iter().enumerate() {
+        let trace: Vec<usize> = if sc.arrival == "unique" {
+            (0..nreqs).collect()
+        } else {
+            datasets::queries::zipfian_indices(sc.pool, nreqs, sc.zipf_s, 23 + i as u64)
+                .expect("non-empty pool")
+        };
+        let (eng, off) = run_leg(engine_off, &pool, &trace, None);
+        engine_off = eng;
+        let (eng, on) = run_leg(engine_on, &pool, &trace, Some(CacheConfig::default()));
+        engine_on = eng;
+
+        for (label, o) in [("off", &off), ("on", &on)] {
+            let s = &o.stats;
+            eprintln!(
+                "cache/{} s={} pool={} cache={}: p50 {:.3} ms, p99 {:.3} ms, {:.0} qps, hit rate {:.2} ({})",
+                sc.arrival, sc.zipf_s, sc.pool, label, o.p50_ms, o.p99_ms,
+                o.throughput_qps, s.hit_rate(), s.summary()
+            );
+            if !rows.is_empty() {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{\"arrival\": \"{}\", \"zipf_s\": {}, \"pool\": {}, \"cache\": {}, \"p50_ms\": {:.4}, \"p99_ms\": {:.4}, \"throughput_qps\": {:.1}, \"hit_rate\": {:.4}, \"cache_hits\": {}, \"collapsed\": {}, \"deduped_in_batch\": {}, \"evictions\": {}, \"served\": {}, \"batches\": {}, \"sim_time_s\": {:.6e}, \"sim_energy_j\": {:.6e}}}",
+                sc.arrival,
+                sc.zipf_s,
+                sc.pool,
+                label == "on",
+                o.p50_ms,
+                o.p99_ms,
+                o.throughput_qps,
+                s.hit_rate(),
+                s.cache_hits,
+                s.collapsed,
+                s.deduped_in_batch,
+                s.evictions,
+                s.served,
+                s.batches,
+                s.sim_time_s,
+                s.sim_energy_j,
+            ));
+        }
+
+        if sc.arrival == "zipf" && sc.zipf_s == 1.2 && sc.pool == 1_000 {
+            key_outcomes.push(("hot", off, on));
+        } else if sc.arrival == "unique" {
+            key_outcomes.push(("unique", off, on));
+        }
+    }
+
+    // Acceptance assertions. The hot-set targets are the point of the
+    // caching layer; the unique-stream bound caps its cost.
+    for (kind, off, on) in &key_outcomes {
+        match *kind {
+            "hot" => {
+                assert!(
+                    on.throughput_qps >= 1.5 * off.throughput_qps,
+                    "hot-set speedup below 1.5x: {:.0} qps cached vs {:.0} uncached",
+                    on.throughput_qps,
+                    off.throughput_qps
+                );
+                assert!(
+                    off.p50_ms >= 2.0 * on.p50_ms,
+                    "hot-set p50 improvement below 2x: {:.3} ms cached vs {:.3} ms uncached",
+                    on.p50_ms,
+                    off.p50_ms
+                );
+                assert!(
+                    on.stats.hit_rate() > 0.0,
+                    "hot set must produce cache hits: {}",
+                    on.stats.summary()
+                );
+                // Simulated energy is deterministic per dispatched query,
+                // so collapsing duplicates must strictly cut it.
+                assert!(
+                    on.stats.sim_energy_j < off.stats.sim_energy_j,
+                    "cached run must dispatch less simulated work: {} vs {} J",
+                    on.stats.sim_energy_j,
+                    off.stats.sim_energy_j
+                );
+            }
+            "unique" => {
+                assert!(
+                    on.throughput_qps >= off.throughput_qps / 1.05,
+                    "unique-stream cache overhead above 5%: {:.0} qps cached vs {:.0} uncached",
+                    on.throughput_qps,
+                    off.throughput_qps
+                );
+                assert_eq!(on.stats.cache_hits, 0, "unique stream cannot hit");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    // Bit-parity legs: a duplicate-heavy trace over a 64-row hot pool,
+    // served with the full caching stack, must reproduce the uncached
+    // reference bits at every host thread count and under faults.
+    let parity_pool = 64usize;
+    let parity_trace =
+        datasets::queries::zipfian_indices(parity_pool, 160, 1.2, 29).expect("non-empty pool");
+    let expected_bits: Vec<String> = {
+        let mut queries = ann_core::VecSet::with_capacity(16, parity_pool);
+        for row in 0..parity_pool {
+            queries.push(pool.get(row));
+        }
+        let (res, _) = engine_off.search_batch(&queries);
+        res.iter().map(|r| format!("{r:?}")).collect()
+    };
+    let mut parity_rows = String::new();
+    for threads in [1usize, 2, 4, 8] {
+        engine_on = run_parity_leg(
+            engine_on,
+            &pool,
+            &parity_trace,
+            &expected_bits,
+            Some(threads),
+            None,
+            &format!("threads-{threads}"),
+        );
+        parity_rows.push_str(&format!(
+            "    {{\"leg\": \"threads-{threads}\", \"queries\": {}, \"matched\": true}},\n",
+            parity_trace.len()
+        ));
+    }
+    engine_on = run_parity_leg(
+        engine_on,
+        &pool,
+        &parity_trace,
+        &expected_bits,
+        None,
+        Some(FaultConfig::uniform(2025, 0.01)),
+        "fault-1pct",
+    );
+    parity_rows.push_str(&format!(
+        "    {{\"leg\": \"fault-1pct\", \"queries\": {}, \"matched\": true}},\n",
+        parity_trace.len()
+    ));
+    let _ = run_parity_leg(
+        engine_on,
+        &pool,
+        &parity_trace,
+        &expected_bits,
+        None,
+        Some(FaultConfig::rank_kill(7, 0.5, NDPUS / 4, 1)),
+        "rank-kill",
+    );
+    parity_rows.push_str(&format!(
+        "    {{\"leg\": \"rank-kill\", \"queries\": {}, \"matched\": true}}",
+        parity_trace.len()
+    ));
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"cache\",\n  \"host_cores\": {host_cores},\n  \"ndpus\": {NDPUS},\n  \"producers\": {PRODUCERS},\n  \"pipeline_depth\": {PIPELINE_DEPTH},\n  \"requests_per_leg\": {nreqs},\n  \"cache_capacity\": {},\n  \"baseline\": \"cache off, in-batch dedup off (pre-caching serving stack)\",\n  \"latency\": \"closed-loop wall-clock per request: queueing + batching delay + simulated-pipeline service\",\n  \"scenarios\": [\n{rows}\n  ],\n  \"parity\": [\n{parity_rows}\n  ]\n}}\n",
+        CacheConfig::default().capacity
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cache.json");
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -239,6 +239,11 @@ pub struct EngineConfig {
     pub tasklets: usize,
     /// Queries per batch.
     pub batch: usize,
+    /// In-batch dedup: bit-identical queries within a batch are computed
+    /// once and their results scattered back. Lossless by the engine's
+    /// per-query purity contract (results are independent of batch-mates),
+    /// so the only observable difference is the skipped work.
+    pub dedup: bool,
     /// Fault-recovery policy (active only when faults are injected).
     pub recovery: RecoveryConfig,
     /// Rank (DIMM) topology: DPUs are grouped into this many equal ranks
@@ -269,6 +274,7 @@ impl EngineConfig {
             lock_policy: LockPolicy::Forwarding,
             tasklets: 16,
             batch: 256,
+            dedup: true,
             recovery: RecoveryConfig::default(),
             ranks: None,
         }
@@ -293,6 +299,7 @@ impl EngineConfig {
             lock_policy: LockPolicy::LockAlways,
             tasklets: 16,
             batch: 256,
+            dedup: false,
             recovery: RecoveryConfig::default(),
             ranks: None,
         }
@@ -362,7 +369,7 @@ mod tests {
     #[test]
     fn drim_config_enables_everything() {
         let cfg = EngineConfig::drim(IndexConfig::paper_default());
-        assert!(cfg.sqt && cfg.wram_buffers && cfg.partition && cfg.duplication);
+        assert!(cfg.sqt && cfg.wram_buffers && cfg.partition && cfg.duplication && cfg.dedup);
         assert_eq!(cfg.allocation, AllocPolicy::HeatBalanced);
         assert_eq!(cfg.scheduling, SchedPolicy::Greedy);
         assert_eq!(cfg.lock_policy, LockPolicy::Forwarding);
@@ -371,7 +378,7 @@ mod tests {
     #[test]
     fn naive_config_disables_everything() {
         let cfg = EngineConfig::naive(IndexConfig::paper_default());
-        assert!(!cfg.sqt && !cfg.wram_buffers && !cfg.partition && !cfg.duplication);
+        assert!(!cfg.sqt && !cfg.wram_buffers && !cfg.partition && !cfg.duplication && !cfg.dedup);
         assert_eq!(cfg.allocation, AllocPolicy::RoundRobin);
         assert_eq!(cfg.scheduling, SchedPolicy::Static);
     }

@@ -87,6 +87,10 @@ pub struct BatchReport {
     pub imbalance: f64,
     /// Tasks postponed by the th3 rule (executed in a follow-up wave).
     pub postponed: usize,
+    /// Submitted queries that were bit-identical to another query of the
+    /// same batch and therefore computed only once (in-batch dedup;
+    /// `queries` still counts every submitted query).
+    pub deduped: usize,
     /// Top-k lock statistics.
     pub lock: LockStats,
     /// SQT WRAM hit rate (1.0 for the 8-bit table).
@@ -117,10 +121,23 @@ impl BatchReport {
             phase_fraction,
             imbalance,
             postponed,
+            deduped: 0,
             lock,
             sqt_wram_hit_rate,
             fault: FaultStats::default(),
         }
+    }
+
+    /// Re-account a report computed over the distinct queries of a deduped
+    /// batch as a report over the full submission: `queries` becomes the
+    /// submitted count (and `qps` follows), while timing/energy stay what
+    /// the distinct-query execution actually cost — which is exactly how
+    /// the dedup win shows up as throughput.
+    pub fn with_dedup(mut self, submitted: usize, deduped: usize) -> Self {
+        self.queries = submitted;
+        self.deduped = deduped;
+        self.qps = submitted as f64 / self.timing.total_s().max(1e-12);
+        self
     }
 
     /// Attach fault/recovery accounting (builder-style, keeps [`Self::new`]
@@ -165,8 +182,13 @@ impl BatchReport {
         } else {
             String::new()
         };
+        let dedup = if self.deduped > 0 {
+            format!(" dedup={}", self.deduped)
+        } else {
+            String::new()
+        };
         format!(
-            "q={} qps={:.0} total={:.3}ms pim={:.3}ms host={:.3}ms imb={:.2} postponed={} RC/LC/DC/TS = {:.0}%/{:.0}%/{:.0}%/{:.0}% E={:.2}J qpj={:.1}{fault}",
+            "q={} qps={:.0} total={:.3}ms pim={:.3}ms host={:.3}ms imb={:.2} postponed={}{dedup} RC/LC/DC/TS = {:.0}%/{:.0}%/{:.0}%/{:.0}% E={:.2}J qpj={:.1}{fault}",
             self.queries,
             self.qps,
             self.timing.total_s() * 1e3,
@@ -245,6 +267,22 @@ mod tests {
         assert!(s.contains("qpj="));
         // no fault layer: no fault clutter in the summary
         assert!(!s.contains("faults["));
+    }
+
+    #[test]
+    fn with_dedup_restores_submitted_count() {
+        // a 64-query submission that collapsed to 16 distinct queries:
+        // the inner run reports 16, re-accounting restores 64
+        let r = BatchReport::new(16, timing(), energy(), 0, LockStats::default(), 1.0)
+            .with_dedup(64, 48);
+        assert_eq!(r.queries, 64);
+        assert_eq!(r.deduped, 48);
+        let expect = 64.0 / r.timing.total_s();
+        assert!((r.qps - expect).abs() < 1e-6);
+        assert!(r.summary().contains("dedup=48"), "{}", r.summary());
+        // an all-distinct batch keeps the summary clean
+        let r0 = BatchReport::new(64, timing(), energy(), 0, LockStats::default(), 1.0);
+        assert!(!r0.summary().contains("dedup="));
     }
 
     #[test]

@@ -220,22 +220,15 @@ const SALT_STRAGGLER: u64 = 0x57A6_6153;
 const SALT_SLOWDOWN: u64 = 0x510E_D0E1;
 const SALT_CORRUPT: u64 = 0xC0EE_0B71;
 
-/// splitmix64 finalizer — the stateless mixing primitive behind every draw.
-fn mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// The stateless mixing primitive behind every draw lived here privately
+// until the workspace grew a second and third consumer; it is now the
+// shared `ann_core::hash::mix64` (bit-identical, pinned by tests there).
+use ann_core::hash::mix64 as mix;
 
 /// Fold a stream of words into a detection checksum (order-sensitive, so
 /// reordered or damaged result blocks change it).
 pub fn result_checksum(words: impl IntoIterator<Item = u64>) -> u64 {
-    let mut acc = 0x5EED_C8EC_5EED_C8ECu64;
-    for w in words {
-        acc = mix(acc ^ w);
-    }
-    acc
+    ann_core::hash::hash_words(0x5EED_C8EC_5EED_C8EC, words)
 }
 
 /// The injector: pure functions from `(dpu, batch, attempt)` to outcomes.

@@ -324,6 +324,45 @@ proptest! {
         prop_assert!(rp.per_rank[kill].is_empty(), "dead rank must receive nothing");
     }
 
+    /// In-batch dedup is invisible in results: for any duplication pattern
+    /// (none, partial, or total duplication of an 8-query pool) a
+    /// dedup-enabled engine returns bit-identical neighbors to a
+    /// dedup-disabled one and reports exactly the number of skipped
+    /// duplicate rows.
+    #[test]
+    fn in_batch_dedup_is_bit_invisible(pattern in prop::collection::vec(0usize..8, 1..24)) {
+        use drim_ann::engine::DrimEngine;
+        use std::sync::{Mutex, OnceLock};
+        // One engine pair shared across cases: builds dominate the search
+        // cost and the engines are stateless across batches here.
+        static STATE: OnceLock<Mutex<(DrimEngine, DrimEngine, ann_core::VecSet<f32>)>> =
+            OnceLock::new();
+        let state = STATE.get_or_init(|| {
+            let data = datasets::synth::generate(
+                &datasets::synth::SynthSpec::small("dedup-prop", 16, 256, 9));
+            let index = IndexConfig { k: 5, nprobe: 4, nlist: 16, m: 4, cb: 16 };
+            let on = DrimEngine::build(&data, EngineConfig::drim(index),
+                Default::default(), 8, None).unwrap();
+            let mut cfg_off = EngineConfig::drim(index);
+            cfg_off.dedup = false;
+            let off = DrimEngine::build(&data, cfg_off, Default::default(), 8, None).unwrap();
+            Mutex::new((on, off, data))
+        });
+        let mut g = state.lock().unwrap();
+        let (on, off, data) = &mut *g;
+        let mut queries = ann_core::VecSet::with_capacity(16, pattern.len());
+        for &i in &pattern {
+            queries.push(data.get(i * 13));
+        }
+        let (r_on, rep_on) = on.search_batch(&queries);
+        let (r_off, rep_off) = off.search_batch(&queries);
+        prop_assert_eq!(format!("{:?}", r_on), format!("{:?}", r_off));
+        let distinct: std::collections::HashSet<usize> = pattern.iter().copied().collect();
+        prop_assert_eq!(rep_on.deduped, pattern.len() - distinct.len());
+        prop_assert_eq!(rep_on.queries, pattern.len());
+        prop_assert_eq!(rep_off.deduped, 0);
+    }
+
     /// The perf model is monotone: more probed clusters never cost less.
     #[test]
     fn perf_model_monotone_in_nprobe(nprobe in 1usize..128, extra in 1usize..64) {
