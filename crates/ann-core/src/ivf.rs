@@ -398,20 +398,19 @@ impl IvfPqIndex {
     }
 
     /// Remove a vector by id; returns `true` when found. O(n) over the
-    /// owning list (ids are not indexed), swap-removing the code block.
+    /// owning list (ids are not indexed).
+    ///
+    /// Order-preserving: the survivors keep their relative list order.
+    /// This is a *contract*, not an implementation detail — the engine's
+    /// streaming-mutation parity argument (docs/MUTATION.md) relies on a
+    /// from-scratch replay of inserts/removes producing the same candidate
+    /// stream order as tombstone filtering over the original lists.
     pub fn remove(&mut self, id: u32) -> bool {
         let m = self.params.m;
         for list in &mut self.lists {
             if let Some(slot) = list.ids.iter().position(|&x| x == id) {
-                let last = list.ids.len() - 1;
-                list.ids.swap(slot, last);
-                list.ids.pop();
-                // move the last code block into the vacated slot
-                if slot != last {
-                    let (head, tail) = list.codes.split_at_mut(last * m);
-                    head[slot * m..(slot + 1) * m].copy_from_slice(&tail[..m]);
-                }
-                list.codes.truncate(last * m);
+                list.ids.remove(slot);
+                list.codes.drain(slot * m..(slot + 1) * m);
                 return true;
             }
         }

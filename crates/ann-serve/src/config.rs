@@ -104,6 +104,13 @@ pub struct ServeConfig {
     /// serves every submit through the engine — bit-identical to the
     /// pre-cache behavior.
     pub cache: Option<CacheConfig>,
+    /// Background index maintenance: `Some(n)` makes the driver run
+    /// [`DrimEngine::maintain`](drim_ann::engine::DrimEngine::maintain)
+    /// (tombstone compaction, slice splitting, migration — see
+    /// `docs/MUTATION.md`) after every `n` dispatched batches. `None`
+    /// (the default) never maintains; callers with streaming mutation
+    /// should either set this or maintain between serving sessions.
+    pub maintain_every: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +124,7 @@ impl Default for ServeConfig {
             overload: OverloadPolicy::None,
             max_queue_batches: 8,
             cache: None,
+            maintain_every: None,
         }
     }
 }
@@ -163,6 +171,9 @@ impl ServeConfig {
                 return Err(ServeConfigError::ZeroCacheShards);
             }
         }
+        if self.maintain_every == Some(0) {
+            return Err(ServeConfigError::ZeroMaintainEvery);
+        }
         Ok(())
     }
 }
@@ -194,6 +205,9 @@ pub enum ServeConfigError {
     ZeroCacheCapacity,
     /// The cache was enabled with `shards: 0` — no shard to store into.
     ZeroCacheShards,
+    /// `maintain_every` was `Some(0)` — maintenance cannot run more often
+    /// than every batch.
+    ZeroMaintainEvery,
 }
 
 impl fmt::Display for ServeConfigError {
@@ -222,6 +236,9 @@ impl fmt::Display for ServeConfigError {
             }
             ServeConfigError::ZeroCacheShards => {
                 write!(f, "cache shard count must be at least 1 when enabled")
+            }
+            ServeConfigError::ZeroMaintainEvery => {
+                write!(f, "maintain_every must be at least 1 when set")
             }
         }
     }
@@ -293,6 +310,11 @@ mod tests {
             with(&|c| c.cache = Some(CacheConfig::default())).validate(),
             Ok(())
         );
+        assert_eq!(
+            with(&|c| c.maintain_every = Some(0)).validate(),
+            Err(ServeConfigError::ZeroMaintainEvery)
+        );
+        assert_eq!(with(&|c| c.maintain_every = Some(16)).validate(), Ok(()));
     }
 
     #[test]

@@ -42,6 +42,24 @@ pub(crate) struct Request {
     pub cache_key: Option<CacheKey>,
 }
 
+/// A queued index mutation, applied by the driver at the next batch
+/// boundary (see [`ServeHandle::insert`](crate::ServeHandle::insert)).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Mutation {
+    /// Insert a vector under a fresh id.
+    Insert {
+        /// Database id the point will be served under.
+        id: u32,
+        /// The vector (owned; copied at enqueue).
+        vector: Vec<f32>,
+    },
+    /// Tombstone an id.
+    Delete {
+        /// The id to delete.
+        id: u32,
+    },
+}
+
 /// Mutable inbox state, guarded by the server's mutex.
 #[derive(Debug)]
 pub(crate) struct InboxState {
@@ -61,6 +79,11 @@ pub(crate) struct InboxState {
     /// as a follower instead of queueing a duplicate; the driver removes
     /// the entry and fans the result out when the leader's batch lands.
     pub inflight: HashMap<CacheKey, Vec<ResultSlot>>,
+    /// Pending index mutations, drained (in submission order) and applied
+    /// by the driver before each dispatch — so every served batch sees a
+    /// consistent engine state and the epoch bumps land before the cache
+    /// keys of that dispatch are published.
+    pub mutations: VecDeque<Mutation>,
 }
 
 impl InboxState {
@@ -71,6 +94,7 @@ impl InboxState {
             opened_at: None,
             open: true,
             inflight: HashMap::new(),
+            mutations: VecDeque::new(),
         }
     }
 

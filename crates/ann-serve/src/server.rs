@@ -15,7 +15,7 @@ use rayon::sync::{lock_unpoisoned, OneShot};
 use crate::cache::{CacheKey, ResultCache};
 use crate::config::{OverloadPolicy, ServeConfig};
 use crate::error::ServeError;
-use crate::inbox::{drain_fair, CloseReason, InboxState, Request};
+use crate::inbox::{drain_fair, CloseReason, InboxState, Mutation, Request};
 use crate::stats::ServeStats;
 
 /// State shared between producer handles and the driver thread.
@@ -194,6 +194,52 @@ impl ServeHandle {
         self.submit(tenant, query)?.wait()
     }
 
+    /// Enqueue a streaming insert: the vector joins the index at the next
+    /// batch boundary (the driver applies pending mutations, in submission
+    /// order, before dispatching each micro-batch — and flushes them on
+    /// shutdown, so an enqueued mutation is never lost).
+    ///
+    /// Fire-and-forget: the call validates shape and admission, then
+    /// returns. Apply-time failures (duplicate live id, MRAM exhaustion)
+    /// are counted in [`ServeStats::mutations_failed`], not surfaced here.
+    /// Every applied mutation bumps the engine epoch, so cached results
+    /// from before the insert are never served after it.
+    pub fn insert(&self, id: u32, vector: &[f32]) -> Result<(), ServeError> {
+        if vector.len() != self.dim {
+            return Err(ServeError::WrongDim {
+                expected: self.dim,
+                got: vector.len(),
+            });
+        }
+        {
+            let mut g = lock_unpoisoned(&self.shared.inbox);
+            if !g.open {
+                return Err(ServeError::ShuttingDown);
+            }
+            g.mutations.push_back(Mutation::Insert {
+                id,
+                vector: vector.to_vec(),
+            });
+        }
+        self.shared.arrivals.notify_one();
+        Ok(())
+    }
+
+    /// Enqueue a streaming delete (tombstone) for `id`; same batch-boundary
+    /// apply and fire-and-forget semantics as [`Self::insert`]. Deleting an
+    /// id that is not live counts as a failed mutation at apply time.
+    pub fn delete(&self, id: u32) -> Result<(), ServeError> {
+        {
+            let mut g = lock_unpoisoned(&self.shared.inbox);
+            if !g.open {
+                return Err(ServeError::ShuttingDown);
+            }
+            g.mutations.push_back(Mutation::Delete { id });
+        }
+        self.shared.arrivals.notify_one();
+        Ok(())
+    }
+
     /// Snapshot the serving counters.
     pub fn stats(&self) -> ServeStats {
         lock_unpoisoned(&self.shared.stats).clone()
@@ -318,7 +364,7 @@ fn drive(mut engine: DrimEngine, shared: Arc<Shared>, cfg: ServeConfig) -> DrimE
     // eagerly instead of letting CLOCK churn them out one miss at a time.
     let mut last_epoch = engine.epoch();
     loop {
-        let (reqs, reason, backlog) = {
+        let (reqs, reason, backlog, muts) = {
             let mut g = lock_unpoisoned(&shared.inbox);
             let reason = loop {
                 if g.queued >= cfg.max_batch {
@@ -326,6 +372,12 @@ fn drive(mut engine: DrimEngine, shared: Arc<Shared>, cfg: ServeConfig) -> DrimE
                 }
                 if !g.open {
                     if g.queued == 0 {
+                        // Shutdown with an empty inbox: flush pending
+                        // mutations first so none are lost, then hand the
+                        // engine back.
+                        let muts: Vec<Mutation> = g.mutations.drain(..).collect();
+                        drop(g);
+                        apply_mutations(&mut engine, muts, &shared);
                         let _ = engine.set_nprobe_override(None);
                         return engine;
                     }
@@ -355,9 +407,26 @@ fn drive(mut engine: DrimEngine, shared: Arc<Shared>, cfg: ServeConfig) -> DrimE
             g.queued -= reqs.len();
             g.refresh_opened_at();
             let backlog = g.queued;
-            (reqs, reason, backlog)
+            let muts: Vec<Mutation> = g.mutations.drain(..).collect();
+            (reqs, reason, backlog, muts)
         };
         debug_assert!(!reqs.is_empty(), "every close reason implies queued >= 1");
+
+        // Apply pending mutations before this dispatch: the epoch bumps
+        // they cause land *before* `dispatch_epoch` is read below, so the
+        // cache purge and the published atomics cover them — a result
+        // computed pre-mutation can never be cached or replayed under the
+        // post-mutation epoch (and vice versa).
+        apply_mutations(&mut engine, muts, &shared);
+        if let Some(every) = cfg.maintain_every {
+            if batch_idx > 0 && batch_idx.is_multiple_of(every) {
+                let rep = engine.maintain();
+                let mut s = lock_unpoisoned(&shared.stats);
+                s.maintenance_runs += 1;
+                s.maintenance_moved_bytes += rep.moved_bytes;
+                s.maintenance_transfer_s += rep.transfer_s;
+            }
+        }
 
         let mut queries = VecSet::with_capacity(engine.dim(), reqs.len());
         for r in &reqs {
@@ -508,4 +577,35 @@ fn drive(mut engine: DrimEngine, shared: Arc<Shared>, cfg: ServeConfig) -> DrimE
             }
         }
     }
+}
+
+/// Apply a drained batch of mutations to the engine, in submission order.
+///
+/// Enqueue is fire-and-forget, so failures (duplicate insert id, delete of
+/// an unknown id, MRAM exhaustion) are counted in
+/// [`ServeStats::mutations_failed`] rather than surfaced to the producer.
+fn apply_mutations(engine: &mut DrimEngine, muts: Vec<Mutation>, shared: &Shared) {
+    if muts.is_empty() {
+        return;
+    }
+    let (mut inserted, mut deleted, mut failed) = (0u64, 0u64, 0u64);
+    for m in muts {
+        match m {
+            Mutation::Insert { id, vector } => match engine.insert(id, &vector) {
+                Ok(()) => inserted += 1,
+                Err(_) => failed += 1,
+            },
+            Mutation::Delete { id } => {
+                if engine.delete(id) {
+                    deleted += 1;
+                } else {
+                    failed += 1;
+                }
+            }
+        }
+    }
+    let mut s = lock_unpoisoned(&shared.stats);
+    s.inserts_applied += inserted;
+    s.deletes_applied += deleted;
+    s.mutations_failed += failed;
 }

@@ -61,6 +61,24 @@ pub struct ServeStats {
     pub deduped_in_batch: u64,
     /// Entries the cache's CLOCK policy evicted to make room.
     pub evictions: u64,
+    /// Streaming inserts the driver applied at batch boundaries.
+    pub inserts_applied: u64,
+    /// Streaming deletes the driver applied at batch boundaries.
+    pub deletes_applied: u64,
+    /// Mutations that failed at apply time (duplicate insert id, delete of
+    /// an unknown id, MRAM exhaustion). Mutation enqueue is
+    /// fire-and-forget, so failures surface here rather than at the
+    /// producer.
+    pub mutations_failed: u64,
+    /// Background [`maintain`](drim_ann::engine::DrimEngine::maintain)
+    /// calls the driver ran (`ServeConfig::maintain_every`).
+    pub maintenance_runs: u64,
+    /// Bytes moved by maintenance (splits to non-home DPUs plus
+    /// migrations), summed over all driver-run maintenance passes.
+    pub maintenance_moved_bytes: u64,
+    /// Simulated seconds of CPU–DPU link time those moves cost — the
+    /// honest price of background re-balancing while serving.
+    pub maintenance_transfer_s: f64,
 }
 
 impl ServeStats {
@@ -101,7 +119,9 @@ impl ServeStats {
              {} rejected / {} shed, per-tenant {:?}; \
              degraded: {} fault / {} nprobe; \
              cache: {} hit / {} miss (rate {:.2}), {} collapsed, \
-             {} deduped, {} evicted)",
+             {} deduped, {} evicted; \
+             mutations: {} inserted / {} deleted / {} failed, \
+             {} maintenance runs)",
             self.served,
             self.batches,
             self.mean_batch(),
@@ -121,6 +141,10 @@ impl ServeStats {
             self.collapsed,
             self.deduped_in_batch,
             self.evictions,
+            self.inserts_applied,
+            self.deletes_applied,
+            self.mutations_failed,
+            self.maintenance_runs,
         )
     }
 }
@@ -161,6 +185,18 @@ mod tests {
         assert!(line.contains("1 collapsed"), "{line}");
         assert!(line.contains("2 deduped"), "{line}");
         assert!(line.contains("5 evicted"), "{line}");
+    }
+
+    #[test]
+    fn summary_mentions_mutation_counters() {
+        let mut s = ServeStats::new(1);
+        s.inserts_applied = 7;
+        s.deletes_applied = 3;
+        s.mutations_failed = 1;
+        s.maintenance_runs = 2;
+        let line = s.summary();
+        assert!(line.contains("7 inserted / 3 deleted / 1 failed"), "{line}");
+        assert!(line.contains("2 maintenance runs"), "{line}");
     }
 
     #[test]

@@ -485,6 +485,134 @@ fn nprobe_override_invalidates_cached_results() {
     assert!(cache.get(&key0).is_none());
 }
 
+/// Index mutations bump the epoch exactly like a knob change, so the
+/// cache-key scheme from `nprobe_override_invalidates_cached_results`
+/// extends to them for free: a result cached before an insert or delete
+/// is unreachable after it and dropped by the per-dispatch purge.
+#[test]
+fn mutation_epoch_bumps_invalidate_cache_keys() {
+    let (mut engine, data) = small_engine();
+    let cache = ResultCache::new(&CacheConfig::default());
+
+    let q = data.get(123);
+    let mut queries = ann_core::VecSet::with_capacity(16, 1);
+    queries.push(q);
+    let (res, _) = engine.search_batch(&queries);
+
+    let key0 = CacheKey::new(q, engine.k(), engine.effective_nprobe(), engine.epoch());
+    cache.insert(key0.clone(), res[0].clone());
+
+    let epoch0 = engine.epoch();
+    assert!(
+        engine.delete(res[0][0].id as u32),
+        "top neighbour is a live id"
+    );
+    assert!(engine.epoch() > epoch0, "delete must bump the epoch");
+    let key1 = CacheKey::new(q, engine.k(), engine.effective_nprobe(), engine.epoch());
+    assert_ne!(key0, key1);
+    assert!(cache.get(&key1).is_none());
+    cache.purge_stale(engine.epoch());
+    assert!(cache.is_empty());
+
+    // Inserts bump it too, and the old key stays dead forever.
+    let epoch1 = engine.epoch();
+    engine.insert(10_000, q).unwrap();
+    assert!(engine.epoch() > epoch1, "insert must bump the epoch");
+    assert!(cache.get(&key0).is_none());
+}
+
+/// End-to-end mutation consistency: a delete enqueued through the handle
+/// applies at the next batch boundary, after which the previously cached
+/// result is unreachable and a fresh dispatch never returns the
+/// tombstoned id; re-inserting the point restores the original results
+/// bit-for-bit.
+#[test]
+fn streaming_mutations_invalidate_cached_results() {
+    let (engine, data) = small_engine();
+    let epoch0 = engine.epoch();
+    let cfg = ServeConfig {
+        max_batch: 4,
+        max_delay: Duration::from_micros(200),
+        queue_cap: 64,
+        cache: Some(CacheConfig::default()),
+        ..ServeConfig::default()
+    };
+    let server = AnnServer::start(engine, cfg).unwrap();
+    let handle = server.handle();
+
+    let q = data.get(123).to_vec();
+    let before = handle.search(0, &q).unwrap();
+    let before_bits = format!("{before:?}");
+    // Same query again: an admission-time cache hit with identical bits.
+    let again = handle.search(0, &q).unwrap();
+    assert_eq!(format!("{again:?}"), before_bits);
+    assert!(handle.stats().cache_hits >= 1);
+
+    // Tombstone the top neighbour. The enqueue is fire-and-forget; it
+    // applies at the next batch boundary, so a dispatch on an unrelated
+    // query both applies it and purges the now-stale cache entries.
+    let victim = before[0].id as u32;
+    handle.delete(victim).unwrap();
+    let _ = handle.search(0, data.get(7)).unwrap();
+
+    // The stale entry must be unreachable now: this re-dispatch sees the
+    // post-delete engine and must not surface the tombstoned id.
+    let after = handle.search(0, &q).unwrap();
+    assert!(
+        after.iter().all(|n| n.id != victim as u64),
+        "tombstoned id {victim} served from a stale cache entry: {after:?}"
+    );
+    assert_ne!(format!("{after:?}"), before_bits);
+
+    // Re-insert the point under its original id and force an apply: the
+    // logical corpus is back to the original, so the original result —
+    // and not the cached post-delete one — must be served.
+    handle.insert(victim, data.get(victim as usize)).unwrap();
+    let _ = handle.search(0, data.get(9)).unwrap();
+    let restored = handle.search(0, &q).unwrap();
+    assert_eq!(format!("{restored:?}"), before_bits);
+
+    let (engine, stats) = server.shutdown();
+    assert_eq!(stats.inserts_applied, 1, "{}", stats.summary());
+    assert_eq!(stats.deletes_applied, 1, "{}", stats.summary());
+    assert_eq!(stats.mutations_failed, 0, "{}", stats.summary());
+    assert!(
+        engine.epoch() >= epoch0 + 2,
+        "one bump per applied mutation"
+    );
+}
+
+/// Mutations enqueued while the server drains are flushed at shutdown:
+/// the returned engine reflects them even though no further batch was
+/// dispatched.
+#[test]
+fn shutdown_flushes_pending_mutations() {
+    let (engine, data) = small_engine();
+    let live0 = engine.live_len();
+    let server = AnnServer::start(engine, ServeConfig::default()).unwrap();
+    let handle = server.handle();
+
+    handle.insert(20_000, data.get(3)).unwrap();
+    handle.delete(5).unwrap();
+    handle.delete(999_999).unwrap(); // unknown id: counted as failed
+
+    let (engine, stats) = server.shutdown();
+    assert_eq!(stats.inserts_applied, 1, "{}", stats.summary());
+    assert_eq!(stats.deletes_applied, 1, "{}", stats.summary());
+    assert_eq!(stats.mutations_failed, 1, "{}", stats.summary());
+    assert_eq!(engine.live_len(), live0, "+1 insert, -1 delete nets out");
+
+    // Post-shutdown mutations are typed rejections, like submits.
+    match handle.insert(30_000, data.get(4)) {
+        Err(ServeError::ShuttingDown) => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+    match handle.delete(6) {
+        Err(ServeError::ShuttingDown) => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+}
+
 /// A cache-enabled server over a *duplicate-free* stream must behave
 /// exactly like the uncached one result-wise: all misses, no hits, no
 /// collapses, and bit-parity with the offline batch.

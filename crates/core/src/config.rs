@@ -116,6 +116,8 @@ pub enum ConfigError {
     ZeroSqtWindow,
     /// Recovery parameters are malformed; the payload names the field.
     BadRecovery(&'static str),
+    /// Maintenance parameters are malformed; the payload names the field.
+    BadMaintenance(&'static str),
     /// Fault-injection parameters were rejected by the simulator.
     BadFault(upmem_sim::fault::FaultConfigError),
     /// `ranks` was `Some(0)` — a rank topology needs at least one rank.
@@ -137,6 +139,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::BadTh3(v) => write!(f, "th3 {v} must be non-negative"),
             ConfigError::ZeroSqtWindow => write!(f, "sqt_window must be at least 1 entry"),
             ConfigError::BadRecovery(field) => write!(f, "invalid recovery parameter: {field}"),
+            ConfigError::BadMaintenance(field) => {
+                write!(f, "invalid maintenance parameter: {field}")
+            }
             ConfigError::BadFault(e) => write!(f, "invalid fault configuration: {e}"),
             ConfigError::ZeroRanks => write!(f, "ranks must be at least 1 when set"),
         }
@@ -199,6 +204,53 @@ impl RecoveryConfig {
     }
 }
 
+/// Background-maintenance policy for the streaming mutable index
+/// ([`DrimEngine::maintain`](crate::engine::DrimEngine::maintain)):
+/// when tombstone-heavy lists are compacted, when overgrown slices are
+/// split, and how many slice copies one maintenance step may migrate
+/// between DPUs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaintenanceConfig {
+    /// Compact a cluster once its tombstoned fraction reaches this value
+    /// (tombstones / physical points, in `(0, 1]`). Compaction physically
+    /// removes tombstoned points, order-preserving, so it never changes
+    /// results — only reclaims MRAM and scan work.
+    pub compact_tombstone_frac: f64,
+    /// Split a slice once it grows past this multiple of the layout's
+    /// split threshold `th1` (appends land in a cluster's tail slice, so
+    /// unchecked growth would re-concentrate a hot cluster on one DPU).
+    /// Must be at least 1.0.
+    pub overgrown_factor: f64,
+    /// Upper bound on slice copies migrated between DPUs per
+    /// [`maintain`](crate::engine::DrimEngine::maintain) call. Each
+    /// migration is a double-buffered copy priced by the link model and
+    /// finalized with one epoch swap.
+    pub max_migrations: usize,
+}
+
+impl Default for MaintenanceConfig {
+    fn default() -> Self {
+        MaintenanceConfig {
+            compact_tombstone_frac: 0.25,
+            overgrown_factor: 2.0,
+            max_migrations: 1,
+        }
+    }
+}
+
+impl MaintenanceConfig {
+    /// Validity check folded into [`EngineConfig::validate`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.compact_tombstone_frac > 0.0 && self.compact_tombstone_frac <= 1.0) {
+            return Err(ConfigError::BadMaintenance("compact_tombstone_frac"));
+        }
+        if self.overgrown_factor < 1.0 || self.overgrown_factor.is_nan() {
+            return Err(ConfigError::BadMaintenance("overgrown_factor"));
+        }
+        Ok(())
+    }
+}
+
 /// Complete engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -246,6 +298,9 @@ pub struct EngineConfig {
     pub dedup: bool,
     /// Fault-recovery policy (active only when faults are injected).
     pub recovery: RecoveryConfig,
+    /// Background-maintenance policy for streaming mutation (compaction,
+    /// slice splitting, migration).
+    pub maintenance: MaintenanceConfig,
     /// Rank (DIMM) topology: DPUs are grouped into this many equal ranks
     /// (`dpus_per_rank = ceil(ndpus / ranks)`), and the layout gains a
     /// cross-rank replication post-pass so every slice keeps a home on at
@@ -276,6 +331,7 @@ impl EngineConfig {
             batch: 256,
             dedup: true,
             recovery: RecoveryConfig::default(),
+            maintenance: MaintenanceConfig::default(),
             ranks: None,
         }
     }
@@ -301,6 +357,7 @@ impl EngineConfig {
             batch: 256,
             dedup: false,
             recovery: RecoveryConfig::default(),
+            maintenance: MaintenanceConfig::default(),
             ranks: None,
         }
     }
@@ -342,7 +399,8 @@ impl EngineConfig {
         if self.ranks == Some(0) {
             return Err(ConfigError::ZeroRanks);
         }
-        self.recovery.validate()
+        self.recovery.validate()?;
+        self.maintenance.validate()
     }
 }
 
@@ -439,6 +497,19 @@ mod tests {
         );
         assert_eq!(with(&|c| c.ranks = Some(0)), Err(ConfigError::ZeroRanks));
         assert!(with(&|c| c.ranks = Some(4)).is_ok());
+        assert_eq!(
+            with(&|c| c.maintenance.compact_tombstone_frac = 0.0),
+            Err(ConfigError::BadMaintenance("compact_tombstone_frac"))
+        );
+        assert_eq!(
+            with(&|c| c.maintenance.compact_tombstone_frac = 1.5),
+            Err(ConfigError::BadMaintenance("compact_tombstone_frac"))
+        );
+        assert_eq!(
+            with(&|c| c.maintenance.overgrown_factor = 0.5),
+            Err(ConfigError::BadMaintenance("overgrown_factor"))
+        );
+        assert!(with(&|c| c.maintenance.max_migrations = 0).is_ok());
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! current k-th record into the DC loop so non-improving candidates never
 //! take the lock. The forwarded bound may be stale — that is safe (it only
 //! admits extra candidates) and is modelled here by refreshing the bound
-//! once per *chunk* rather than per candidate.
+//! once per *chunk* rather than per candidate. Pruning is tie-inclusive
+//! (`d <= bound` takes the lock): the retained top-k is then a pure
+//! function of the candidate set, independent of stream order, which is
+//! what makes results invariant under re-slicing and migration.
 
 use super::KernelCtx;
 use ann_core::topk::{BoundedMaxHeap, Neighbor};
@@ -114,9 +117,18 @@ pub fn run(
                 stats.locked_updates += 1;
             }
             LockPolicy::Forwarding => {
-                // one comparison against the forwarded bound, no lock
+                // One comparison against the forwarded bound, no lock.
+                // `<=` (not `<`): a candidate tying the bound may still be
+                // retained by the heap's (dist, id) tie-break, so pruning it
+                // would make the retained set depend on the order candidates
+                // streamed in. Tie-inclusive pruning keeps the per-queue
+                // top-k a pure function of the candidate *set* — the
+                // invariant the mutation/migration parity suite relies on —
+                // at the cost of a lock on exact ties (rare with 64-bit
+                // accumulated distances). Matches the host-side IVF scan's
+                // `<=` prune.
                 meter.charge_cmp(ctx.costs.cmp);
-                if d < forwarded {
+                if d <= forwarded {
                     meter.lock();
                     meter.charge_cmp(log_k * ctx.costs.cmp);
                     ctx.read(meter, "topk", b_entry, true);

@@ -61,8 +61,8 @@ pub mod sqt;
 pub mod trace;
 pub mod wram;
 
-pub use config::{ConfigError, EngineConfig, IndexConfig, RecoveryConfig};
-pub use engine::DrimEngine;
+pub use config::{ConfigError, EngineConfig, IndexConfig, MaintenanceConfig, RecoveryConfig};
+pub use engine::{DrimEngine, MaintenanceReport, MutationError};
 pub use report::{BatchReport, FaultStats};
 pub use shard::{RoutePlan, ShardConfig, ShardError, ShardPlan};
 pub use upmem_sim::meter::Phase;

@@ -91,6 +91,10 @@ pub struct BatchReport {
     /// same batch and therefore computed only once (in-batch dedup;
     /// `queries` still counts every submitted query).
     pub deduped: usize,
+    /// Candidates dropped between scan and top-k because their id was
+    /// tombstoned by a streaming delete (not yet compacted away). 0 on a
+    /// corpus with no pending deletes.
+    pub tombstone_filtered: u64,
     /// Top-k lock statistics.
     pub lock: LockStats,
     /// SQT WRAM hit rate (1.0 for the 8-bit table).
@@ -122,6 +126,7 @@ impl BatchReport {
             imbalance,
             postponed,
             deduped: 0,
+            tombstone_filtered: 0,
             lock,
             sqt_wram_hit_rate,
             fault: FaultStats::default(),
@@ -144,6 +149,14 @@ impl BatchReport {
     /// signature stable for fault-free callers).
     pub fn with_fault_stats(mut self, fault: FaultStats) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Attach the tombstone-filter count (builder-style; engines with
+    /// pending streaming deletes report how many scanned candidates were
+    /// dropped before top-k).
+    pub fn with_tombstones(mut self, filtered: u64) -> Self {
+        self.tombstone_filtered = filtered;
         self
     }
 
@@ -187,8 +200,13 @@ impl BatchReport {
         } else {
             String::new()
         };
+        let tomb = if self.tombstone_filtered > 0 {
+            format!(" tomb={}", self.tombstone_filtered)
+        } else {
+            String::new()
+        };
         format!(
-            "q={} qps={:.0} total={:.3}ms pim={:.3}ms host={:.3}ms imb={:.2} postponed={}{dedup} RC/LC/DC/TS = {:.0}%/{:.0}%/{:.0}%/{:.0}% E={:.2}J qpj={:.1}{fault}",
+            "q={} qps={:.0} total={:.3}ms pim={:.3}ms host={:.3}ms imb={:.2} postponed={}{dedup}{tomb} RC/LC/DC/TS = {:.0}%/{:.0}%/{:.0}%/{:.0}% E={:.2}J qpj={:.1}{fault}",
             self.queries,
             self.qps,
             self.timing.total_s() * 1e3,
@@ -283,6 +301,18 @@ mod tests {
         // an all-distinct batch keeps the summary clean
         let r0 = BatchReport::new(64, timing(), energy(), 0, LockStats::default(), 1.0);
         assert!(!r0.summary().contains("dedup="));
+    }
+
+    #[test]
+    fn with_tombstones_surfaces_in_summary() {
+        let r = BatchReport::new(64, timing(), energy(), 0, LockStats::default(), 1.0)
+            .with_tombstones(7);
+        assert_eq!(r.tombstone_filtered, 7);
+        assert!(r.summary().contains("tomb=7"), "{}", r.summary());
+        // a delete-free batch keeps the summary clean
+        let r0 = BatchReport::new(64, timing(), energy(), 0, LockStats::default(), 1.0);
+        assert_eq!(r0.tombstone_filtered, 0);
+        assert!(!r0.summary().contains("tomb="));
     }
 
     #[test]
